@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are deterministic simulations, so repetition
+only buys wall-clock pain.  Every benchmark also asserts the paper's
+qualitative shape, making the suite double as an end-to-end regression
+harness for the reproduction.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

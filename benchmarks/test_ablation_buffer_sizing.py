@@ -1,0 +1,18 @@
+"""Ablation benchmark: wired buffer sizing vs the TCP anomaly (Sec. 4.2)."""
+
+from repro.experiments import ablation_buffer_sizing
+
+
+def test_ablation_buffer_sizing(run_once):
+    result = run_once(ablation_buffer_sizing.run)
+    print()
+    print(result.table().render())
+    # The paper's remedy (i): roughly doubling the wired buffers restores
+    # a healthy share of Cubic's utilization.
+    assert result.doubling_helps
+    # Utilization grows monotonically with buffer size.
+    utils = [result.cubic_utilization[m] for m in ablation_buffer_sizing.BUFFER_MULTIPLIERS]
+    assert utils == sorted(utils)
+    # Remedy (ii): BBR already achieves the 4x-buffer level without any
+    # infrastructure change.
+    assert result.bbr_utilization_at_1x > 0.7

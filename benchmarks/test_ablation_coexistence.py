@@ -1,0 +1,18 @@
+"""Ablation benchmark: 4G/5G flows sharing a wireline path (Sec. 4.2)."""
+
+from repro.experiments import ablation_coexistence
+
+
+def test_ablation_coexistence(run_once):
+    result = run_once(ablation_coexistence.run)
+    print()
+    print(result.table().render())
+    # The paper's open trade-off: deeper wired buffers reduce the 5G
+    # flow's loss...
+    assert result.bigger_buffer_cuts_nr_loss
+    # ...but inflate the tail latency the co-resident 4G flow sees.
+    assert result.bigger_buffer_bloats_lte_rtt
+    # Both flows keep making progress at every buffer size.
+    for point in result.points.values():
+        assert point.nr_throughput_bps > 0
+        assert point.lte_throughput_bps > 0

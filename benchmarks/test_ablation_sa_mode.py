@@ -1,0 +1,17 @@
+"""Ablation benchmark: NSA vs projected SA architecture (Sec. 8)."""
+
+from repro.experiments import ablation_sa_mode
+
+
+def test_ablation_sa_mode(run_once):
+    result = run_once(ablation_sa_mode.run)
+    print()
+    print(result.table().render())
+    # SA's direct Xn hand-off should land near 4G-4G latency, erasing the
+    # 3.6x NSA penalty.
+    assert result.sa_closes_handoff_gap
+    assert result.handoff_speedup > 2.5
+    # RRC_INACTIVE + short tails recover real web-session energy...
+    assert 0.2 <= result.energy_saving <= 0.6
+    # ...but the hardware floor remains above the 4G-era budget.
+    assert result.sa_web_energy_j > 0.5 * result.oracle_floor_j

@@ -1,0 +1,15 @@
+"""Discussion benchmark: mobile edge computing (Sec. 8)."""
+
+from repro.experiments import discussion_edge_computing
+
+
+def test_discussion_edge_computing(run_once):
+    result = run_once(discussion_edge_computing.run)
+    print()
+    print(result.table().render())
+    # Only the edge deployment meets the 10 ms one-way interactive budget
+    # the wide-area NSA paths miss (Sec. 4.4).
+    assert result.meets_urllc_budget
+    assert all(rtt / 2 > 10.0 for d, rtt in result.cloud_rtt_ms.items() if d >= 30.0)
+    # Edge also speeds up short web flows (less slow-start latency).
+    assert result.edge_plt_s < result.cloud_plt_s

@@ -1,0 +1,16 @@
+"""Fig. 10 benchmark: HARQ retransmission depth in the RAN."""
+
+from repro.experiments import fig10_retransmissions
+
+
+def test_fig10_retransmissions(run_once):
+    result = run_once(fig10_retransmissions.run)
+    print()
+    print(result.table().render())
+    # Paper: all RAN losses recover within 4 attempts on 4G, 2 on 5G.
+    assert result.lte.max_retransmissions <= 4
+    assert result.nr.max_retransmissions <= 2
+    assert result.lte.residual_losses == 0
+    assert result.nr.residual_losses == 0
+    # The 50%-loss-link sanity bound: ~2.3e-10 abandonment probability.
+    assert result.abandonment_probability_50pct_link < 1e-9

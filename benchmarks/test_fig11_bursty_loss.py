@@ -1,0 +1,16 @@
+"""Fig. 11 benchmark: the bursty loss signature of 5G sessions."""
+
+from repro.experiments import fig11_bursty_loss
+
+
+def test_fig11_bursty_loss(run_once):
+    result = run_once(fig11_bursty_loss.run)
+    print()
+    print(f"loss {result.loss_rate:.2%}, mean run {result.mean_run_length:.1f} pkts "
+          f"(i.i.d. expectation {result.expected_random_mean_run:.2f}), "
+          f"burst fraction {result.burst_fraction:.0%}")
+    assert result.lost > 0
+    # Losses are clustered far beyond what independent drops would give.
+    assert result.mean_run_length > 3.0 * result.expected_random_mean_run
+    # Most lost packets fall inside multi-packet bursts.
+    assert result.burst_fraction > 0.7

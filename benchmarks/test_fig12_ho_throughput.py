@@ -1,0 +1,18 @@
+"""Fig. 12 benchmark: TCP throughput collapse across hand-offs."""
+
+from repro.experiments import fig12_ho_throughput
+from repro.mobility.handoff import HandoffKind
+
+
+def test_fig12_ho_throughput(run_once):
+    result = run_once(fig12_ho_throughput.run)
+    print()
+    print(result.table().render())
+    lte = result.mean_drop(HandoffKind.LTE_TO_LTE)
+    nr = result.mean_drop(HandoffKind.NR_TO_NR)
+    vertical = result.mean_drop(HandoffKind.NR_TO_LTE)
+    # Paper: 20.10% (4G-4G) < 73.15% (5G-5G) < 83.04% (5G-4G).
+    assert lte < 0.35
+    assert nr > 1.8 * lte
+    assert vertical > nr
+    assert vertical > 0.5

@@ -1,0 +1,16 @@
+"""Fig. 13 benchmark: end-to-end RTT over 80 nationwide paths."""
+
+from repro.experiments import fig13_rtt_scatter
+
+
+def test_fig13_rtt_scatter(run_once):
+    result = run_once(fig13_rtt_scatter.run)
+    print()
+    print(result.table().render())
+    # Paper: 5G trims 22.3 ms off the RTT but mean one-way latency is
+    # still ~21.8 ms — far above the 10 ms interactive budget.
+    assert 16.0 <= result.mean_gap_ms <= 28.0
+    assert result.mean_nr_latency_ms > 10.0
+    assert 15.0 <= result.mean_nr_latency_ms <= 35.0
+    # Every path: 5G RTT below its paired 4G RTT.
+    assert all(n < l for n, l in zip(result.nr_rtts_ms, result.lte_rtts_ms))

@@ -1,0 +1,16 @@
+"""Fig. 14 benchmark: per-hop RTT decomposition."""
+
+from repro.experiments import fig14_rtt_hops
+
+
+def test_fig14_rtt_hops(run_once):
+    result = run_once(fig14_rtt_hops.run)
+    print()
+    print(result.table().render())
+    # Hop 1 (air interface): negligible 5G gain (<1 ms, paper ~0.4 ms).
+    assert 0.0 <= result.ran_gap_ms <= 1.5
+    # Hop 2 (RAN->core): the ~20 ms RTT reduction of the flat 5G core.
+    assert 15.0 <= result.core_gap_ms <= 25.0
+    # Cumulative RTTs are monotone along the path for both networks.
+    for series in (result.lte_hop_rtts_ms, result.nr_hop_rtts_ms):
+        assert all(a <= b for a, b in zip(series, series[1:]))

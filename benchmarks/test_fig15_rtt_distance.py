@@ -1,0 +1,17 @@
+"""Fig. 15 benchmark: RTT versus geographical path length."""
+
+from repro.experiments import fig15_rtt_distance
+
+
+def test_fig15_rtt_distance(run_once):
+    result = run_once(fig15_rtt_distance.run)
+    print()
+    print(result.table().render())
+    # Paper: RTT grows ~5x from 100 km to 2500 km; reaches ~82 ms on 5G.
+    assert 3.0 <= result.rtt_growth_factor() <= 7.0
+    assert max(result.nr_rtts_ms) > 60.0
+    # The 4G-5G gap is roughly constant (~22 ms) across distances...
+    gaps = result.gaps_ms
+    assert all(16.0 <= g <= 28.0 for g in gaps)
+    # ...so its relative value shrinks as paths grow.
+    assert result.relative_gaps[-1] < result.relative_gaps[0]

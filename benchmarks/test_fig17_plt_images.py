@@ -1,0 +1,19 @@
+"""Fig. 17 benchmark: PLT versus image page size."""
+
+from repro.experiments import fig17_plt_images
+from repro.experiments.fig17_plt_images import IMAGE_SIZES_MB
+
+
+def test_fig17_plt_images(run_once):
+    result = run_once(fig17_plt_images.run)
+    print()
+    print(result.table().render())
+    # PLT grows with page size on both networks.
+    for network in ("4G", "5G"):
+        totals = [result.total_s(size, network) for size in IMAGE_SIZES_MB]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+    # The network gap widens with size (bigger pages exercise capacity).
+    assert result.gap_grows_with_size
+    # But even at 16 MB the 5G PLT is dominated by non-network time.
+    p5 = result.plts[(16.0, "5G")]
+    assert p5.render_s > 0.5 * p5.download_s

@@ -1,0 +1,20 @@
+"""Fig. 18 benchmark: uplink video throughput by resolution."""
+
+from repro.experiments import fig18_video_throughput
+
+
+def test_fig18_video_throughput(run_once):
+    result = run_once(fig18_video_throughput.run)
+    print()
+    print(result.table().render())
+    tput = result.throughput_mbps
+    # Up to 4K, both networks keep up with the stream.
+    for resolution, nominal in (("720P", 6), ("1080P", 12), ("4K", 45)):
+        for network in ("4G", "5G"):
+            assert tput[(resolution, network, "static")] > 0.8 * nominal
+    # 5.7K: 5G carries ~80 Mbps; 4G collapses (paper: congestion, frame loss).
+    assert tput[("5.7K", "5G", "static")] > 60.0
+    assert tput[("5.7K", "4G", "static")] < 0.6 * tput[("5.7K", "5G", "static")]
+    # The 4G 5.7K session freezes massively; the 5G one barely.
+    assert result.freeze_counts[("5.7K", "4G", "dynamic")] > 50
+    assert result.freeze_counts[("5.7K", "5G", "static")] < 10

@@ -1,0 +1,16 @@
+"""Fig. 19 benchmark: 5.7K throughput fluctuation, static vs dynamic."""
+
+from repro.experiments import fig19_video_fluctuation
+
+
+def test_fig19_video_fluctuation(run_once):
+    result = run_once(fig19_video_fluctuation.run)
+    static_cv = result.fluctuation(result.static_trace_mbps)
+    dynamic_cv = result.fluctuation(result.dynamic_trace_mbps)
+    print()
+    print(f"throughput CV: static {static_cv:.3f}, dynamic {dynamic_cv:.3f}; "
+          f"freezes: static {result.static_freezes}, dynamic {result.dynamic_freezes}")
+    # Dynamic scenes fluctuate visibly more than static ones.
+    assert result.dynamic_fluctuates_more
+    # Freezing is a dynamic-scene phenomenon (paper observed 6 events).
+    assert result.dynamic_freezes >= result.static_freezes

@@ -1,0 +1,19 @@
+"""Fig. 21 benchmark: smartphone power breakdown per app and RAT."""
+
+from repro.experiments import fig21_power_breakdown
+
+
+def test_fig21_power_breakdown(run_once):
+    result = run_once(fig21_power_breakdown.run)
+    print()
+    print(result.table().render())
+    # Paper: the 5G module averages ~55% of the budget, beating the screen
+    # (~31%); 4G stays between 24% and 50%.
+    assert 0.40 <= result.mean_radio_fraction(5) <= 0.65
+    assert result.mean_radio_fraction(5) > result.mean_screen_fraction(5)
+    assert result.mean_radio_fraction(4) < result.mean_radio_fraction(5)
+    # Per-app 5G/4G radio power ratio: 2-3x (Sec. 6.1); the saturated
+    # download is the extreme case (5G moves 7x the bits).
+    for app in ("browser", "player", "game"):
+        assert 1.8 <= result.radio_power_ratio(app) <= 3.2, app
+    assert 2.0 <= result.radio_power_ratio("download") <= 4.0

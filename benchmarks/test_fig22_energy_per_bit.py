@@ -1,0 +1,14 @@
+"""Fig. 22 benchmark: energy per bit under saturated traffic."""
+
+from repro.experiments import fig22_energy_per_bit
+
+
+def test_fig22_energy_per_bit(run_once):
+    result = run_once(fig22_energy_per_bit.run)
+    print()
+    print(result.table().render())
+    # Paper: 5G's energy-per-bit is ~1/4 of 4G's once the pipe is full.
+    for t in (10.0, 30.0, 50.0):
+        assert 0.15 <= result.ratio_at(t) <= 0.45
+    # Efficiency improves with transfer duration (overhead amortizes).
+    assert result.efficiency_improves_with_duration

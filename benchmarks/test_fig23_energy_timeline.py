@@ -1,0 +1,21 @@
+"""Fig. 23 benchmark: the 5G energy-management showcase."""
+
+from repro.experiments import fig23_energy_timeline
+
+
+def test_fig23_energy_timeline(run_once):
+    result = run_once(fig23_energy_timeline.run)
+    print()
+    print(f"web-session energy: 4G {result.lte_energy_j:.1f} J, "
+          f"5G {result.nr_energy_j:.1f} J (ratio {result.nr_over_lte_energy:.2f}); "
+          f"tails: 4G {result.lte_tail_duration_s:.1f} s, "
+          f"5G {result.nr_tail_duration_s:.1f} s")
+    # Paper: the same web sessions cost ~1.67x more on 5G, and the NSA
+    # tail (~20 s) is roughly double the 4G tail (~10 s).
+    assert result.nr_over_lte_energy > 1.3
+    assert 8.0 <= result.lte_tail_duration_s <= 13.0
+    assert 18.0 <= result.nr_tail_duration_s <= 24.0
+    assert result.nr_tail_duration_s > 1.6 * result.lte_tail_duration_s
+    # The sampled traces show the jagged load/DRX alternation.
+    powers = [s.power_w for s in result.nr_samples]
+    assert max(powers) > 2.0 * min(p for p in powers if p > 0)

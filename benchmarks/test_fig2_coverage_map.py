@@ -1,0 +1,18 @@
+"""Fig. 2 benchmark: coverage map and single-cell bit-rate contour."""
+
+from repro.experiments import fig2_coverage_map
+
+
+def test_fig2_coverage_map(run_once):
+    result = run_once(fig2_coverage_map.run)
+    print()
+    print(result.table().render())
+    print(f"LoS service radius: 5G {result.coverage_radius_m:.0f} m, "
+          f"4G {result.lte_coverage_radius_m:.0f} m")
+    # Contour: bit-rate decays monotonically with distance from the cell.
+    rates = result.contour_rates_mbps
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    assert rates[0] > 300.0  # near the cell: hundreds of Mbps
+    assert rates[-1] < 100.0  # cell edge: service fading out
+    # Paper: gNB radius ~230 m vs eNB ~520 m; shape = 5G much smaller.
+    assert result.coverage_radius_m < 0.7 * result.lte_coverage_radius_m

@@ -1,0 +1,14 @@
+"""Fig. 3 benchmark: indoor/outdoor bit-rate gap."""
+
+from repro.experiments import fig3_indoor_outdoor
+
+
+def test_fig3_indoor_outdoor(run_once):
+    result = run_once(fig3_indoor_outdoor.run)
+    print()
+    print(result.table().render())
+    # Paper: 5G drops 50.59% moving indoors vs 20.38% for 4G.
+    assert 0.35 <= result.nr_drop <= 0.75
+    assert result.lte_drop <= 0.45
+    # The 5G gap is roughly twice the 4G gap ("more than 2x" in Sec. 3.3).
+    assert result.nr_drop > 1.5 * result.lte_drop

@@ -1,0 +1,17 @@
+"""Fig. 4 benchmark: RSRQ evolution across one 5G-5G hand-off."""
+
+from repro.experiments import fig4_handoff_rsrq
+
+
+def test_fig4_handoff_rsrq(run_once):
+    result = run_once(fig4_handoff_rsrq.run)
+    print()
+    print(f"hand-off at {result.handoff_time_s:.1f}s: "
+          f"PCI {result.source_pci} -> {result.target_pci}, "
+          f"{len(result.times_s)} trace samples, "
+          f"{len(result.neighbor_rsrq_db)} neighbours tracked")
+    assert result.source_pci != result.target_pci
+    assert len(result.times_s) > 20
+    assert result.neighbor_rsrq_db
+    # RSRQ values live in the plausible reporting range.
+    assert all(-45.0 <= v <= 5.0 for v in result.serving_rsrq_db)

@@ -1,0 +1,18 @@
+"""Fig. 6 benchmark: hand-off latency by kind."""
+
+from repro.experiments import fig6_handoff_latency
+from repro.mobility.handoff import HandoffKind
+
+
+def test_fig6_handoff_latency(run_once):
+    result = run_once(fig6_handoff_latency.run)
+    print()
+    print(result.table().render())
+    nr = result.mean_ms(HandoffKind.NR_TO_NR)
+    lte = result.mean_ms(HandoffKind.LTE_TO_LTE)
+    # Paper: 108.40 ms (5G-5G) vs 30.10 ms (4G-4G) vs 80.23 ms (4G-5G).
+    assert 90.0 <= nr <= 130.0
+    assert 24.0 <= lte <= 38.0
+    assert 2.8 <= nr / lte <= 4.5  # the 3.6x NSA penalty
+    if HandoffKind.LTE_TO_NR in result.latencies_ms:
+        assert 60.0 <= result.mean_ms(HandoffKind.LTE_TO_NR) <= 100.0

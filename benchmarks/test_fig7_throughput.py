@@ -1,0 +1,27 @@
+"""Fig. 7 benchmark: UDP baselines and the TCP utilization anomaly."""
+
+from repro.experiments import fig7_throughput
+
+
+def test_fig7_throughput(run_once):
+    result = run_once(fig7_throughput.run)
+    print()
+    print(result.table().render())
+    # UDP baselines (paper): 5G DL 880 day / 900 night; 4G 130 day / 200 night.
+    assert 700e6 <= result.udp_baselines_bps[("5G", "day")] <= 1000e6
+    assert 100e6 <= result.udp_baselines_bps[("4G", "day")] <= 160e6
+    assert result.udp_baselines_bps[("4G", "night")] > 1.3 * result.udp_baselines_bps[("4G", "day")]
+
+    util = result.utilization
+    # The anomaly: loss/delay-based algorithms under-utilize 5G (<40%)...
+    for alg in ("reno", "cubic", "vegas", "veno"):
+        assert util[("5G", alg)] < 0.40, alg
+    # ...while BBR rides it out (paper: 82.5%).
+    assert util[("5G", "bbr")] > 0.70
+    # Vegas is the worst performer on 5G (paper: 12.1%).
+    assert util[("5G", "vegas")] == min(
+        util[("5G", alg)] for alg in ("reno", "cubic", "vegas", "veno")
+    )
+    # 4G behaves far more reasonably for the loss-based algorithms.
+    assert util[("4G", "cubic")] > 1.5 * util[("5G", "cubic")]
+    assert util[("4G", "bbr")] > 0.65

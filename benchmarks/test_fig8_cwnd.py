@@ -1,0 +1,16 @@
+"""Fig. 8 benchmark: Cubic vs BBR congestion-window evolution over 5G."""
+
+from repro.experiments import fig8_cwnd
+
+
+def test_fig8_cwnd(run_once):
+    result = run_once(fig8_cwnd.run)
+    cubic = result.mean_cwnd(result.cubic_trace, 10.0) / 1448
+    bbr = result.mean_cwnd(result.bbr_trace, 10.0) / 1448
+    print()
+    print(f"mean cwnd after slow-start: cubic {cubic:.0f} segs, bbr {bbr:.0f} segs; "
+          f"cubic fast-retransmits: {result.cubic_fast_retransmits}")
+    # BBR's window dwarfs Cubic's, which never holds altitude (Fig. 8).
+    assert result.bbr_holds_higher_window
+    # Cubic keeps getting knocked down by loss events.
+    assert result.cubic_fast_retransmits >= 5

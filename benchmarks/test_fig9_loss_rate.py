@@ -1,0 +1,20 @@
+"""Fig. 9 benchmark: UDP loss versus offered load."""
+
+from repro.experiments import fig9_loss_rate
+
+
+def test_fig9_loss_rate(run_once):
+    result = run_once(fig9_loss_rate.run)
+    print()
+    print(result.table().render())
+    nr = result.series("5G")
+    lte = result.series("4G")
+    # Loss grows monotonically with load on 5G.
+    assert all(a <= b + 1e-6 for a, b in zip(nr, nr[1:]))
+    # Paper: at 1/2 load, 5G already loses >3% — ~10x the 4G session.
+    nr_half = result.loss_rates[("5G", 0.5)]
+    lte_half = result.loss_rates[("4G", 0.5)]
+    assert nr_half > 0.02
+    assert nr_half > 5.0 * max(lte_half, 1e-4)
+    # 4G stays essentially clean at low loads.
+    assert result.loss_rates[("4G", 0.2)] < 0.005

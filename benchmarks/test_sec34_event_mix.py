@@ -1,0 +1,17 @@
+"""Benchmark: the measurement-event mix of Sec. 3.4."""
+
+from repro.experiments import sec34_event_mix
+from repro.mobility.events import EventType
+
+
+def test_sec34_event_mix(run_once):
+    result = run_once(sec34_event_mix.run)
+    print()
+    print(result.table().render())
+    # The paper's structure: A1 (stop-measuring) is the most common event,
+    # A3 dominates the intra-RAT hand-off triggers, A2/B2 are rare.
+    assert result.fraction(EventType.A1) > 0.5
+    assert result.a3_dominates_intra_rat_triggers
+    assert result.fraction(EventType.A2) < 0.08
+    assert result.fraction(EventType.B2) < 0.03
+    assert result.total > 0

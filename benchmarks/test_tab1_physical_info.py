@@ -1,0 +1,16 @@
+"""Tab. 1 benchmark: basic physical info of the two networks."""
+
+from repro.experiments import tab1_physical_info
+
+
+def test_tab1_physical_info(run_once):
+    result = run_once(tab1_physical_info.run)
+    print()
+    print(result.table().render())
+    # Paper: 13 NR cells vs 34 LTE cells; mean RSRP ~ -84 dBm on both.
+    assert result.nr_cells == 13
+    assert result.lte_cells == 34
+    assert -90.0 <= result.nr_rsrp.mean <= -78.0
+    assert -90.0 <= result.lte_rsrp.mean <= -78.0
+    # 5G RSRP spreads wider than 4G (paper: +-11.72 vs +-8.72 dB).
+    assert result.nr_rsrp.std > result.lte_rsrp.std

@@ -1,0 +1,18 @@
+"""Tab. 2 benchmark: RSRP distribution and coverage holes."""
+
+from repro.experiments import tab2_rsrp_distribution
+
+
+def test_tab2_rsrp_distribution(run_once):
+    result = run_once(tab2_rsrp_distribution.run)
+    print()
+    print(result.table().render())
+    print(f"holes: 4G {result.lte_holes:.2%}  5G {result.nr_holes:.2%}  "
+          f"4G(6 eNBs) {result.lte_anchor_holes:.2%}")
+    # Paper: 5G holes 8.07%, 4G 1.77%, 4G-from-6-anchors 3.84%.
+    assert 0.04 <= result.nr_holes <= 0.14
+    assert result.lte_holes <= 0.04
+    # Ordering: full 4G < 4G anchors-only < 5G.
+    assert result.lte_holes < result.lte_anchor_holes < result.nr_holes
+    # 5G's hole fraction is several-fold the 4G one.
+    assert result.nr_holes > 3.0 * result.lte_holes

@@ -1,0 +1,18 @@
+"""Tab. 3 benchmark: in-network buffer estimation."""
+
+from repro.experiments import tab3_buffer_size
+
+
+def test_tab3_buffer_size(run_once):
+    result = run_once(tab3_buffer_size.run)
+    print()
+    print(result.table().render())
+    # Paper ratios: RAN 2586/468 ~ 5.5x; wired 26724/10539 ~ 2.5x.
+    assert 4.0 <= result.ratio("ran") <= 7.0
+    assert 1.8 <= result.ratio("wired") <= 3.2
+    # The wired segment dominates the whole-path buffer on both networks.
+    for network in ("4G", "5G"):
+        assert result.wired_packets[network] > result.ran_packets[network]
+    # The structural mismatch: capacity grew ~5x but the whole-path buffer
+    # grew well under 4x.
+    assert result.ratio("whole") < 4.0

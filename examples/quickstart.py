@@ -1,0 +1,77 @@
+"""Quickstart: tour the toolkit in under a minute.
+
+Builds the campus testbed, samples the radio layer at a few spots, runs
+a short TCP-vs-UDP measurement on both networks, and prints a compact
+report — a miniature version of the paper's measurement campaign.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import LTE_PROFILE, NR_PROFILE, ResultTable
+from repro.experiments import testbed
+from repro.geometry import Point
+from repro.net import PathConfig
+from repro.transport import run_tcp, run_udp_baseline
+
+
+def radio_snapshot() -> None:
+    """Sample both networks at a few campus locations."""
+    bed = testbed(seed=7)
+    spots = {
+        "near gNB-C": Point(260.0, 480.0),
+        "mid campus": Point(140.0, 700.0),
+        "SE corner": Point(470.0, 40.0),
+    }
+    table = ResultTable(
+        "Radio snapshot", ["location", "5G RSRP", "5G rate (Mbps)", "4G RSRP", "4G rate (Mbps)"]
+    )
+    for name, spot in spots.items():
+        nr = bed.nr.sample_at(spot)
+        lte = bed.lte.sample_at(spot)
+        table.add_row(
+            [
+                name,
+                f"{nr.rsrp_dbm:.0f} dBm",
+                f"{bed.nr.bit_rate_at(spot) / 1e6:.0f}",
+                f"{lte.rsrp_dbm:.0f} dBm",
+                f"{bed.lte.bit_rate_at(spot) / 1e6:.0f}",
+            ]
+        )
+    print(table.render())
+
+
+def transport_snapshot() -> None:
+    """A 20-second iperf-style comparison on both networks."""
+    table = ResultTable(
+        "Transport snapshot (20 s flows, scaled simulation)",
+        ["network", "UDP baseline (Mbps)", "cubic util", "bbr util"],
+    )
+    for name, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+        config = PathConfig(profile=profile, scale=0.05)
+        baseline = run_udp_baseline(config, duration_s=10.0, seed=7)
+        cubic = run_tcp(config, "cubic", duration_s=20.0, seed=7, baseline_bps=baseline)
+        bbr = run_tcp(config, "bbr", duration_s=20.0, seed=7, baseline_bps=baseline)
+        table.add_row(
+            [
+                name,
+                f"{baseline / 0.05 / 1e6:.0f}",
+                f"{cubic.utilization:.0%}",
+                f"{bbr.utilization:.0%}",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nThe 5G anomaly in one line: cubic leaves most of the 5G pipe idle"
+        " while BBR fills it — the paper's Fig. 7."
+    )
+
+
+def main() -> None:
+    radio_snapshot()
+    print()
+    transport_snapshot()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The 5G TCP anomaly, end to end (Sec. 4).
+
+Runs every congestion-control algorithm over the simulated 5G path,
+prints utilization against the UDP baseline, then digs into the root
+cause: the loss-vs-load curve and the bursty loss pattern of the
+under-buffered wireline bottleneck.
+
+Run:
+    python examples/tcp_anomaly.py
+"""
+
+from repro.core import NR_PROFILE, ResultTable, percent
+from repro.net import PathConfig
+from repro.transport import CC_ALGORITHMS, loss_runs, run_tcp, run_udp, run_udp_baseline
+
+SCALE = 0.05
+
+
+def utilization_sweep(config: PathConfig, baseline: float) -> None:
+    table = ResultTable(
+        "TCP over 5G: bandwidth utilization (paper Fig. 7)",
+        ["algorithm", "throughput (Mbps)", "utilization", "retransmissions"],
+    )
+    for algorithm in sorted(CC_ALGORITHMS):
+        result = run_tcp(config, algorithm, duration_s=30.0, seed=7, baseline_bps=baseline)
+        table.add_row(
+            [
+                algorithm,
+                f"{result.throughput_bps / SCALE / 1e6:.0f}",
+                percent(result.utilization),
+                result.retransmissions,
+            ]
+        )
+    print(table.render())
+
+
+def loss_diagnosis(config: PathConfig, baseline: float) -> None:
+    print("\nRoot cause 1 — loss grows with load (paper Fig. 9):")
+    for fraction in (0.25, 0.5, 1.0):
+        result = run_udp(config, baseline * fraction, duration_s=10.0, seed=7)
+        print(f"  offered {fraction:>4.0%} of baseline -> loss {percent(result.loss_rate)}")
+
+    print("\nRoot cause 2 — losses are bursty (paper Fig. 11):")
+    result = run_udp(config, baseline * 0.8, duration_s=10.0, seed=7)
+    runs = loss_runs(list(result.lost_seqs))
+    if runs:
+        mean_run = sum(runs) / len(runs)
+        print(
+            f"  {len(result.lost_seqs)} losses in {len(runs)} runs; "
+            f"mean run length {mean_run:.1f} packets "
+            f"(i.i.d. loss would give ~1.1) -> intermittent buffer overflow"
+        )
+
+
+def main() -> None:
+    config = PathConfig(profile=NR_PROFILE, scale=SCALE)
+    baseline = run_udp_baseline(config, duration_s=10.0, seed=7)
+    print(f"5G UDP baseline: {baseline / SCALE / 1e6:.0f} Mbps (paper: 880)\n")
+    utilization_sweep(config, baseline)
+    loss_diagnosis(config, baseline)
+    print(
+        "\nTakeaway: the wireline buffers, sized for 4G-era flows, overflow in"
+        " bursts under 5G load; only capacity-probing BBR survives."
+    )
+
+
+if __name__ == "__main__":
+    main()

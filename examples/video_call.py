@@ -1,0 +1,60 @@
+"""Panoramic video telephony QoE over 4G and 5G (Sec. 5.2).
+
+Runs the 360TEL pipeline at every resolution, reporting received
+throughput, freezes and the end-to-end frame delay breakdown.
+
+Run:
+    python examples/video_call.py
+"""
+
+import numpy as np
+
+from repro.core import LTE_PROFILE, NR_PROFILE, ResultTable
+from repro.apps import VIDEO_PROFILES, run_video_session
+from repro.apps.video import (
+    CAPTURE_SPLICE_RENDER_S,
+    DECODE_S,
+    ENCODE_S,
+    RTMP_RELAY_S,
+)
+
+SCALE = 0.25
+
+
+def main() -> None:
+    table = ResultTable(
+        "360TEL uplink sessions (15 s, dynamic scene)",
+        ["resolution", "network", "received (Mbps)", "freezes", "mean frame delay (ms)"],
+    )
+    for resolution in VIDEO_PROFILES:
+        for name, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+            session = run_video_session(
+                profile, resolution, dynamic=True, duration_s=15.0, scale=SCALE, seed=7
+            )
+            delays = session.frame_delays_s()
+            table.add_row(
+                [
+                    resolution,
+                    name,
+                    f"{session.mean_throughput_bps / SCALE / 1e6:.1f}",
+                    session.freeze_count(),
+                    f"{np.mean(delays) * 1000:.0f}" if delays else "n/a",
+                ]
+            )
+    print(table.render())
+
+    processing_ms = (ENCODE_S + DECODE_S + CAPTURE_SPLICE_RENDER_S + RTMP_RELAY_S) * 1000
+    print(
+        f"\nPipeline constants: encode {ENCODE_S * 1000:.0f} ms, "
+        f"decode {DECODE_S * 1000:.0f} ms, capture/splice/render "
+        f"{CAPTURE_SPLICE_RENDER_S * 1000:.0f} ms, RTMP relay {RTMP_RELAY_S * 1000:.0f} ms"
+        f" -> {processing_ms:.0f} ms of device-side latency per frame."
+    )
+    print(
+        "Even with 5G's bandwidth, processing dominates the ~950 ms frame"
+        " delay by ~10x over transmission — the paper's Fig. 20 takeaway."
+    )
+
+
+if __name__ == "__main__":
+    main()

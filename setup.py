@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+pip's PEP 660 editable path cannot build; this shim lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` route.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Analysis tooling: buffer estimation, KPI logging, dataset IO."""
+
+from repro.analysis.buffer_est import (
+    BufferEstimate,
+    estimate_buffer_packets,
+    stanford_buffer_packets,
+)
+from repro.analysis.dataset import read_csv, read_json, write_csv, write_json
+from repro.analysis.drive_test import DriveTester, DriveTestResult
+from repro.analysis.kpi import KpiLogger, KpiSample
+from repro.analysis.plots import bar_chart, cdf_plot, heatmap, timeseries_plot
+from repro.analysis.release import DatasetRelease
+
+__all__ = [
+    "BufferEstimate",
+    "DatasetRelease",
+    "DriveTestResult",
+    "DriveTester",
+    "KpiLogger",
+    "KpiSample",
+    "bar_chart",
+    "cdf_plot",
+    "heatmap",
+    "estimate_buffer_packets",
+    "read_csv",
+    "read_json",
+    "stanford_buffer_packets",
+    "timeseries_plot",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,49 @@
+"""Dataset serialization for measurement traces.
+
+The paper released its traces publicly; this module gives the toolkit the
+same capability: experiments dump their raw rows as CSV or JSON so
+downstream analysis can run without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["write_csv", "read_csv", "write_json", "read_json"]
+
+
+def write_csv(path: str | Path, rows: Sequence[dict[str, Any]]) -> None:
+    """Write homogeneous dict rows to CSV (column order from first row)."""
+    if not rows:
+        raise ValueError("refusing to write an empty dataset")
+    path = Path(path)
+    fieldnames = list(rows[0].keys())
+    for i, row in enumerate(rows):
+        if set(row.keys()) != set(fieldnames):
+            raise ValueError(f"row {i} keys differ from header {fieldnames}")
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def read_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read a CSV written by :func:`write_csv` (values come back as str)."""
+    with Path(path).open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def write_json(path: str | Path, payload: Any) -> None:
+    """Write any JSON-serializable payload, pretty-printed."""
+    with Path(path).open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_json(path: str | Path) -> Any:
+    """Read a JSON payload written by :func:`write_json`."""
+    with Path(path).open() as handle:
+        return json.load(handle)

@@ -1,0 +1,110 @@
+"""XCAL-style drive testing: full KPI traces along a walk.
+
+Combines the route walker, the radio layer and the KPI logger into the
+passive measurement workflow of Sec. 2: walk the campus, log a KPI row
+per report interval for both networks, and keep the hand-off log — the
+raw material behind Tab. 1/2 and Figs. 2-6, and the kind of trace the
+paper released as its public dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.kpi import KpiLogger, KpiSample
+from repro.core.config import HandoffConfig, DEFAULT_HANDOFF_CONFIG
+from repro.mobility.handoff import HandoffCampaign, HandoffEngine
+from repro.mobility.walker import RouteWalker
+from repro.radio.cell import RadioNetwork
+from repro.radio.linkadapt import LinkAdaptation
+from repro.radio.phy import PrbAllocator, phy_bit_rate
+
+__all__ = ["DriveTestResult", "DriveTester"]
+
+
+@dataclass
+class DriveTestResult:
+    """Everything one drive test produced."""
+
+    kpis: KpiLogger = field(default_factory=KpiLogger)
+    handoffs: HandoffCampaign | None = None
+    duration_s: float = 0.0
+
+    def kpi_count(self, network: str | None = None) -> int:
+        """Number of KPI rows logged (optionally for one network)."""
+        return sum(1 for _ in self.kpis.samples(network))
+
+
+class DriveTester:
+    """Walks the campus while logging physical-layer KPIs on both RATs.
+
+    Args:
+        nr: The 5G network.
+        lte: The 4G network.
+        walker: Mobility source.
+        rng: Randomness for PRB grants and the hand-off engine.
+        handoff_config: A3 parameters; defaults to the operator's.
+        time_of_day: Controls the PRB contention model.
+    """
+
+    def __init__(
+        self,
+        nr: RadioNetwork,
+        lte: RadioNetwork,
+        walker: RouteWalker,
+        rng: np.random.Generator,
+        handoff_config: HandoffConfig = DEFAULT_HANDOFF_CONFIG,
+        time_of_day: str = "day",
+    ) -> None:
+        self.nr = nr
+        self.lte = lte
+        self.walker = walker
+        self.time_of_day = time_of_day
+        self._rng = rng
+        self._engine = HandoffEngine(nr, lte, rng, config=handoff_config)
+        self._allocators = {
+            "5G": PrbAllocator(nr.profile, rng),
+            "4G": PrbAllocator(lte.profile, rng),
+        }
+
+    def run(self, duration_s: float, report_interval_s: float = 0.5) -> DriveTestResult:
+        """Walk for ``duration_s``, logging one KPI row per interval per RAT.
+
+        The hand-off engine runs on the same trajectory (re-generated from
+        the walker's deterministic stream), so the KPI trace and hand-off
+        log describe the same walk.
+        """
+        if duration_s <= 0 or report_interval_s <= 0:
+            raise ValueError("duration and report interval must be positive")
+        result = DriveTestResult(duration_s=duration_s)
+        trajectory = list(self.walker.trajectory(duration_s, dt_s=report_interval_s))
+        for point in trajectory:
+            for network_name, network in (("5G", self.nr), ("4G", self.lte)):
+                cell, _ = network.best_cell_at(point.location)
+                sample = network.sample_at(point.location, serving_pci=cell.pci)
+                adaptation = LinkAdaptation.for_sinr(sample.sinr_db)
+                grant = self._allocators[network_name].allocate(self.time_of_day)
+                rate = phy_bit_rate(
+                    network.profile,
+                    sample.sinr_db,
+                    direction="dl",
+                    prb_fraction=grant.fraction,
+                )
+                result.kpis.append(
+                    KpiSample(
+                        time_s=point.time_s,
+                        network=network_name,
+                        pci=cell.pci,
+                        rsrp_dbm=sample.rsrp_dbm,
+                        rsrq_db=sample.rsrq_db,
+                        sinr_db=sample.sinr_db,
+                        cqi=adaptation.cqi,
+                        mcs_index=adaptation.mcs_index,
+                        prb_granted=grant.granted,
+                        bit_rate_bps=rate,
+                    )
+                )
+        result.handoffs = self._engine.run(iter(trajectory))
+        return result

@@ -1,0 +1,65 @@
+"""XCAL-style KPI logging.
+
+The measurement campaign's passive tooling records time-stamped KPI rows
+(RSRP, RSRQ, SINR, CQI, MCS, PRBs, serving PCI).  :class:`KpiLogger`
+replicates that: experiments append samples while walking or transferring,
+then query summaries or export the raw rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterator
+
+from repro.core.stats import Summary, summarize
+
+__all__ = ["KpiSample", "KpiLogger"]
+
+
+@dataclass(frozen=True)
+class KpiSample:
+    """One physical-layer KPI row, as XCAL-Mobile would log it."""
+
+    time_s: float
+    network: str
+    pci: int
+    rsrp_dbm: float
+    rsrq_db: float
+    sinr_db: float
+    cqi: int
+    mcs_index: int
+    prb_granted: int
+    bit_rate_bps: float
+
+
+class KpiLogger:
+    """An append-only KPI trace with per-network querying."""
+
+    def __init__(self) -> None:
+        self._samples: list[KpiSample] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def append(self, sample: KpiSample) -> None:
+        """Append one KPI row; rows must arrive in time order."""
+        if self._samples and sample.time_s < self._samples[-1].time_s:
+            raise ValueError("KPI samples must be appended in time order")
+        self._samples.append(sample)
+
+    def samples(self, network: str | None = None) -> Iterator[KpiSample]:
+        """Iterate samples, optionally filtered to one network ('4G'/'5G')."""
+        for sample in self._samples:
+            if network is None or sample.network == network:
+                yield sample
+
+    def summarize_field(self, field_name: str, network: str | None = None) -> Summary:
+        """Mean/std summary of one KPI column."""
+        values = [getattr(s, field_name) for s in self.samples(network)]
+        if not values:
+            raise ValueError(f"no samples for network={network!r}")
+        return summarize(values)
+
+    def to_rows(self) -> list[dict]:
+        """Export as plain dictionaries (for dataset serialization)."""
+        return [asdict(s) for s in self._samples]

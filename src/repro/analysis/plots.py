@@ -1,0 +1,158 @@
+"""Terminal plotting: CDFs, time series, bars and the campus heatmap.
+
+The paper communicates almost everything through CDFs and time-series
+plots; this module renders the same artifacts as Unicode/ASCII text so
+examples and the CLI can show figure-shaped output without a display
+server or plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.stats import Cdf
+
+__all__ = ["cdf_plot", "timeseries_plot", "bar_chart", "heatmap"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(width - 1, max(0, int(position * (width - 1))))
+
+
+def cdf_plot(
+    series: dict[str, Iterable[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render one or more empirical CDFs on a shared x-axis.
+
+    Args:
+        series: Label -> sample values.
+        width, height: Plot grid size in characters.
+        title: Optional heading.
+        unit: X-axis unit label.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    cdfs = {label: Cdf(values) for label, values in series.items()}
+    lo = min(cdf.values[0] for cdf in cdfs.values())
+    hi = max(cdf.values[-1] for cdf in cdfs.values())
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#"
+    for marker, (label, cdf) in zip(markers, cdfs.items()):
+        for col in range(width):
+            x = lo + (hi - lo) * col / max(width - 1, 1)
+            fraction = cdf.fraction_below(x)
+            row = height - 1 - _scale(fraction, 0.0, 1.0, height)
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        fraction = 1.0 - i / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:.3g}{' ' * max(width - 16, 1)}{hi:.3g} {unit}")
+    legend = "  ".join(
+        f"{marker}={label}" for marker, label in zip(markers, cdfs)
+    )
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def timeseries_plot(
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 10,
+    title: str = "",
+    y_unit: str = "",
+) -> str:
+    """Render a (time, value) series as a scatter-line."""
+    if not points:
+        raise ValueError("empty series")
+    times = [t for t, _ in points]
+    values = [v for _, v in points]
+    t_lo, t_hi = min(times), max(times)
+    v_lo, v_hi = min(values), max(values)
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in points:
+        col = _scale(t, t_lo, t_hi, width)
+        row = height - 1 - _scale(v, v_lo, v_hi, height)
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{v_hi:10.3g} |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{v_lo:10.3g} |" + "".join(grid[-1]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11}{t_lo:<.3g}{' ' * max(width - 12, 1)}{t_hi:.3g} s")
+    if y_unit:
+        lines.append(f"{'':11}y: {y_unit}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, labels left, values right."""
+    if not values:
+        raise ValueError("empty chart")
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * (_scale(value, 0.0, peak, width) + 1) if peak > 0 else ""
+        lines.append(f"{label:>{label_width}} |{bar:<{width}} {value:.4g} {unit}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    samples: Sequence[tuple[float, float, float]],
+    width_m: float,
+    height_m: float,
+    cols: int = 50,
+    rows: int = 24,
+    title: str = "",
+) -> str:
+    """Render (x, y, value) samples as a character-density map.
+
+    Used for the Fig. 2(a)-style campus RSRP map: darker glyphs mean
+    stronger values; empty cells have no sample.
+    """
+    if not samples:
+        raise ValueError("no samples")
+    values = [v for _, _, v in samples]
+    v_lo, v_hi = min(values), max(values)
+    # Accumulate the max value per cell (strongest observation wins).
+    cells: dict[tuple[int, int], float] = {}
+    for x, y, v in samples:
+        col = _scale(x, 0.0, width_m, cols)
+        row = rows - 1 - _scale(y, 0.0, height_m, rows)
+        key = (row, col)
+        cells[key] = max(cells.get(key, v_lo), v)
+    lines = [title] if title else []
+    for r in range(rows):
+        line = []
+        for c in range(cols):
+            if (r, c) in cells:
+                # Sampled cells always render visibly: the weakest glyph is
+                # '.', blanks mean "no sample here".
+                level = 1 + _scale(cells[(r, c)], v_lo, v_hi, len(_BLOCKS) - 1)
+                line.append(_BLOCKS[level])
+            else:
+                line.append(" ")
+        lines.append("".join(line))
+    lines.append(f"scale: '{_BLOCKS[1]}' = {v_lo:.3g}  ..  '{_BLOCKS[-1]}' = {v_hi:.3g}")
+    return "\n".join(lines)

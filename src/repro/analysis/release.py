@@ -1,0 +1,135 @@
+"""Dataset release builder.
+
+The paper publicly released its measurement dataset and tools; this module
+produces the equivalent artifact from the simulator: a directory of CSV/JSON
+traces (coverage survey, KPI drive test, hand-off events, TCP runs, energy
+timelines) plus a manifest, so downstream analysis can run without
+re-simulating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.dataset import write_csv, write_json
+from repro.analysis.drive_test import DriveTestResult
+from repro.energy.drx import EnergyResult
+from repro.mobility.handoff import HandoffCampaign
+from repro.radio.coverage import SurveyPoint
+from repro.transport.iperf import TcpRunResult, UdpRunResult
+
+__all__ = ["DatasetRelease"]
+
+
+class DatasetRelease:
+    """Accumulates traces and writes them as a versioned dataset directory.
+
+    Example:
+        >>> release = DatasetRelease("5G_measurement")   # doctest: +SKIP
+        >>> release.add_coverage_survey("campus_5g", points)
+        >>> release.write(Path("dataset/"))
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("release needs a name")
+        self.name = name
+        self._tables: dict[str, list[dict[str, Any]]] = {}
+        self._payloads: dict[str, Any] = {}
+
+    # -- adders ----------------------------------------------------------
+
+    def add_coverage_survey(self, tag: str, points: list[SurveyPoint]) -> None:
+        """Coverage survey rows: location, serving PCI, KPIs."""
+        self._tables[f"coverage_{tag}"] = [
+            {
+                "x_m": p.location.x,
+                "y_m": p.location.y,
+                "pci": p.pci,
+                "rsrp_dbm": p.rsrp_dbm,
+                "rsrq_db": p.rsrq_db,
+                "sinr_db": p.sinr_db,
+                "bit_rate_bps": p.bit_rate_bps,
+                "indoor": p.indoor,
+                "in_service": p.in_service,
+            }
+            for p in points
+        ]
+
+    def add_drive_test(self, tag: str, result: DriveTestResult) -> None:
+        """XCAL-style KPI rows plus the hand-off log of the same walk."""
+        self._tables[f"kpi_{tag}"] = result.kpis.to_rows()
+        if result.handoffs is not None:
+            self.add_handoffs(tag, result.handoffs)
+
+    def add_handoffs(self, tag: str, campaign: HandoffCampaign) -> None:
+        """Hand-off event rows (time, kind, cells, latency, RSRQ)."""
+        self._tables[f"handoff_{tag}"] = [
+            {
+                "time_s": e.time_s,
+                "kind": e.kind,
+                "source_pci": e.source_pci,
+                "target_pci": e.target_pci,
+                "latency_s": e.latency_s,
+                "rsrq_before_db": e.rsrq_before_db,
+                "rsrq_after_db": e.rsrq_after_db,
+            }
+            for e in campaign.events
+        ]
+
+    def add_tcp_run(self, tag: str, result: TcpRunResult) -> None:
+        """Throughput summary plus the cwnd trace, iperf3+Wireshark style."""
+        self._payloads[f"tcp_{tag}"] = {
+            "algorithm": result.algorithm,
+            "throughput_bps": result.throughput_bps,
+            "utilization": result.utilization,
+            "retransmissions": result.retransmissions,
+            "timeouts": result.timeouts,
+        }
+        self._tables[f"tcp_{tag}_cwnd"] = [
+            {"time_s": t, "cwnd_bytes": w} for t, w in result.cwnd_trace
+        ]
+
+    def add_udp_run(self, tag: str, result: UdpRunResult) -> None:
+        """UDP run summary plus the lost-sequence trace."""
+        self._payloads[f"udp_{tag}"] = {
+            "offered_bps": result.offered_bps,
+            "throughput_bps": result.throughput_bps,
+            "loss_rate": result.loss_rate,
+            "sent": result.sent,
+            "received": result.received,
+        }
+        self._tables[f"udp_{tag}_losses"] = [
+            {"lost_seq": seq} for seq in result.lost_seqs
+        ] or [{"lost_seq": -1}]
+
+    def add_energy_timeline(self, tag: str, result: EnergyResult) -> None:
+        """pwrStrip-equivalent energy segments."""
+        self._tables[f"energy_{tag}"] = [asdict(seg) for seg in result.segments]
+
+    # -- output ------------------------------------------------------------
+
+    def write(self, directory: str | Path) -> Path:
+        """Write every trace plus a manifest; returns the dataset root."""
+        if not self._tables and not self._payloads:
+            raise ValueError("nothing to release; add traces first")
+        root = Path(directory) / self.name
+        root.mkdir(parents=True, exist_ok=True)
+        manifest: dict[str, Any] = {"name": self.name, "files": {}}
+        for table_name, rows in self._tables.items():
+            if not rows:
+                # A valid-but-empty trace (e.g. a walk without hand-offs):
+                # record it in the manifest without writing a file.
+                manifest["files"][f"{table_name}.csv"] = {"kind": "csv", "rows": 0}
+                continue
+            path = root / f"{table_name}.csv"
+            write_csv(path, rows)
+            manifest["files"][path.name] = {"kind": "csv", "rows": len(rows)}
+        for payload_name, payload in self._payloads.items():
+            path = root / f"{payload_name}.json"
+            write_json(path, payload)
+            manifest["files"][path.name] = {"kind": "json"}
+        write_json(root / "MANIFEST.json", manifest)
+        return root

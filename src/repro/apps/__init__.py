@@ -1,0 +1,32 @@
+"""Application layer: web browsing, panoramic video telephony, file transfer."""
+
+from repro.apps.filetransfer import TransferResult, download_file
+from repro.apps.video import (
+    VIDEO_PROFILES,
+    FrameRecord,
+    VideoProfile,
+    VideoSessionResult,
+    run_video_session,
+)
+from repro.apps.web import (
+    WEB_PAGE_CATALOG,
+    PltBreakdown,
+    WebPage,
+    image_page,
+    measure_plt,
+)
+
+__all__ = [
+    "FrameRecord",
+    "PltBreakdown",
+    "TransferResult",
+    "VIDEO_PROFILES",
+    "VideoProfile",
+    "VideoSessionResult",
+    "WEB_PAGE_CATALOG",
+    "WebPage",
+    "download_file",
+    "image_page",
+    "measure_plt",
+    "run_video_session",
+]

@@ -1,0 +1,66 @@
+"""Bulk file transfer over a cellular path.
+
+Used directly for the paper's download experiments and as the saturated
+traffic source for the energy study (Tab. 4's "File" workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import RadioProfile
+from repro.net.path import PathConfig, build_cellular_path
+from repro.net.sim import Simulator
+from repro.transport.base import TcpConnection
+from repro.transport.iperf import make_cc
+
+__all__ = ["TransferResult", "download_file"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one bulk transfer."""
+
+    size_bytes: int
+    duration_s: float
+    retransmissions: int
+
+    @property
+    def goodput_bps(self) -> float:
+        """Application-level goodput of the transfer."""
+        return self.size_bytes * 8 / self.duration_s
+
+
+def download_file(
+    profile: RadioProfile,
+    size_bytes: int,
+    algorithm: str = "bbr",
+    scale: float = 0.1,
+    seed: int = 1,
+    timeout_s: float = 600.0,
+) -> TransferResult:
+    """Download ``size_bytes`` over a fresh TCP connection.
+
+    The transfer size scales with the link rates so the wall-clock
+    duration is scale-invariant.
+    """
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+    config = PathConfig(profile=profile, scale=scale)
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    path = build_cellular_path(sim, config, rng)
+    cc = make_cc(algorithm, config.mss_bytes, rate_scale=scale)
+    scaled = max(int(size_bytes * scale), config.mss_bytes)
+    conn = TcpConnection.establish(sim, path, cc, transfer_bytes=scaled)
+    conn.start()
+    sim.run(until=timeout_s)
+    if conn.sender.completed_at is None:
+        raise RuntimeError(f"transfer did not complete within {timeout_s}s")
+    return TransferResult(
+        size_bytes=size_bytes,
+        duration_s=conn.sender.completed_at,
+        retransmissions=conn.sender.stats.retransmissions,
+    )

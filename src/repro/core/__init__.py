@@ -1,0 +1,58 @@
+"""Core utilities: units, seeded randomness, configuration and statistics."""
+
+from repro.core.config import (
+    DEFAULT_HANDOFF_CONFIG,
+    LTE_PROFILE,
+    NR_PROFILE,
+    HandoffConfig,
+    RadioProfile,
+)
+from repro.core.results import ResultTable
+from repro.core.rng import RngFactory, default_rng
+from repro.core.stats import Cdf, Summary, histogram_counts, percent, summarize
+from repro.core.units import (
+    BITS_PER_BYTE,
+    GB,
+    KB,
+    MB,
+    MS,
+    US,
+    db_to_linear,
+    dbm_to_mw,
+    gbps,
+    kbps,
+    linear_to_db,
+    mbps,
+    mw_to_dbm,
+    thermal_noise_dbm,
+)
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "Cdf",
+    "DEFAULT_HANDOFF_CONFIG",
+    "GB",
+    "HandoffConfig",
+    "KB",
+    "LTE_PROFILE",
+    "MB",
+    "MS",
+    "NR_PROFILE",
+    "RadioProfile",
+    "ResultTable",
+    "RngFactory",
+    "Summary",
+    "US",
+    "db_to_linear",
+    "dbm_to_mw",
+    "default_rng",
+    "gbps",
+    "histogram_counts",
+    "kbps",
+    "linear_to_db",
+    "mbps",
+    "mw_to_dbm",
+    "percent",
+    "summarize",
+    "thermal_noise_dbm",
+]

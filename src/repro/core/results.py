@@ -1,0 +1,70 @@
+"""Result tables for experiments.
+
+Benchmarks print their output in the same row/column layout as the paper's
+tables and figure captions; :class:`ResultTable` provides a small, dependency
+free text renderer for that purpose, plus dict export for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of heterogeneous rows.
+
+    Example:
+        >>> table = ResultTable("Tab. 2", ["RSRP bin", "4G", "5G"])
+        >>> table.add_row(["[-60,-40)", "0.13%", "0.95%"])
+        >>> print(table.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append a row; must match the number of columns."""
+        cells = list(row)
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render an aligned, pipe-separated text table."""
+        headers = [str(c) for c in self.columns]
+        body = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in headers]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Export rows as column-keyed dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

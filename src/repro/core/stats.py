@@ -1,0 +1,134 @@
+"""Summary statistics and empirical distributions.
+
+The paper reports nearly every result as a CDF, a mean +/- std, or a binned
+distribution; these helpers are the single implementation used by all
+experiments so that "the CDF of X" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Cdf", "Summary", "summarize", "histogram_counts", "percent"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of a sample, as reported in the paper's tables."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.count})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` over ``values``.
+
+    Raises:
+        ValueError: if ``values`` is empty.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+class Cdf:
+    """Empirical cumulative distribution over a finite sample.
+
+    Example:
+        >>> cdf = Cdf([1.0, 2.0, 2.0, 4.0])
+        >>> cdf.fraction_below(2.5)
+        0.75
+        >>> cdf.percentile(50)
+        2.0
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        arr = np.sort(np.asarray(list(values), dtype=float))
+        if arr.size == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+        self._values = arr
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted underlying sample (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of the sample strictly at or below ``threshold``."""
+        return float(np.searchsorted(self._values, threshold, side="right")) / len(self)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of the sample strictly above ``threshold``."""
+        return 1.0 - self.fraction_below(threshold)
+
+    def percentile(self, pct: float) -> float:
+        """Value at percentile ``pct`` (0..100), linear interpolation."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        return float(np.percentile(self._values, pct))
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(self._values.mean())
+
+    @property
+    def median(self) -> float:
+        """Sample median (50th percentile)."""
+        return self.percentile(50.0)
+
+    def points(self) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs suitable for plotting."""
+        n = len(self)
+        return [(float(v), (i + 1) / n) for i, v in enumerate(self._values)]
+
+
+def histogram_counts(
+    values: Iterable[float], edges: Sequence[float]
+) -> list[tuple[tuple[float, float], int, float]]:
+    """Bin ``values`` into ``edges`` like the paper's Tab. 2.
+
+    Bins are half-open ``[edges[i], edges[i+1])``; values outside the edges
+    are ignored.
+
+    Returns:
+        A list of ``((lo, hi), count, fraction)`` tuples, where fractions are
+        relative to the total number of *binned* values.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    counts, _ = np.histogram(arr, bins=np.asarray(edges, dtype=float))
+    total = int(counts.sum())
+    rows = []
+    for i, count in enumerate(counts):
+        lo, hi = float(edges[i]), float(edges[i + 1])
+        frac = float(count) / total if total else 0.0
+        rows.append(((lo, hi), int(count), frac))
+    return rows
+
+
+def percent(fraction: float) -> str:
+    """Format a fraction as the paper does, e.g. ``0.0807`` -> ``'8.07%'``."""
+    return f"{fraction * 100:.2f}%"

@@ -1,0 +1,106 @@
+"""Unit conversions used throughout the toolkit.
+
+The radio layer works in logarithmic units (dBm, dB) while the network and
+energy layers work in linear units (watts, bits per second).  Keeping the
+conversions in one place avoids the classic factor-of-10 bugs when moving
+between the two domains.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "mbps",
+    "gbps",
+    "kbps",
+    "BITS_PER_BYTE",
+    "KB",
+    "MB",
+    "GB",
+    "MS",
+    "US",
+    "thermal_noise_dbm",
+]
+
+BITS_PER_BYTE = 8
+
+#: Sizes in bytes.
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Durations in seconds.
+MS = 1e-3
+US = 1e-6
+
+#: Thermal noise power spectral density at 290 K, in dBm/Hz.
+_NOISE_PSD_DBM_HZ = -174.0
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power level in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power level in milliwatts to dBm.
+
+    Raises:
+        ValueError: if ``mw`` is not strictly positive (zero power has no
+            logarithmic representation).
+    """
+    if mw <= 0.0:
+        raise ValueError(f"power must be positive to express in dBm, got {mw}")
+    return 10.0 * math.log10(mw)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a ratio expressed in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to dB.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive to express in dB, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def mbps(value: float) -> float:
+    """Express ``value`` megabits per second in bits per second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Express ``value`` gigabits per second in bits per second."""
+    return value * 1e9
+
+
+def kbps(value: float) -> float:
+    """Express ``value`` kilobits per second in bits per second."""
+    return value * 1e3
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 7.0) -> float:
+    """Thermal noise power over ``bandwidth_hz`` including receiver noise figure.
+
+    Args:
+        bandwidth_hz: Receiver bandwidth in hertz.
+        noise_figure_db: Receiver noise figure (default 7 dB, a typical
+            smartphone receiver).
+
+    Returns:
+        Noise floor in dBm.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return _NOISE_PSD_DBM_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db

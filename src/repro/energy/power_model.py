@@ -1,0 +1,138 @@
+"""Whole-phone component power model (Sec. 6.1, Fig. 21/22).
+
+Breaks the smartphone's draw into the four components the paper isolates
+with pwrStrip: Android system, screen, application compute, and the
+radio module.  Radio powers come from :mod:`repro.energy.drx`; this
+module adds the device-side constants and the four daily applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.drx import LTE_POWER, NR_POWER, RadioPowerProfile
+
+__all__ = [
+    "SYSTEM_POWER_W",
+    "SCREEN_POWER_W",
+    "AppProfile",
+    "APP_CATALOG",
+    "PowerBreakdown",
+    "app_power_breakdown",
+    "energy_per_bit",
+]
+
+#: Android system draw with the screen off and radios killed.
+SYSTEM_POWER_W = 0.45
+
+#: Screen at maximum brightness (AMOLED, mixed content).
+SCREEN_POWER_W = 1.10
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One of the four daily applications measured in Fig. 21."""
+
+    name: str
+    compute_w: float
+    mean_rate_bps: dict[int, float]  # generation -> sustained traffic rate
+    duty_cycle: float  # fraction of time the radio is actively transferring
+
+    def radio_power_w(self, generation: int) -> float:
+        """Average radio draw while using the app on ``generation``."""
+        radio = _radio_profile(generation)
+        active = radio.active_w(self.mean_rate_bps[generation])
+        # Idle slices of the session sit in connected-mode DRX.
+        from repro.energy.drx import LTE_DRX_CONFIG, NR_NSA_DRX_CONFIG
+
+        drx_cfg = NR_NSA_DRX_CONFIG if generation == 5 else LTE_DRX_CONFIG
+        drx = radio.drx_average_w(drx_cfg)
+        return self.duty_cycle * active + (1 - self.duty_cycle) * drx
+
+
+def _radio_profile(generation: int) -> RadioPowerProfile:
+    if generation == 5:
+        return NR_POWER
+    if generation == 4:
+        return LTE_POWER
+    raise ValueError(f"unknown generation {generation}")
+
+
+#: Fig. 21's applications.  Traffic intensity rises left to right; the
+#: download saturates whichever link it runs on.
+APP_CATALOG: tuple[AppProfile, ...] = (
+    AppProfile("browser", 0.55, {4: 20e6, 5: 60e6}, duty_cycle=0.35),
+    AppProfile("player", 0.90, {4: 15e6, 5: 25e6}, duty_cycle=0.55),
+    AppProfile("game", 1.40, {4: 8e6, 5: 12e6}, duty_cycle=0.85),
+    AppProfile("download", 0.40, {4: 125e6, 5: 880e6}, duty_cycle=1.00),
+)
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Component split of the phone's draw for one app + RAT (Fig. 21)."""
+
+    app: str
+    generation: int
+    system_w: float
+    screen_w: float
+    app_w: float
+    radio_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Whole-phone draw: system + screen + app + radio."""
+        return self.system_w + self.screen_w + self.app_w + self.radio_w
+
+    @property
+    def radio_fraction(self) -> float:
+        """Radio module's share of the total draw."""
+        return self.radio_w / self.total_w
+
+
+def app_power_breakdown(app: AppProfile, generation: int) -> PowerBreakdown:
+    """The Fig. 21 component bar for ``app`` on 4G or 5G."""
+    return PowerBreakdown(
+        app=app.name,
+        generation=generation,
+        system_w=SYSTEM_POWER_W,
+        screen_w=SCREEN_POWER_W,
+        app_w=app.compute_w,
+        radio_w=app.radio_power_w(generation),
+    )
+
+
+def energy_per_bit(
+    generation: int,
+    transfer_s: float,
+    include_device: bool = True,
+) -> float:
+    """Whole-device energy per delivered bit for a saturated download
+    lasting ``transfer_s`` seconds (Fig. 22), in joules per bit.
+
+    Shorter transfers amortize the promotion/tail overhead over fewer
+    bits, which is why efficiency improves with duration; and 5G's 7x
+    rate increase dwarfs its ~2.5x power increase, making it ~4x more
+    efficient per bit once the pipe is actually full.
+    """
+    if transfer_s <= 0:
+        raise ValueError(f"transfer time must be positive, got {transfer_s}")
+    from repro.energy.drx import (
+        LTE_DRX_CONFIG,
+        NR_NSA_DRX_CONFIG,
+        RadioEnergyModel,
+        Transfer,
+    )
+
+    radio = _radio_profile(generation)
+    if generation == 5:
+        drx, capacity = NR_NSA_DRX_CONFIG, 880e6
+    else:
+        drx, capacity = LTE_DRX_CONFIG, 125e6
+    size = int(capacity * transfer_s / 8)
+    model = RadioEnergyModel(radio, drx, capacity)
+    result = model.replay([Transfer(start_s=0.0, size_bytes=size)])
+    energy = result.total_energy_j
+    if include_device:
+        energy += (SYSTEM_POWER_W + SCREEN_POWER_W) * result.end_s
+    return energy / (size * 8)

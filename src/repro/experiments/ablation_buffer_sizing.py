@@ -1,0 +1,87 @@
+"""Ablation: does resizing the wired buffers fix the TCP anomaly?
+
+Sec. 4.2 proposes two remedies: (i) grow the wireline router buffers
+(the Stanford rule says the 5G path needs ~5x the 4G buffer, i.e. about
+2x what is deployed), or (ii) switch to loss-insensitive probing TCP
+(BBR).  This ablation sweeps the wired buffer multiplier and measures
+Cubic's utilization, with BBR as the no-buffer-change alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import NR_PROFILE
+from repro.core.results import ResultTable
+from repro.core.stats import percent
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.fig7_throughput import SIM_SCALE
+from repro.net.path import PathConfig, build_cellular_path
+from repro.net.sim import Simulator
+from repro.transport.base import TcpConnection
+from repro.transport.iperf import make_cc, run_udp_baseline
+
+__all__ = ["BufferAblationResult", "BUFFER_MULTIPLIERS", "run"]
+
+BUFFER_MULTIPLIERS: tuple[float, ...] = (1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class BufferAblationResult:
+    """Cubic utilization per buffer multiplier, plus the BBR alternative."""
+
+    cubic_utilization: dict[float, float]
+    bbr_utilization_at_1x: float
+
+    @property
+    def doubling_helps(self) -> bool:
+        """The paper's suggestion: ~2x the wired buffer restores Cubic."""
+        return self.cubic_utilization[2.0] > 1.3 * self.cubic_utilization[1.0]
+
+    def table(self) -> ResultTable:
+        """Render the sweep as a text table."""
+        table = ResultTable(
+            "Ablation — wired buffer sizing vs Cubic utilization (5G)",
+            ["wired buffer", "cubic utilization"],
+        )
+        for mult in BUFFER_MULTIPLIERS:
+            table.add_row([f"{mult:.0f}x deployed", percent(self.cubic_utilization[mult])])
+        table.add_row(["(BBR at 1x)", percent(self.bbr_utilization_at_1x)])
+        return table
+
+
+def _run_with_buffer(
+    multiplier: float, algorithm: str, seed: int, scale: float, baseline: float
+) -> float:
+    """One 5G TCP run with the wired buffer scaled by ``multiplier``."""
+    config = PathConfig(profile=NR_PROFILE, scale=scale)
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    path = build_cellular_path(sim, config, rng)
+    extra = int(path.wired_link.queue.capacity_packets * (multiplier - 1.0))
+    path.wired_link.queue.capacity_packets += extra
+    cc = make_cc(algorithm, config.mss_bytes, rate_scale=scale)
+    conn = TcpConnection.establish(sim, path, cc)
+    conn.start()
+    duration = 30.0
+    sim.run(until=duration)
+    return conn.sender.stats.throughput_bps(duration) / baseline
+
+
+def run(seed: int = DEFAULT_SEED, scale: float = SIM_SCALE, repeats: int = 2) -> BufferAblationResult:
+    """Sweep wired-buffer multipliers under Cubic; measure BBR at 1x."""
+    config = PathConfig(profile=NR_PROFILE, scale=scale)
+    baseline = run_udp_baseline(config, duration_s=15.0, seed=seed)
+    cubic: dict[float, float] = {}
+    for multiplier in BUFFER_MULTIPLIERS:
+        runs = [
+            _run_with_buffer(multiplier, "cubic", seed + 2 * i, scale, baseline)
+            for i in range(repeats)
+        ]
+        cubic[multiplier] = sum(runs) / repeats
+    bbr = sum(
+        _run_with_buffer(1.0, "bbr", seed + 2 * i, scale, baseline) for i in range(repeats)
+    ) / repeats
+    return BufferAblationResult(cubic_utilization=cubic, bbr_utilization_at_1x=bbr)

@@ -1,0 +1,146 @@
+"""Ablation: 4G and 5G flows sharing one wireline path (Sec. 4.2).
+
+The paper flags a trade-off it leaves for future work: enlarging wired
+buffers cuts the 5G flow's loss, but 4G flows sharing the same routers
+then queue behind the 5G traffic — bufferbloat.  This ablation builds two
+cellular paths that share a single wireline bottleneck and sweeps its
+buffer size, measuring the 5G flow's loss alongside the 4G flow's RTT
+inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.fig7_throughput import SIM_SCALE
+from repro.net.packet import Packet
+from repro.net.path import NetworkPath, PathConfig, build_cellular_path
+from repro.net.sim import Simulator
+from repro.transport.base import TcpConnection
+from repro.transport.iperf import make_cc
+
+__all__ = ["CoexistenceResult", "BUFFER_MULTIPLIERS", "run"]
+
+BUFFER_MULTIPLIERS: tuple[float, ...] = (1.0, 4.0)
+
+_NR_FLOW = 1
+_LTE_FLOW = 2
+
+
+@dataclass(frozen=True)
+class CoexistencePoint:
+    """Outcome at one buffer size."""
+
+    nr_retransmissions: int
+    nr_throughput_bps: float
+    lte_mean_rtt_s: float
+    lte_p95_rtt_s: float
+    lte_throughput_bps: float
+
+
+@dataclass(frozen=True)
+class CoexistenceResult:
+    """The buffer-size sweep."""
+
+    points: dict[float, CoexistencePoint]
+
+    @property
+    def bigger_buffer_cuts_nr_loss(self) -> bool:
+        """Whether the largest buffer reduces the 5G flow's retransmissions."""
+        small = self.points[BUFFER_MULTIPLIERS[0]]
+        big = self.points[BUFFER_MULTIPLIERS[-1]]
+        return big.nr_retransmissions < small.nr_retransmissions
+
+    @property
+    def bigger_buffer_bloats_lte_rtt(self) -> bool:
+        """Whether the largest buffer inflates the 4G flow's tail RTT."""
+        small = self.points[BUFFER_MULTIPLIERS[0]]
+        big = self.points[BUFFER_MULTIPLIERS[-1]]
+        return big.lte_p95_rtt_s > small.lte_p95_rtt_s
+
+    def table(self) -> ResultTable:
+        """Render the sweep as a text table."""
+        table = ResultTable(
+            "Ablation — shared wireline path: 5G loss vs 4G bufferbloat",
+            ["wired buffer", "5G retx", "5G tput (Mbps)", "4G p95 RTT (ms)", "4G tput (Mbps)"],
+        )
+        for mult, point in self.points.items():
+            table.add_row(
+                [
+                    f"{mult:.0f}x",
+                    point.nr_retransmissions,
+                    f"{point.nr_throughput_bps / SIM_SCALE / 1e6:.0f}",
+                    f"{point.lte_p95_rtt_s * 1000:.1f}",
+                    f"{point.lte_throughput_bps / SIM_SCALE / 1e6:.0f}",
+                ]
+            )
+        return table
+
+
+def _build_shared_paths(
+    sim: Simulator, scale: float, seed: int, buffer_multiplier: float
+) -> tuple[NetworkPath, NetworkPath]:
+    """Two cellular paths whose data direction shares one wireline link.
+
+    Both paths are built normally, then the 4G path's head is replaced by
+    the 5G path's wired link, with a flow-id demultiplexer deciding which
+    core segment each serialized packet continues into.
+    """
+    rng = np.random.default_rng(seed)
+    path5 = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=scale), rng)
+    path4 = build_cellular_path(
+        sim,
+        PathConfig(profile=LTE_PROFILE, scale=scale, with_cross_traffic=False),
+        rng,
+    )
+    shared = path5.wired_link
+    shared.queue.capacity_packets = int(
+        shared.queue.capacity_packets * buffer_multiplier
+    )
+    core5 = path5.forward[1]
+    core4 = path4.forward[1]
+
+    def demux(packet: Packet) -> None:
+        if packet.flow_id == _NR_FLOW:
+            core5.send(packet)
+        else:
+            core4.send(packet)
+
+    shared.connect(demux)
+    # The 4G path's own head link is bypassed: its sender now injects
+    # straight into the shared wireline bottleneck.
+    path4.forward[0] = shared
+    return path5, path4
+
+
+def run(
+    seed: int = DEFAULT_SEED, duration_s: float = 20.0, scale: float = SIM_SCALE
+) -> CoexistenceResult:
+    """Run a 5G BBR bulk flow next to a 4G Cubic flow per buffer size."""
+    points: dict[float, CoexistencePoint] = {}
+    for multiplier in BUFFER_MULTIPLIERS:
+        sim = Simulator()
+        path5, path4 = _build_shared_paths(sim, scale, seed, multiplier)
+        conn5 = TcpConnection.establish(
+            sim, path5, make_cc("bbr", path5.config.mss_bytes, scale), flow_id=_NR_FLOW
+        )
+        conn4 = TcpConnection.establish(
+            sim, path4, make_cc("cubic", path4.config.mss_bytes, scale), flow_id=_LTE_FLOW
+        )
+        conn5.start()
+        conn4.start()
+        sim.run(until=duration_s)
+        rtts = [rtt for _, rtt in conn4.sender.stats.rtt_samples]
+        points[multiplier] = CoexistencePoint(
+            nr_retransmissions=conn5.sender.stats.retransmissions,
+            nr_throughput_bps=conn5.sender.stats.throughput_bps(duration_s),
+            lte_mean_rtt_s=float(np.mean(rtts)) if rtts else 0.0,
+            lte_p95_rtt_s=float(np.percentile(rtts, 95)) if rtts else 0.0,
+            lte_throughput_bps=conn4.sender.stats.throughput_bps(duration_s),
+        )
+    return CoexistenceResult(points=points)

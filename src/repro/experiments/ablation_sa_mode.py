@@ -1,0 +1,123 @@
+"""Ablation: NSA today vs the projected SA architecture (Sec. 8).
+
+Quantifies how much of the paper's two NSA pain points — hand-off latency
+and energy tails — the standalone architecture recovers, and how much is
+intrinsic to the 5G hardware (the part SA cannot fix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import ResultTable
+from repro.energy.drx import NR_NSA_DRX_CONFIG, NR_POWER, RadioEnergyModel
+from repro.energy.power_model import SYSTEM_POWER_W
+from repro.energy.traffic import web_browsing_trace
+from repro.experiments.common import DEFAULT_SEED
+from repro.mobility.handoff import HandoffKind, HandoffProcedure
+from repro.mobility.sa import NR_SA_DRX_CONFIG, draw_sa_handoff, sa_handoff_mean_latency_s
+
+__all__ = ["SaAblationResult", "run"]
+
+
+@dataclass(frozen=True)
+class SaAblationResult:
+    """NSA vs SA hand-off latency and web-session energy."""
+
+    nsa_handoff_ms: float
+    sa_handoff_ms: float
+    lte_handoff_ms: float
+    nsa_web_energy_j: float
+    sa_web_energy_j: float
+    oracle_floor_j: float
+
+    @property
+    def handoff_speedup(self) -> float:
+        """NSA-to-SA hand-off latency ratio."""
+        return self.nsa_handoff_ms / self.sa_handoff_ms
+
+    @property
+    def energy_saving(self) -> float:
+        """Relative web-session energy saved by SA."""
+        return 1.0 - self.sa_web_energy_j / self.nsa_web_energy_j
+
+    @property
+    def sa_closes_handoff_gap(self) -> bool:
+        """SA 5G-5G hand-off should land near the 4G-4G level."""
+        return self.sa_handoff_ms < 1.5 * self.lte_handoff_ms
+
+    def table(self) -> ResultTable:
+        """Render the comparison as a text table."""
+        table = ResultTable(
+            "Ablation — NSA vs projected SA",
+            ["metric", "NSA", "SA", "reference"],
+        )
+        table.add_row(
+            [
+                "5G-5G hand-off (ms)",
+                f"{self.nsa_handoff_ms:.1f}",
+                f"{self.sa_handoff_ms:.1f}",
+                f"4G-4G: {self.lte_handoff_ms:.1f}",
+            ]
+        )
+        table.add_row(
+            [
+                "web session energy (J)",
+                f"{self.nsa_web_energy_j:.1f}",
+                f"{self.sa_web_energy_j:.1f}",
+                f"hardware floor: {self.oracle_floor_j:.1f}",
+            ]
+        )
+        return table
+
+
+def run(seed: int = DEFAULT_SEED, samples: int = 200) -> SaAblationResult:
+    """Draw hand-off latencies and replay the web workload on both machines."""
+    rng = np.random.default_rng(seed)
+    nsa_ms = float(
+        np.mean(
+            [
+                HandoffProcedure.draw(HandoffKind.NR_TO_NR, rng).total_latency_s
+                for _ in range(samples)
+            ]
+        )
+        * 1000
+    )
+    sa_ms = float(np.mean([draw_sa_handoff(rng) for _ in range(samples)]) * 1000)
+    lte_ms = float(
+        np.mean(
+            [
+                HandoffProcedure.draw(HandoffKind.LTE_TO_LTE, rng).total_latency_s
+                for _ in range(samples)
+            ]
+        )
+        * 1000
+    )
+
+    trace = web_browsing_trace(rng=np.random.default_rng(seed))
+    capacity = 880e6
+    nsa = RadioEnergyModel(NR_POWER, NR_NSA_DRX_CONFIG, capacity).replay(trace)
+    sa = RadioEnergyModel(NR_POWER, NR_SA_DRX_CONFIG, capacity).replay(trace)
+    # The hardware floor: the radio sleeping at its deepest for the whole
+    # session — what no protocol change can go below.
+    horizon = max(nsa.end_s, sa.end_s)
+    floor = NR_POWER.drx_sleep_w * horizon
+
+    def with_system(result) -> float:
+        return result.total_energy_j + SYSTEM_POWER_W * result.end_s
+
+    return SaAblationResult(
+        nsa_handoff_ms=nsa_ms,
+        sa_handoff_ms=sa_ms,
+        lte_handoff_ms=lte_ms,
+        nsa_web_energy_j=with_system(nsa),
+        sa_web_energy_j=with_system(sa),
+        oracle_floor_j=floor + SYSTEM_POWER_W * horizon,
+    )
+
+
+def expected_sa_handoff_ms() -> float:
+    """Mean of the SA procedure's step budget (no randomness)."""
+    return sa_handoff_mean_latency_s() * 1000

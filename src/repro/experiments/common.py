@@ -1,0 +1,59 @@
+"""Shared context for the experiment modules.
+
+Every experiment builds on the same campus, propagation environment and
+radio networks; this module constructs them once per (seed) and caches
+the result, mirroring how the measurement campaign reused one testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.rng import RngFactory
+from repro.geometry.campus import Campus, build_campus
+from repro.radio.cell import RadioNetwork
+from repro.radio.propagation import Environment
+
+__all__ = ["Testbed", "testbed", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """The measurement testbed: campus plus both radio networks."""
+
+    seed: int
+    campus: Campus
+    environment: Environment
+    nr: RadioNetwork
+    lte: RadioNetwork
+    lte_anchors: RadioNetwork
+
+    @property
+    def rng_factory(self) -> RngFactory:
+        """A fresh factory positioned at the campaign seed."""
+        return RngFactory(self.seed)
+
+
+@lru_cache(maxsize=4)
+def testbed(seed: int = DEFAULT_SEED) -> Testbed:
+    """Build (or fetch the cached) testbed for ``seed``."""
+    campus = build_campus()
+    rngf = RngFactory(seed)
+    environment = Environment(campus.buildings, rngf)
+    nr = RadioNetwork.from_campus(campus, NR_PROFILE, environment)
+    lte = RadioNetwork.from_campus(campus, LTE_PROFILE, environment)
+    lte_anchors = RadioNetwork.from_sites(
+        campus.co_sited_enbs(), LTE_PROFILE, environment, max_gain_dbi=15.0
+    )
+    return Testbed(
+        seed=seed,
+        campus=campus,
+        environment=environment,
+        nr=nr,
+        lte=lte,
+        lte_anchors=lte_anchors,
+    )

@@ -1,0 +1,66 @@
+"""Discussion experiment: can 5G fixed wireless replace DSL? (Sec. 8)
+
+The paper measures ~650 Mbps to a window-mounted CPE and argues a
+50-house neighbourhood sharing a 3-sector gNB still beats the 24 Mbps
+average US DSL line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import NR_PROFILE
+from repro.core.results import ResultTable
+from repro.experiments.common import DEFAULT_SEED
+from repro.radio.cpe import CpeLink, DslComparison, dsl_replacement_study
+
+__all__ = ["CpeDslResult", "run"]
+
+
+@dataclass(frozen=True)
+class CpeDslResult:
+    """CPE link quality plus the neighbourhood sharing analysis."""
+
+    window_throughput_bps: float
+    deep_indoor_throughput_bps: float
+    comparison: DslComparison
+
+    @property
+    def window_placement_matters(self) -> bool:
+        """The paper stresses 'favorable locations (near windows)'."""
+        return self.window_throughput_bps > 1.2 * self.deep_indoor_throughput_bps
+
+    def table(self) -> ResultTable:
+        """Render the study as a text table."""
+        table = ResultTable(
+            "Sec. 8 — 5G CPE vs DSL",
+            ["metric", "value"],
+        )
+        table.add_row(
+            ["CPE at window (Mbps)", f"{self.window_throughput_bps / 1e6:.0f}"]
+        )
+        table.add_row(
+            ["CPE deep indoor (Mbps)", f"{self.deep_indoor_throughput_bps / 1e6:.0f}"]
+        )
+        table.add_row(
+            [
+                f"per-house share ({self.comparison.houses} houses, "
+                f"{self.comparison.sectors} sectors)",
+                f"{self.comparison.per_house_bps / 1e6:.0f} Mbps",
+            ]
+        )
+        table.add_row(["US DSL average", f"{self.comparison.dsl_bps / 1e6:.0f} Mbps"])
+        table.add_row(["replaces DSL?", "yes" if self.comparison.replaces_dsl else "no"])
+        return table
+
+
+def run(seed: int = DEFAULT_SEED, cpe_distance_m: float = 240.0) -> CpeDslResult:
+    """Evaluate the CPE link at and away from the window, then share it."""
+    window = CpeLink(profile=NR_PROFILE, distance_m=cpe_distance_m, window_mounted=True)
+    indoor = CpeLink(profile=NR_PROFILE, distance_m=cpe_distance_m, window_mounted=False)
+    comparison = dsl_replacement_study(NR_PROFILE, cpe_distance_m=cpe_distance_m)
+    return CpeDslResult(
+        window_throughput_bps=window.throughput_bps(),
+        deep_indoor_throughput_bps=indoor.throughput_bps(),
+        comparison=comparison,
+    )

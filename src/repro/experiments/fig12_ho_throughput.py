@@ -1,0 +1,131 @@
+"""Fig. 12: TCP throughput drop across hand-offs.
+
+A BBR flow rides each path while a hand-off outage of the measured
+duration interrupts the radio link; 5G's long NSA hand-offs (and the
+capacity cliff of 5G-4G fallbacks) gut the throughput, while 4G-4G
+hand-offs barely dent it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.core.stats import percent
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.fig7_throughput import SIM_SCALE
+from repro.mobility.handoff import HandoffKind, HandoffProcedure
+from repro.net.path import PathConfig, build_cellular_path
+from repro.net.sim import Simulator
+from repro.transport.base import TcpConnection
+from repro.transport.iperf import make_cc
+
+__all__ = ["Fig12Result", "run"]
+
+#: Throughput comparison window on each side of the hand-off (the paper
+#: measures over fine-grained windows right at the hand-off instant).
+WINDOW_S = 0.15
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Normalized throughput drop per hand-off kind."""
+
+    drops: dict[str, tuple[float, ...]]
+
+    def mean_drop(self, kind: str) -> float:
+        """Mean normalized throughput drop for one hand-off kind."""
+        return float(np.mean(self.drops[kind]))
+
+    def table(self) -> ResultTable:
+        """Render the drops as a text table."""
+        table = ResultTable(
+            "Fig. 12 — TCP throughput drop at hand-off",
+            ["kind", "events", "mean drop"],
+        )
+        for kind, values in self.drops.items():
+            table.add_row([kind, len(values), percent(float(np.mean(values)))])
+        return table
+
+
+def _measure_drop(
+    profile, kind: str, seed: int, scale: float, rate_after_factor: float = 1.0
+) -> float:
+    """Run one BBR flow with a mid-flow hand-off; return the tput drop.
+
+    Cross traffic and scheduling stalls are disabled so the measured gap
+    isolates the hand-off-induced interruption, as the paper's per-event
+    normalization does.
+    """
+    config = PathConfig(
+        profile=profile,
+        scale=scale,
+        with_cross_traffic=False,
+        with_scheduling_stalls=False,
+    )
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    path = build_cellular_path(sim, config, rng)
+    conn = TcpConnection.establish(sim, path, make_cc("bbr", config.mss_bytes, scale))
+
+    ho_at = 8.0
+    outage = HandoffProcedure.draw(kind, rng).total_latency_s
+    path.schedule_access_outage(ho_at, outage)
+    if rate_after_factor != 1.0:
+        # Vertical fallback: the access link continues at 4G speed.
+        sim.schedule_at(
+            ho_at, lambda: setattr(path.access_link, "rate_bps",
+                                   path.access_link.rate_bps * rate_after_factor)
+        )
+    conn.start()
+    sim.run(until=ho_at + 2.0)
+
+    delivered = conn.sender.stats.delivered_trace
+
+    def window_bytes(t0: float, t1: float) -> int:
+        lo = hi = 0
+        for t, d in delivered:
+            if t <= t0:
+                lo = d
+            if t <= t1:
+                hi = d
+        return hi - lo
+
+    # Baseline: mean windowed delivery over the second before the HO.
+    before_windows = [
+        window_bytes(ho_at - 1.0 + i * WINDOW_S, ho_at - 1.0 + (i + 1) * WINDOW_S)
+        for i in range(int(1.0 / WINDOW_S))
+    ]
+    before = sum(before_windows) / len(before_windows)
+    # "Immediately after": the worst window sliding across the hand-off
+    # gap (a catch-up flush after the outage must not mask the stall the
+    # user experienced).
+    after = min(
+        window_bytes(ho_at + offset / 100.0, ho_at + offset / 100.0 + WINDOW_S)
+        for offset in range(0, 60, 2)
+    )
+    if before <= 0:
+        return 0.0
+    return max(0.0, 1.0 - after / before)
+
+
+def run(seed: int = DEFAULT_SEED, repeats: int = 3, scale: float = SIM_SCALE) -> Fig12Result:
+    """Measure drops for 4G-4G, 5G-5G and 5G-4G hand-offs."""
+    lte_capacity = PathConfig(profile=LTE_PROFILE, scale=scale).access_rate_bps()
+    nr_capacity = PathConfig(profile=NR_PROFILE, scale=scale).access_rate_bps()
+    cases = (
+        (HandoffKind.LTE_TO_LTE, LTE_PROFILE, 1.0),
+        (HandoffKind.NR_TO_NR, NR_PROFILE, 1.0),
+        (HandoffKind.NR_TO_LTE, NR_PROFILE, lte_capacity / nr_capacity),
+    )
+    drops: dict[str, tuple[float, ...]] = {}
+    for kind, profile, factor in cases:
+        values = tuple(
+            _measure_drop(profile, kind, seed + i, scale, rate_after_factor=factor)
+            for i in range(repeats)
+        )
+        drops[kind] = values
+    return Fig12Result(drops=drops)

@@ -1,0 +1,81 @@
+"""Fig. 15: RTT versus geographical path length.
+
+Both networks' RTTs climb with distance; the ~22 ms 5G advantage is a
+constant offset from the edge, so its *relative* value shrinks as the
+wireline path grows — the basis of the paper's argument that the legacy
+wireline network will neutralize 5G's latency gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import ResultTable
+from repro.core.rng import RngFactory
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.fig13_rtt_scatter import probe_rtt_s
+from repro.net.servers import SPEEDTEST_SERVERS
+
+__all__ = ["Fig15Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """Per-server mean RTTs ordered by distance."""
+
+    distances_km: tuple[float, ...]
+    lte_rtts_ms: tuple[float, ...]
+    nr_rtts_ms: tuple[float, ...]
+
+    @property
+    def gaps_ms(self) -> tuple[float, ...]:
+        """Per-server 4G-minus-5G RTT gap."""
+        return tuple(l - n for l, n in zip(self.lte_rtts_ms, self.nr_rtts_ms))
+
+    @property
+    def relative_gaps(self) -> tuple[float, ...]:
+        """The gap as a fraction of the 4G RTT, per server."""
+        return tuple(g / l for g, l in zip(self.gaps_ms, self.lte_rtts_ms))
+
+    def rtt_growth_factor(self, lo_km: float = 100.0, hi_km: float = 2500.0) -> float:
+        """5G RTT ratio between the nearest server beyond ``hi_km`` and the
+        first beyond ``lo_km`` (the paper quotes ~5x from 100 to 2500 km)."""
+        lo_rtt = next(
+            rtt for d, rtt in zip(self.distances_km, self.nr_rtts_ms) if d >= lo_km
+        )
+        hi_rtt = next(
+            rtt for d, rtt in zip(self.distances_km, self.nr_rtts_ms) if d >= hi_km
+        )
+        return hi_rtt / lo_rtt
+
+    def table(self) -> ResultTable:
+        """Render the distance sweep as a text table."""
+        table = ResultTable(
+            "Fig. 15 — RTT vs path distance",
+            ["distance (km)", "4G RTT (ms)", "5G RTT (ms)", "gap (ms)"],
+        )
+        for d, l4, l5 in zip(self.distances_km, self.lte_rtts_ms, self.nr_rtts_ms):
+            table.add_row([f"{d:.0f}", f"{l4:.1f}", f"{l5:.1f}", f"{l4 - l5:.1f}"])
+        return table
+
+
+def run(seed: int = DEFAULT_SEED, probes_per_server: int = 30) -> Fig15Result:
+    """Probe every Tab. 6 server on both networks, ordered by distance."""
+    rngf = RngFactory(seed)
+    servers = sorted(SPEEDTEST_SERVERS, key=lambda s: s.distance_km)
+    lte, nr = [], []
+    for server in servers:
+        rng = rngf.stream(f"fig15:{server.server_id}")
+        lte.append(
+            float(np.mean([probe_rtt_s(4, server.distance_km, rng) for _ in range(probes_per_server)])) * 1000
+        )
+        nr.append(
+            float(np.mean([probe_rtt_s(5, server.distance_km, rng) for _ in range(probes_per_server)])) * 1000
+        )
+    return Fig15Result(
+        distances_km=tuple(s.distance_km for s in servers),
+        lte_rtts_ms=tuple(lte),
+        nr_rtts_ms=tuple(nr),
+    )

@@ -1,0 +1,77 @@
+"""Fig. 16: page load time across website categories.
+
+Despite 5G's ~5x downlink, PLT barely moves: rendering dominates, and
+the short transfers finish inside TCP's ramp-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.apps.web import WEB_PAGE_CATALOG, PltBreakdown, measure_plt
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["Fig16Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    """PLT breakdown per (category, network)."""
+
+    plts: dict[tuple[str, str], PltBreakdown]
+
+    @property
+    def categories(self) -> list[str]:
+        """The five site categories, catalog order."""
+        return [page.category for page in WEB_PAGE_CATALOG]
+
+    @property
+    def total_plt_reduction(self) -> float:
+        """Overall 5G PLT saving across categories (paper: ~5%)."""
+        lte = sum(self.plts[(c, "4G")].total_s for c in self.categories)
+        nr = sum(self.plts[(c, "5G")].total_s for c in self.categories)
+        return 1.0 - nr / lte
+
+    @property
+    def download_reduction(self) -> float:
+        """Download-phase-only saving (paper: ~20.7%)."""
+        lte = sum(self.plts[(c, "4G")].download_s for c in self.categories)
+        nr = sum(self.plts[(c, "5G")].download_s for c in self.categories)
+        return 1.0 - nr / lte
+
+    def rendering_fraction(self, category: str, network: str) -> float:
+        """Rendering's share of the PLT for one category/network."""
+        plt = self.plts[(category, network)]
+        return plt.render_s / plt.total_s
+
+    def table(self) -> ResultTable:
+        """Render the PLT breakdown as a text table."""
+        table = ResultTable(
+            "Fig. 16 — PLT by website category",
+            ["category", "4G dl (s)", "4G render (s)", "5G dl (s)", "5G render (s)"],
+        )
+        for category in self.categories:
+            p4 = self.plts[(category, "4G")]
+            p5 = self.plts[(category, "5G")]
+            table.add_row(
+                [category, f"{p4.download_s:.2f}", f"{p4.render_s:.2f}",
+                 f"{p5.download_s:.2f}", f"{p5.render_s:.2f}"]
+            )
+        return table
+
+
+def run(seed: int = DEFAULT_SEED, trials: int = 3) -> Fig16Result:
+    """Load every category ``trials`` times per network and average."""
+    plts: dict[tuple[str, str], PltBreakdown] = {}
+    for page in WEB_PAGE_CATALOG:
+        for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+            runs = [
+                measure_plt(page, profile, seed=seed + i) for i in range(trials)
+            ]
+            plts[(page.category, network)] = PltBreakdown(
+                download_s=sum(r.download_s for r in runs) / trials,
+                render_s=sum(r.render_s for r in runs) / trials,
+            )
+    return Fig16Result(plts=plts)

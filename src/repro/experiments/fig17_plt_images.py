@@ -1,0 +1,65 @@
+"""Fig. 17: PLT versus image page size (1-16 MB)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.apps.web import PltBreakdown, image_page, measure_plt
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["Fig17Result", "IMAGE_SIZES_MB", "run"]
+
+IMAGE_SIZES_MB: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@dataclass(frozen=True)
+class Fig17Result:
+    """PLT per (image size, network)."""
+
+    plts: dict[tuple[float, str], PltBreakdown]
+
+    def total_s(self, size_mb: float, network: str) -> float:
+        """Total PLT for one size/network."""
+        return self.plts[(size_mb, network)].total_s
+
+    @property
+    def gap_grows_with_size(self) -> bool:
+        """The 4G-5G download gap should widen with page size."""
+        small = self.plts[(IMAGE_SIZES_MB[0], "4G")].download_s - self.plts[
+            (IMAGE_SIZES_MB[0], "5G")
+        ].download_s
+        large = self.plts[(IMAGE_SIZES_MB[-1], "4G")].download_s - self.plts[
+            (IMAGE_SIZES_MB[-1], "5G")
+        ].download_s
+        return large > small
+
+    def table(self) -> ResultTable:
+        """Render the size sweep as a text table."""
+        table = ResultTable(
+            "Fig. 17 — PLT by image size",
+            ["size (MB)", "4G dl (s)", "4G render (s)", "5G dl (s)", "5G render (s)"],
+        )
+        for size in IMAGE_SIZES_MB:
+            p4 = self.plts[(size, "4G")]
+            p5 = self.plts[(size, "5G")]
+            table.add_row(
+                [f"{size:.0f}", f"{p4.download_s:.2f}", f"{p4.render_s:.2f}",
+                 f"{p5.download_s:.2f}", f"{p5.render_s:.2f}"]
+            )
+        return table
+
+
+def run(seed: int = DEFAULT_SEED, trials: int = 3) -> Fig17Result:
+    """Load each image page size on both networks."""
+    plts: dict[tuple[float, str], PltBreakdown] = {}
+    for size in IMAGE_SIZES_MB:
+        page = image_page(size)
+        for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+            runs = [measure_plt(page, profile, seed=seed + i) for i in range(trials)]
+            plts[(size, network)] = PltBreakdown(
+                download_s=sum(r.download_s for r in runs) / trials,
+                render_s=sum(r.render_s for r in runs) / trials,
+            )
+    return Fig17Result(plts=plts)

@@ -1,0 +1,67 @@
+"""Fig. 18: uplink video throughput by resolution, scene and network.
+
+5G carries every resolution up to 5.7K; 4G collapses on 5.7K (and on
+dynamic 4K), losing frames to uplink congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.apps.video import VIDEO_PROFILES, run_video_session
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["Fig18Result", "run", "VIDEO_SIM_SCALE"]
+
+VIDEO_SIM_SCALE = 0.25
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    """Received throughput (unscaled Mbps) per (resolution, network, scene)."""
+
+    throughput_mbps: dict[tuple[str, str, str], float]
+    freeze_counts: dict[tuple[str, str, str], int]
+
+    def table(self) -> ResultTable:
+        """Render throughput per resolution as a text table."""
+        table = ResultTable(
+            "Fig. 18 — received video throughput (Mbps)",
+            ["resolution", "4G static", "4G dynamic", "5G static", "5G dynamic"],
+        )
+        for resolution in VIDEO_PROFILES:
+            table.add_row(
+                [
+                    resolution,
+                    f"{self.throughput_mbps[(resolution, '4G', 'static')]:.1f}",
+                    f"{self.throughput_mbps[(resolution, '4G', 'dynamic')]:.1f}",
+                    f"{self.throughput_mbps[(resolution, '5G', 'static')]:.1f}",
+                    f"{self.throughput_mbps[(resolution, '5G', 'dynamic')]:.1f}",
+                ]
+            )
+        return table
+
+
+def run(
+    seed: int = DEFAULT_SEED, duration_s: float = 20.0, scale: float = VIDEO_SIM_SCALE
+) -> Fig18Result:
+    """Push every resolution over both uplinks, static and dynamic."""
+    throughput: dict[tuple[str, str, str], float] = {}
+    freezes: dict[tuple[str, str, str], int] = {}
+    for resolution in VIDEO_PROFILES:
+        for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+            for scene, dynamic in (("static", False), ("dynamic", True)):
+                session = run_video_session(
+                    profile,
+                    resolution,
+                    dynamic=dynamic,
+                    duration_s=duration_s,
+                    scale=scale,
+                    seed=seed,
+                )
+                key = (resolution, network, scene)
+                throughput[key] = session.mean_throughput_bps / scale / 1e6
+                freezes[key] = session.freeze_count()
+    return Fig18Result(throughput_mbps=throughput, freeze_counts=freezes)

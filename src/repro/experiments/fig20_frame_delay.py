@@ -1,0 +1,75 @@
+"""Fig. 20: end-to-end frame delay of 4K video telephony.
+
+Even over 5G the frame delay hovers near a second — the paper's
+"stopwatch" finding — because processing (capture, splice, codec,
+relay, render) outweighs network transmission by ~10x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.apps.video import (
+    CAPTURE_SPLICE_RENDER_S,
+    DECODE_S,
+    ENCODE_S,
+    RTMP_RELAY_S,
+    run_video_session,
+)
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.fig18_video_throughput import VIDEO_SIM_SCALE
+
+__all__ = ["Fig20Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig20Result:
+    """Frame-delay series for both networks plus the delay decomposition."""
+
+    nr_delays_s: tuple[float, ...]
+    lte_delays_s: tuple[float, ...]
+
+    @property
+    def nr_mean_s(self) -> float:
+        """Mean 5G frame delay."""
+        return float(np.mean(self.nr_delays_s))
+
+    @property
+    def lte_mean_s(self) -> float:
+        """Mean 4G frame delay."""
+        return float(np.mean(self.lte_delays_s))
+
+    @property
+    def processing_s(self) -> float:
+        """Fixed pipeline (non-network) latency per frame."""
+        return ENCODE_S + DECODE_S + CAPTURE_SPLICE_RENDER_S + RTMP_RELAY_S
+
+    @property
+    def nr_network_s(self) -> float:
+        """Mean network transmission share of the 5G frame delay."""
+        return self.nr_mean_s - self.processing_s
+
+    @property
+    def processing_dominates(self) -> bool:
+        """Processing should outweigh transmission by roughly 10x."""
+        return self.processing_s > 5.0 * max(self.nr_network_s, 1e-9)
+
+
+def run(
+    seed: int = DEFAULT_SEED, duration_s: float = 30.0, scale: float = VIDEO_SIM_SCALE
+) -> Fig20Result:
+    """Run 4K dynamic sessions over both networks and collect frame delays."""
+    nr = run_video_session(
+        NR_PROFILE, "4K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
+    )
+    lte = run_video_session(
+        LTE_PROFILE, "4K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
+    )
+    nr_delays = nr.frame_delays_s()
+    lte_delays = lte.frame_delays_s()
+    if not nr_delays or not lte_delays:
+        raise RuntimeError("no delivered frames; extend duration_s")
+    return Fig20Result(nr_delays_s=tuple(nr_delays), lte_delays_s=tuple(lte_delays))

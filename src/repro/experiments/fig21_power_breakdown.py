@@ -1,0 +1,87 @@
+"""Fig. 21: smartphone power breakdown per application and RAT.
+
+The 5G module dominates the budget (~55% averaged over the apps),
+overtaking the screen — the component that used to define phone power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import ResultTable
+from repro.core.stats import percent
+from repro.energy.power_model import APP_CATALOG, PowerBreakdown, app_power_breakdown
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["Fig21Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig21Result:
+    """Component breakdown per (app, generation)."""
+
+    breakdowns: dict[tuple[str, int], PowerBreakdown]
+
+    def mean_radio_fraction(self, generation: int) -> float:
+        """Radio share of the budget, averaged over apps."""
+        return float(
+            np.mean(
+                [
+                    self.breakdowns[(app.name, generation)].radio_fraction
+                    for app in APP_CATALOG
+                ]
+            )
+        )
+
+    def mean_screen_fraction(self, generation: int) -> float:
+        """Screen share of the budget, averaged over apps."""
+        return float(
+            np.mean(
+                [
+                    b.screen_w / b.total_w
+                    for (name, gen), b in self.breakdowns.items()
+                    if gen == generation
+                ]
+            )
+        )
+
+    def radio_power_ratio(self, app_name: str) -> float:
+        """5G/4G radio-module power for one app (paper: 2-3x)."""
+        return (
+            self.breakdowns[(app_name, 5)].radio_w
+            / self.breakdowns[(app_name, 4)].radio_w
+        )
+
+    def table(self) -> ResultTable:
+        """Render the breakdown as a text table."""
+        table = ResultTable(
+            "Fig. 21 — power breakdown (W)",
+            ["app", "RAT", "system", "screen", "app", "radio", "radio share"],
+        )
+        for app in APP_CATALOG:
+            for generation in (4, 5):
+                b = self.breakdowns[(app.name, generation)]
+                table.add_row(
+                    [
+                        app.name,
+                        f"{generation}G",
+                        f"{b.system_w:.2f}",
+                        f"{b.screen_w:.2f}",
+                        f"{b.app_w:.2f}",
+                        f"{b.radio_w:.2f}",
+                        percent(b.radio_fraction),
+                    ]
+                )
+        return table
+
+
+def run(seed: int = DEFAULT_SEED) -> Fig21Result:
+    """Compute the component breakdown for all apps on both RATs."""
+    breakdowns = {
+        (app.name, generation): app_power_breakdown(app, generation)
+        for app in APP_CATALOG
+        for generation in (4, 5)
+    }
+    return Fig21Result(breakdowns=breakdowns)

@@ -1,0 +1,64 @@
+"""Fig. 22: energy per bit under fully-saturated traffic.
+
+5G moves bits at roughly a quarter of 4G's energy cost — *when the pipe
+is full*.  Efficiency improves with transfer duration as the
+promotion/tail overhead amortizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import ResultTable
+from repro.energy.power_model import energy_per_bit
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["Fig22Result", "TRANSFER_TIMES_S", "run"]
+
+TRANSFER_TIMES_S: tuple[float, ...] = (5.0, 10.0, 20.0, 30.0, 50.0)
+
+
+@dataclass(frozen=True)
+class Fig22Result:
+    """Energy per bit (J/bit) per (generation, transfer duration)."""
+
+    efficiency: dict[tuple[int, float], float]
+
+    def series(self, generation: int) -> list[float]:
+        """Energy-per-bit values across transfer durations."""
+        return [self.efficiency[(generation, t)] for t in TRANSFER_TIMES_S]
+
+    def ratio_at(self, transfer_s: float) -> float:
+        """5G/4G energy-per-bit ratio (paper: ~1/4)."""
+        return self.efficiency[(5, transfer_s)] / self.efficiency[(4, transfer_s)]
+
+    @property
+    def efficiency_improves_with_duration(self) -> bool:
+        """Whether energy per bit falls as transfers lengthen."""
+        return all(
+            a >= b
+            for gen in (4, 5)
+            for a, b in zip(self.series(gen), self.series(gen)[1:])
+        )
+
+    def table(self) -> ResultTable:
+        """Render the efficiency sweep as a text table."""
+        table = ResultTable(
+            "Fig. 22 — energy per bit (nJ/bit)",
+            ["duration (s)", "4G", "5G", "5G/4G"],
+        )
+        for t in TRANSFER_TIMES_S:
+            e4 = self.efficiency[(4, t)] * 1e9
+            e5 = self.efficiency[(5, t)] * 1e9
+            table.add_row([f"{t:.0f}", f"{e4:.1f}", f"{e5:.1f}", f"{self.ratio_at(t):.2f}"])
+        return table
+
+
+def run(seed: int = DEFAULT_SEED) -> Fig22Result:
+    """Compute saturated-transfer energy per bit for both RATs."""
+    efficiency = {
+        (generation, t): energy_per_bit(generation, t)
+        for generation in (4, 5)
+        for t in TRANSFER_TIMES_S
+    }
+    return Fig22Result(efficiency=efficiency)

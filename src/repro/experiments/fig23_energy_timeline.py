@@ -1,0 +1,73 @@
+"""Fig. 23: the 5G energy-management showcase.
+
+Ten web loads at 3 s spacing (t1..t3), then the tails: the 4G radio is
+back to idle ~10 s after the last transfer (t4) while the NSA 5G radio
+takes ~20 s (t5) because releasing NR re-activates an LTE tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rng import RngFactory
+from repro.energy.drx import EnergyResult
+from repro.energy.pwrstrip import PowerSample, sample_timeline
+from repro.energy.simulator import WEB_CAPACITIES, simulate_lte, simulate_nr_nsa
+from repro.energy.traffic import web_browsing_trace
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["Fig23Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig23Result:
+    """Sampled power traces plus the landmark times t1..t5."""
+
+    lte_samples: tuple[PowerSample, ...]
+    nr_samples: tuple[PowerSample, ...]
+    transfer_start_s: float  # t2 (t1 = promotion start precedes it)
+    transfer_end_s: float  # t3
+    lte_tail_end_s: float  # t4
+    nr_tail_end_s: float  # t5
+    lte_energy_j: float
+    nr_energy_j: float
+
+    @property
+    def nr_over_lte_energy(self) -> float:
+        """Energy ratio over the same sessions (paper: ~1.67x)."""
+        return self.nr_energy_j / self.lte_energy_j
+
+    @property
+    def nr_tail_duration_s(self) -> float:
+        """Time from last transfer to the end of the 5G tail (t5)."""
+        return self.nr_tail_end_s - self.transfer_end_s
+
+    @property
+    def lte_tail_duration_s(self) -> float:
+        """Time from last transfer to the end of the 4G tail (t4)."""
+        return self.lte_tail_end_s - self.transfer_end_s
+
+
+def _tail_end(result: EnergyResult) -> float:
+    tails = [s.end_s for s in result.segments if s.state in ("tail-drx", "inactivity")]
+    return max(tails) if tails else result.completion_s
+
+
+def run(seed: int = DEFAULT_SEED, num_pages: int = 10, think_time_s: float = 3.0) -> Fig23Result:
+    """Replay the web-loading showcase on both radios and sample power."""
+    rng = RngFactory(seed).stream("fig23")
+    trace = web_browsing_trace(
+        num_pages=num_pages, think_time_s=think_time_s, rng=rng
+    )
+    lte = simulate_lte(trace, WEB_CAPACITIES)
+    nr = simulate_nr_nsa(trace, WEB_CAPACITIES)
+    return Fig23Result(
+        lte_samples=tuple(sample_timeline(lte, seed=seed)),
+        nr_samples=tuple(sample_timeline(nr, seed=seed)),
+        transfer_start_s=trace[0].start_s,
+        transfer_end_s=max(lte.completion_s, nr.completion_s),
+        lte_tail_end_s=_tail_end(lte),
+        nr_tail_end_s=_tail_end(nr),
+        lte_energy_j=lte.total_energy_j,
+        nr_energy_j=nr.total_energy_j,
+    )

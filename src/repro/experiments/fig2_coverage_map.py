@@ -1,0 +1,72 @@
+"""Fig. 2: the campus RSRP map and the cell-72 bit-rate contour."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import ResultTable
+from repro.experiments.common import DEFAULT_SEED, testbed
+from repro.radio.coverage import (
+    SurveyPoint,
+    cell_grid_survey,
+    coverage_radius_m,
+    road_locations,
+    survey_at_locations,
+)
+
+__all__ = ["Fig2Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Map samples plus ring-averaged bit-rates around cell 72."""
+
+    map_points: tuple[SurveyPoint, ...]
+    contour_rings_m: tuple[float, ...]
+    contour_rates_mbps: tuple[float, ...]
+    coverage_radius_m: float
+    lte_coverage_radius_m: float
+
+    def table(self) -> ResultTable:
+        """Render the contour rings as a text table."""
+        table = ResultTable(
+            "Fig. 2(b) — cell 72 bit-rate contour (ring means)",
+            ["ring (m)", "bit-rate (Mbps)"],
+        )
+        for ring, rate in zip(self.contour_rings_m, self.contour_rates_mbps):
+            table.add_row([f"<= {ring:.0f}", f"{rate:.0f}"])
+        return table
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_map_points: int = 600,
+    grid_spacing_m: float = 25.0,
+) -> Fig2Result:
+    """Survey the whole campus (Fig. 2a) and grid cell 72 (Fig. 2b)."""
+    bed = testbed(seed)
+    locations = road_locations(bed.campus, num_map_points, bed.rng_factory.stream("fig2"))
+    map_points = survey_at_locations(bed.nr, locations)
+
+    grid = cell_grid_survey(bed.nr, 72, grid_spacing_m=grid_spacing_m, radius_m=250.0)
+    rings = (50.0, 100.0, 150.0, 200.0, 250.0)
+    cell = bed.nr.cell(72)
+    ring_rates = []
+    lower = 0.0
+    for ring in rings:
+        rates = [
+            p.bit_rate_bps / 1e6
+            for p in grid
+            if lower < cell.position.distance_to(p.location) <= ring
+        ]
+        ring_rates.append(float(np.mean(rates)) if rates else 0.0)
+        lower = ring
+    return Fig2Result(
+        map_points=tuple(map_points),
+        contour_rings_m=rings,
+        contour_rates_mbps=tuple(ring_rates),
+        coverage_radius_m=coverage_radius_m(bed.nr, 72),
+        lte_coverage_radius_m=coverage_radius_m(bed.lte, 200),
+    )

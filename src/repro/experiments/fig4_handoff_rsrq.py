@@ -1,0 +1,71 @@
+"""Fig. 4: RSRQ evolution of serving and neighbour cells around a hand-off."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.ho_campaign import DEFAULT_DURATION_S, campaign
+from repro.mobility.handoff import HandoffKind
+
+__all__ = ["Fig4Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """An RSRQ time window centred on one 5G-5G hand-off."""
+
+    handoff_time_s: float
+    source_pci: int
+    target_pci: int
+    times_s: tuple[float, ...]
+    serving_rsrq_db: tuple[float, ...]
+    neighbor_rsrq_db: dict[int, tuple[float, ...]]
+
+    @property
+    def serving_degrades_before_handoff(self) -> bool:
+        """Whether the old serving cell was losing quality at the trigger."""
+        pre = [
+            rsrq
+            for t, rsrq in zip(self.times_s, self.serving_rsrq_db)
+            if t < self.handoff_time_s
+        ]
+        if len(pre) < 4:
+            return False
+        half = len(pre) // 2
+        return sum(pre[half:]) / len(pre[half:]) <= sum(pre[:half]) / half + 1.0
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    duration_s: float = DEFAULT_DURATION_S,
+    window_s: float = 8.0,
+) -> Fig4Result:
+    """Extract the RSRQ window around the first 5G-5G hand-off of the walk."""
+    data = campaign(seed, duration_s)
+    events = data.events_of_kind(HandoffKind.NR_TO_NR)
+    if not events:
+        raise RuntimeError("the walk produced no 5G-5G hand-offs; extend duration_s")
+    event = events[0]
+    lo, hi = event.time_s - window_s / 2, event.time_s + window_s / 2
+
+    times: list[float] = []
+    serving: list[float] = []
+    neighbors: dict[int, list[float]] = {}
+    for sample in data.trace:
+        if not lo <= sample.time_s <= hi or sample.rat != "5G":
+            continue
+        times.append(sample.time_s)
+        serving.append(sample.serving_rsrq_db)
+        # Track the three strongest neighbours seen in the window.
+        for pci, rsrq in sample.neighbor_rsrqs_db.items():
+            neighbors.setdefault(pci, []).append(rsrq)
+    top = sorted(neighbors, key=lambda p: -max(neighbors[p]))[:3]
+    return Fig4Result(
+        handoff_time_s=event.time_s,
+        source_pci=event.source_pci,
+        target_pci=event.target_pci,
+        times_s=tuple(times),
+        serving_rsrq_db=tuple(serving),
+        neighbor_rsrq_db={pci: tuple(neighbors[pci]) for pci in top},
+    )

@@ -1,0 +1,58 @@
+"""Fig. 5: RSRQ gap before vs after each hand-off, by hand-off kind."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import ResultTable
+from repro.core.stats import Cdf, percent
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.ho_campaign import DEFAULT_DURATION_S, campaign
+from repro.mobility.handoff import HandoffKind, rsrq_gain_cdf_fraction
+
+__all__ = ["Fig5Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Gain CDFs per kind plus the headline >3 dB fractions."""
+
+    gains_by_kind: dict[str, tuple[float, ...]]
+    fraction_above_3db: dict[str, float]
+    overall_fraction_above_3db: float
+
+    def cdf(self, kind: str) -> Cdf:
+        """The gain CDF for one hand-off kind."""
+        return Cdf(self.gains_by_kind[kind])
+
+    def table(self) -> ResultTable:
+        """Render the per-kind fractions as a text table."""
+        table = ResultTable(
+            "Fig. 5 — RSRQ gain across hand-offs",
+            ["kind", "events", "gain > 3 dB"],
+        )
+        for kind, gains in self.gains_by_kind.items():
+            table.add_row([kind, len(gains), percent(self.fraction_above_3db[kind])])
+        table.add_row(["overall", sum(len(g) for g in self.gains_by_kind.values()),
+                       percent(self.overall_fraction_above_3db)])
+        return table
+
+
+def run(seed: int = DEFAULT_SEED, duration_s: float = DEFAULT_DURATION_S) -> Fig5Result:
+    """Compute per-kind RSRQ-gain statistics over the walk campaign."""
+    data = campaign(seed, duration_s)
+    if not data.events:
+        raise RuntimeError("no hand-off events; extend duration_s")
+    gains: dict[str, tuple[float, ...]] = {}
+    fractions: dict[str, float] = {}
+    for kind in HandoffKind.ALL:
+        events = data.events_of_kind(kind)
+        if not events:
+            continue
+        gains[kind] = tuple(e.rsrq_gain_db for e in events)
+        fractions[kind] = rsrq_gain_cdf_fraction(events)
+    return Fig5Result(
+        gains_by_kind=gains,
+        fraction_above_3db=fractions,
+        overall_fraction_above_3db=rsrq_gain_cdf_fraction(data.events),
+    )

@@ -1,0 +1,87 @@
+"""Fig. 7: UDP baselines and TCP bandwidth utilization.
+
+Reproduces the headline TCP anomaly: over 5G, the loss/delay-based
+algorithms utilize under ~32% of the UDP baseline while BBR reaches
+~82%; over 4G everything behaves far more reasonably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.core.stats import percent
+from repro.experiments.common import DEFAULT_SEED
+from repro.net.path import PathConfig
+from repro.transport.iperf import CC_ALGORITHMS, run_tcp, run_udp_baseline
+
+__all__ = ["Fig7Result", "run", "SIM_SCALE"]
+
+#: Bandwidth scale used for the packet-level runs (see PathConfig).
+SIM_SCALE = 0.05
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Baselines (unscaled bits/s) and per-algorithm utilization."""
+
+    udp_baselines_bps: dict[tuple[str, str], float]  # (network, time) -> bps
+    utilization: dict[tuple[str, str], float]  # (network, algorithm) -> ratio
+
+    def table(self) -> ResultTable:
+        """Render baselines and utilization as a text table."""
+        table = ResultTable(
+            "Fig. 7 — UDP baseline and TCP utilization",
+            ["network", "UDP day (Mbps)", "UDP night (Mbps)"]
+            + sorted(CC_ALGORITHMS),
+        )
+        for network in ("4G", "5G"):
+            row = [
+                network,
+                f"{self.udp_baselines_bps[(network, 'day')] / 1e6:.0f}",
+                f"{self.udp_baselines_bps[(network, 'night')] / 1e6:.0f}",
+            ]
+            for alg in sorted(CC_ALGORITHMS):
+                row.append(percent(self.utilization[(network, alg)]))
+            table.add_row(row)
+        return table
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 30.0,
+    scale: float = SIM_SCALE,
+    algorithms: tuple[str, ...] | None = None,
+    repeats: int = 2,
+) -> Fig7Result:
+    """Measure UDP baselines (day and night) and every TCP variant.
+
+    Each TCP point averages ``repeats`` independent runs, like the
+    paper's five repetitions per configuration.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    algorithms = algorithms if algorithms is not None else tuple(sorted(CC_ALGORITHMS))
+    baselines: dict[tuple[str, str], float] = {}
+    utilization: dict[tuple[str, str], float] = {}
+    for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+        for time_of_day in ("day", "night"):
+            config = PathConfig(profile=profile, scale=scale, time_of_day=time_of_day)
+            baseline = run_udp_baseline(config, duration_s=min(duration_s, 15.0), seed=seed)
+            baselines[(network, time_of_day)] = baseline / scale
+        day_config = PathConfig(profile=profile, scale=scale, time_of_day="day")
+        day_baseline = baselines[(network, "day")] * scale
+        for alg in algorithms:
+            runs = [
+                run_tcp(
+                    day_config,
+                    alg,
+                    duration_s=duration_s,
+                    seed=seed + 2 * i,
+                    baseline_bps=day_baseline,
+                )
+                for i in range(repeats)
+            ]
+            utilization[(network, alg)] = sum(r.utilization for r in runs) / repeats
+    return Fig7Result(udp_baselines_bps=baselines, utilization=utilization)

@@ -1,0 +1,60 @@
+"""Fig. 8: congestion-window evolution of Cubic vs BBR over 5G.
+
+Cubic's window collapses repeatedly under the bursty wireline loss and
+never holds its fair level; BBR's model-driven window stays pinned high
+after its ~startup phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import NR_PROFILE
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.fig7_throughput import SIM_SCALE
+from repro.net.path import PathConfig
+from repro.transport.iperf import run_tcp
+
+__all__ = ["Fig8Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """cwnd traces (bytes, at the simulation scale) plus loss counters."""
+
+    cubic_trace: tuple[tuple[float, float], ...]
+    bbr_trace: tuple[tuple[float, float], ...]
+    cubic_fast_retransmits: int
+    bbr_fast_retransmits: int
+    scale: float
+
+    def mean_cwnd(self, trace: tuple[tuple[float, float], ...], from_s: float) -> float:
+        """Mean cwnd (bytes) of a trace from ``from_s`` onward."""
+        values = [w for t, w in trace if t >= from_s]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def bbr_holds_higher_window(self) -> bool:
+        """After slow start, BBR's window dwarfs Cubic's (the Fig. 8 story)."""
+        return self.mean_cwnd(self.bbr_trace, 10.0) > 2.0 * self.mean_cwnd(
+            self.cubic_trace, 10.0
+        )
+
+
+def run(
+    seed: int = DEFAULT_SEED, duration_s: float = 45.0, scale: float = SIM_SCALE
+) -> Fig8Result:
+    """Run one Cubic and one BBR 5G session and keep their cwnd traces."""
+    config = PathConfig(profile=NR_PROFILE, scale=scale)
+    baseline = config.access_rate_bps() * scale
+    cubic = run_tcp(config, "cubic", duration_s=duration_s, seed=seed, baseline_bps=baseline)
+    bbr = run_tcp(config, "bbr", duration_s=duration_s, seed=seed, baseline_bps=baseline)
+    return Fig8Result(
+        cubic_trace=cubic.cwnd_trace,
+        bbr_trace=bbr.cwnd_trace,
+        cubic_fast_retransmits=cubic.fast_retransmits,
+        bbr_fast_retransmits=bbr.fast_retransmits,
+        scale=scale,
+    )

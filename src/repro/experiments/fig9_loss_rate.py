@@ -1,0 +1,58 @@
+"""Fig. 9: UDP packet loss versus offered load fraction.
+
+5G sessions lose multi-fold more than 4G at every load point: the
+wireline routers' buffers were provisioned for 4G-scale flows, and the
+5x capacity jump overruns them whenever cross-traffic bursts align.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.core.stats import percent
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.fig7_throughput import SIM_SCALE
+from repro.net.path import PathConfig
+from repro.transport.iperf import run_udp, run_udp_baseline
+
+__all__ = ["Fig9Result", "LOAD_FRACTIONS", "run"]
+
+#: The paper's load points: {1/5, 1/4, 1/3, 1/2, 1} of the baseline.
+LOAD_FRACTIONS: tuple[float, ...] = (0.2, 0.25, 1 / 3, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Loss rate per (network, load fraction)."""
+
+    loss_rates: dict[tuple[str, float], float]
+
+    def series(self, network: str) -> list[float]:
+        """Loss rates across load fractions for one network."""
+        return [self.loss_rates[(network, frac)] for frac in LOAD_FRACTIONS]
+
+    def table(self) -> ResultTable:
+        """Render the loss grid as a text table."""
+        table = ResultTable(
+            "Fig. 9 — UDP loss vs offered fraction of the baseline",
+            ["network"] + [f"{f:.2f}" for f in LOAD_FRACTIONS],
+        )
+        for network in ("4G", "5G"):
+            table.add_row([network] + [percent(v) for v in self.series(network)])
+        return table
+
+
+def run(
+    seed: int = DEFAULT_SEED, duration_s: float = 15.0, scale: float = SIM_SCALE
+) -> Fig9Result:
+    """Offer CBR UDP at each fraction of the measured UDP baseline."""
+    loss_rates: dict[tuple[str, float], float] = {}
+    for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+        config = PathConfig(profile=profile, scale=scale)
+        baseline = run_udp_baseline(config, duration_s=duration_s, seed=seed)
+        for fraction in LOAD_FRACTIONS:
+            result = run_udp(config, baseline * fraction, duration_s=duration_s, seed=seed)
+            loss_rates[(network, fraction)] = result.loss_rate
+    return Fig9Result(loss_rates=loss_rates)

@@ -1,0 +1,32 @@
+"""The shared hand-off measurement campaign (Sec. 3.4 dataset).
+
+Fig. 4, Fig. 5, Fig. 6 and Fig. 12 all analyze the same walk data; this
+module runs (and caches) one campaign per (seed, duration).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.common import DEFAULT_SEED, testbed
+from repro.mobility.handoff import HandoffCampaign, HandoffEngine
+from repro.mobility.walker import RouteWalker
+
+__all__ = ["campaign"]
+
+#: The paper's campaign was ~80 minutes; default shorter for tractability.
+DEFAULT_DURATION_S = 1200.0
+
+
+@lru_cache(maxsize=4)
+def campaign(
+    seed: int = DEFAULT_SEED, duration_s: float = DEFAULT_DURATION_S
+) -> HandoffCampaign:
+    """Walk the campus collecting hand-off events and RSRQ traces."""
+    bed = testbed(seed)
+    rngf = bed.rng_factory
+    walker = RouteWalker(bed.campus, rngf.stream("ho-walk"), speed_kmh=6.0)
+    engine = HandoffEngine(
+        bed.nr, bed.lte, rngf.stream("ho-engine"), measurement_noise_db=2.5
+    )
+    return engine.run(walker.trajectory(duration_s, dt_s=0.108))

@@ -1,0 +1,67 @@
+"""Tab. 1: basic physical info of the co-located 4G and 5G networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.results import ResultTable
+from repro.core.stats import Summary, summarize
+from repro.experiments.common import DEFAULT_SEED, testbed
+from repro.radio.coverage import road_locations, survey_at_locations
+
+__all__ = ["Tab1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Tab1Result:
+    """Structured Tab. 1 output."""
+
+    lte_band_mhz: tuple[float, float]
+    nr_band_mhz: tuple[float, float]
+    lte_cells: int
+    nr_cells: int
+    lte_rsrp: Summary
+    nr_rsrp: Summary
+
+    def table(self) -> ResultTable:
+        """Render Tab. 1 as a text table."""
+        table = ResultTable("Tab. 1 — Basic physical info", ["Info.", "4G", "5G"])
+        table.add_row(
+            [
+                "DL Band (MHz)",
+                f"{self.lte_band_mhz[0]:.0f}~{self.lte_band_mhz[1]:.0f}",
+                f"{self.nr_band_mhz[0]:.0f}~{self.nr_band_mhz[1]:.0f}",
+            ]
+        )
+        table.add_row(["# Cells", self.lte_cells, self.nr_cells])
+        table.add_row(
+            [
+                "RSRP (dBm)",
+                f"{self.lte_rsrp.mean:.2f} ± {self.lte_rsrp.std:.2f}",
+                f"{self.nr_rsrp.mean:.2f} ± {self.nr_rsrp.std:.2f}",
+            ]
+        )
+        return table
+
+
+def run(seed: int = DEFAULT_SEED, num_points: int = 1000) -> Tab1Result:
+    """Survey both networks and assemble Tab. 1."""
+    bed = testbed(seed)
+    locations = road_locations(bed.campus, num_points, bed.rng_factory.stream("tab1"))
+    nr_points = survey_at_locations(bed.nr, locations)
+    lte_points = survey_at_locations(bed.lte, locations)
+    return Tab1Result(
+        lte_band_mhz=(
+            LTE_PROFILE.carrier_mhz,
+            LTE_PROFILE.carrier_mhz + LTE_PROFILE.bandwidth_mhz,
+        ),
+        nr_band_mhz=(
+            NR_PROFILE.carrier_mhz,
+            NR_PROFILE.carrier_mhz + NR_PROFILE.bandwidth_mhz,
+        ),
+        lte_cells=bed.campus.cell_count("4G"),
+        nr_cells=bed.campus.cell_count("5G"),
+        lte_rsrp=summarize(p.rsrp_dbm for p in lte_points),
+        nr_rsrp=summarize(p.rsrp_dbm for p in nr_points),
+    )

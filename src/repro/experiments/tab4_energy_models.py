@@ -1,0 +1,72 @@
+"""Tab. 4: energy consumption of the four power-management models.
+
+Each model replays the same three workload traces to completion; the
+completion times (and hence the energies) diverge per RAT, exactly as
+the paper notes.  Totals include the Android system baseline the
+battery also sees during the replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import ResultTable
+from repro.core.rng import RngFactory
+from repro.energy.power_model import SYSTEM_POWER_W
+from repro.energy.simulator import (
+    FILE_CAPACITIES,
+    MODEL_RUNNERS,
+    VIDEO_CAPACITIES,
+    WEB_CAPACITIES,
+)
+from repro.energy.traffic import (
+    file_transfer_trace,
+    video_telephony_trace,
+    web_browsing_trace,
+)
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["Tab4Result", "WORKLOADS", "run"]
+
+WORKLOADS = ("Web", "Video", "File")
+
+
+@dataclass(frozen=True)
+class Tab4Result:
+    """Energy (J) per (model, workload)."""
+
+    energy_j: dict[tuple[str, str], float]
+
+    def saving_vs_nsa(self, model: str, workload: str) -> float:
+        """Relative energy saving of ``model`` against NR NSA."""
+        return 1.0 - self.energy_j[(model, workload)] / self.energy_j[("NR NSA", workload)]
+
+    def table(self) -> ResultTable:
+        """Render Tab. 4 as a text table."""
+        table = ResultTable(
+            "Tab. 4 — energy consumption (J) of different models",
+            ["Model"] + list(WORKLOADS),
+        )
+        for model in MODEL_RUNNERS:
+            table.add_row(
+                [model] + [f"{self.energy_j[(model, w)]:.2f}" for w in WORKLOADS]
+            )
+        return table
+
+
+def run(seed: int = DEFAULT_SEED) -> Tab4Result:
+    """Replay all three workloads through all four models."""
+    rng = RngFactory(seed).stream("tab4")
+    traces = {
+        "Web": (web_browsing_trace(rng=rng), WEB_CAPACITIES),
+        "Video": (video_telephony_trace(), VIDEO_CAPACITIES),
+        "File": (file_transfer_trace(), FILE_CAPACITIES),
+    }
+    energy: dict[tuple[str, str], float] = {}
+    for model, runner in MODEL_RUNNERS.items():
+        for workload, (trace, capacities) in traces.items():
+            result = runner(trace, capacities)
+            energy[(model, workload)] = (
+                result.total_energy_j + SYSTEM_POWER_W * result.end_s
+            )
+    return Tab4Result(energy_j=energy)

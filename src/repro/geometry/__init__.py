@@ -1,0 +1,18 @@
+"""Planar geometry, buildings and the synthetic measurement campus."""
+
+from repro.geometry.buildings import Building, BuildingMap
+from repro.geometry.campus import Campus, SectorSpec, SiteSpec, build_campus
+from repro.geometry.points import GeoPoint, Point, Segment, haversine_km
+
+__all__ = [
+    "Building",
+    "BuildingMap",
+    "Campus",
+    "GeoPoint",
+    "Point",
+    "SectorSpec",
+    "Segment",
+    "SiteSpec",
+    "build_campus",
+    "haversine_km",
+]

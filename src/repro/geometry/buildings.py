@@ -1,0 +1,126 @@
+"""Building footprints and radio blockage tests.
+
+Buildings matter twice in the study: they block line-of-sight outdoors
+(coverage defects at locations D/E in Fig. 2(b)) and their walls attenuate
+signals reaching indoor receivers (the indoor/outdoor gap of Fig. 3).  We
+model footprints as axis-aligned rectangles — adequate for a campus of
+brick-and-concrete blocks — and count wall crossings along a propagation ray.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.points import Point
+
+__all__ = ["Building", "BuildingMap"]
+
+
+@dataclass(frozen=True)
+class Building:
+    """An axis-aligned rectangular building footprint.
+
+    Attributes:
+        x_min, y_min, x_max, y_max: Footprint bounds in meters.
+        name: Optional label for debugging / map rendering.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.x_min >= self.x_max or self.y_min >= self.y_max:
+            raise ValueError(
+                f"degenerate building bounds: "
+                f"({self.x_min}, {self.y_min})..({self.x_max}, {self.y_max})"
+            )
+
+    def contains(self, p: Point) -> bool:
+        """True if ``p`` lies inside (or on the boundary of) the footprint."""
+        return self.x_min <= p.x <= self.x_max and self.y_min <= p.y <= self.y_max
+
+    @property
+    def center(self) -> Point:
+        """Footprint centroid."""
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def wall_crossings(self, a: Point, b: Point) -> int:
+        """Number of exterior walls the segment ``a``–``b`` crosses.
+
+        A ray passing fully through the building crosses 2 walls; a ray
+        ending inside it crosses 1; a ray missing it crosses 0.
+        """
+        inside_a = self.contains(a)
+        inside_b = self.contains(b)
+        if inside_a and inside_b:
+            return 0
+        if inside_a or inside_b:
+            return 1 if self._intersects(a, b) else 0
+        return 2 if self._intersects(a, b) else 0
+
+    def _intersects(self, a: Point, b: Point) -> bool:
+        """Liang-Barsky clip test of segment a-b against the rectangle."""
+        dx = b.x - a.x
+        dy = b.y - a.y
+        t0, t1 = 0.0, 1.0
+        for p, q in (
+            (-dx, a.x - self.x_min),
+            (dx, self.x_max - a.x),
+            (-dy, a.y - self.y_min),
+            (dy, self.y_max - a.y),
+        ):
+            if p == 0.0:
+                if q < 0.0:
+                    return False
+                continue
+            t = q / p
+            if p < 0.0:
+                if t > t1:
+                    return False
+                t0 = max(t0, t)
+            else:
+                if t < t0:
+                    return False
+                t1 = min(t1, t)
+        return t0 <= t1
+
+
+class BuildingMap:
+    """A queryable collection of building footprints."""
+
+    def __init__(self, buildings: Iterable[Building]) -> None:
+        self._buildings: tuple[Building, ...] = tuple(buildings)
+
+    def __len__(self) -> int:
+        return len(self._buildings)
+
+    def __iter__(self):
+        return iter(self._buildings)
+
+    @property
+    def buildings(self) -> Sequence[Building]:
+        """The building tuple (read-only)."""
+        return self._buildings
+
+    def is_indoor(self, p: Point) -> bool:
+        """True if ``p`` falls inside any building footprint."""
+        return any(b.contains(p) for b in self._buildings)
+
+    def building_at(self, p: Point) -> Building | None:
+        """The building containing ``p``, or None."""
+        for b in self._buildings:
+            if b.contains(p):
+                return b
+        return None
+
+    def wall_crossings(self, a: Point, b: Point) -> int:
+        """Total exterior-wall crossings along the ray ``a``–``b``."""
+        return sum(b_.wall_crossings(a, b) for b_ in self._buildings)
+
+    def has_line_of_sight(self, a: Point, b: Point) -> bool:
+        """True if no building wall obstructs the direct path."""
+        return self.wall_crossings(a, b) == 0

@@ -1,0 +1,93 @@
+"""Planar and geographic point primitives.
+
+The campus survey (Sec. 3) uses a local planar frame in meters; the
+end-to-end delay study (Sec. 4.4) uses latitude/longitude of nationwide
+servers, for which we provide haversine distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Point", "Segment", "GeoPoint", "haversine_km"]
+
+_EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the local planar frame, coordinates in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def bearing_to(self, other: "Point") -> float:
+        """Azimuth from this point to ``other`` in degrees, 0 = +y (north),
+        increasing clockwise, in [0, 360)."""
+        angle = math.degrees(math.atan2(other.x - self.x, other.y - self.y))
+        return angle % 360.0
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        """Return a translated copy."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed line segment between two planar points."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Segment length in meters."""
+        return self.start.distance_to(self.end)
+
+    def interpolate(self, fraction: float) -> Point:
+        """Point at ``fraction`` in [0, 1] along the segment."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        return Point(
+            self.start.x + fraction * (self.end.x - self.start.x),
+            self.start.y + fraction * (self.end.y - self.start.y),
+        )
+
+    def sample(self, spacing: float) -> Iterator[Point]:
+        """Yield points every ``spacing`` meters along the segment,
+        including both endpoints."""
+        if spacing <= 0:
+            raise ValueError(f"spacing must be positive, got {spacing}")
+        steps = max(1, int(math.ceil(self.length / spacing)))
+        for i in range(steps + 1):
+            yield self.interpolate(i / steps)
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geographic coordinate in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two geographic points in kilometers."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(math.sqrt(h))

@@ -1,0 +1,44 @@
+"""Mobility: pedestrian walkers, measurement events and NSA hand-off."""
+
+from repro.mobility.events import (
+    EventThresholds,
+    EventType,
+    MeasurementEvent,
+    classify_events,
+)
+from repro.mobility.handoff import (
+    HandoffCampaign,
+    HandoffEngine,
+    HandoffEvent,
+    HandoffKind,
+    HandoffProcedure,
+    SignalingStep,
+    rsrq_gain_cdf_fraction,
+)
+from repro.mobility.sa import (
+    NR_SA_DRX_CONFIG,
+    SA_NR_TO_NR_STEPS,
+    draw_sa_handoff,
+    sa_handoff_mean_latency_s,
+)
+from repro.mobility.walker import RouteWalker, TrajectoryPoint
+
+__all__ = [
+    "EventThresholds",
+    "EventType",
+    "HandoffCampaign",
+    "HandoffEngine",
+    "HandoffEvent",
+    "HandoffKind",
+    "HandoffProcedure",
+    "MeasurementEvent",
+    "NR_SA_DRX_CONFIG",
+    "RouteWalker",
+    "SA_NR_TO_NR_STEPS",
+    "SignalingStep",
+    "TrajectoryPoint",
+    "classify_events",
+    "draw_sa_handoff",
+    "rsrq_gain_cdf_fraction",
+    "sa_handoff_mean_latency_s",
+]

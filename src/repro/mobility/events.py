@@ -1,0 +1,103 @@
+"""Measurement-report events A1-A5, B1, B2 (Appendix A, Tab. 5).
+
+The UE periodically reports signal quality through RRC signaling; the
+network reacts to configured events.  The paper observes that although the
+UE reports five event kinds (21.98% A1, 0.18% A2, 67.25% A3, 9.19% A5,
+1.40% B1), the operator only acts on A3 — the classic
+"neighbour-better-than-serving" trigger of Eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["EventType", "EventThresholds", "MeasurementEvent", "classify_events"]
+
+
+class EventType(Enum):
+    """Hand-off related measurement events (Tab. 5)."""
+
+    A1 = "A1"  # serving above threshold: stop measuring neighbours
+    A2 = "A2"  # serving below threshold: start measuring neighbours
+    A3 = "A3"  # neighbour better than serving by an offset (main HO event)
+    A4 = "A4"  # neighbour above threshold
+    A5 = "A5"  # serving below threshold1 and neighbour above threshold2
+    B1 = "B1"  # inter-RAT neighbour above threshold
+    B2 = "B2"  # serving below threshold1, inter-RAT neighbour above threshold2
+
+
+@dataclass(frozen=True)
+class EventThresholds:
+    """Operator-configured thresholds, in the RSRQ (dB) domain."""
+
+    a1_serving_db: float = -8.6
+    a2_serving_db: float = -18.5
+    a3_offset_db: float = 3.0
+    a4_neighbor_db: float = -10.5
+    a5_serving_db: float = -17.0
+    a5_neighbor_db: float = -15.0
+    b1_inter_rat_db: float = -5.5
+    b2_serving_db: float = -17.0
+    b2_inter_rat_db: float = -7.0
+
+
+@dataclass(frozen=True)
+class MeasurementEvent:
+    """One event instance in a measurement report."""
+
+    time_s: float
+    event_type: EventType
+    serving_db: float
+    neighbor_db: float
+
+
+def classify_events(
+    time_s: float,
+    serving_db: float,
+    best_neighbor_db: float,
+    inter_rat_db: float | None = None,
+    thresholds: EventThresholds | None = None,
+) -> list[MeasurementEvent]:
+    """Evaluate all event conditions for one measurement report.
+
+    Args:
+        time_s: Report timestamp.
+        serving_db: Serving-cell RSRQ.
+        best_neighbor_db: Best intra-RAT neighbour RSRQ.
+        inter_rat_db: Best inter-RAT (e.g. 4G while on 5G) RSRQ, if measured.
+        thresholds: Operator thresholds; defaults reproduce the observed
+            event mix, dominated by A1 and A3.
+
+    Returns:
+        Every event whose entry condition holds at this instant.
+    """
+    th = thresholds if thresholds is not None else EventThresholds()
+    events: list[MeasurementEvent] = []
+
+    def _add(event_type: EventType) -> None:
+        events.append(
+            MeasurementEvent(
+                time_s=time_s,
+                event_type=event_type,
+                serving_db=serving_db,
+                neighbor_db=best_neighbor_db,
+            )
+        )
+
+    if serving_db > th.a1_serving_db:
+        _add(EventType.A1)
+    if serving_db < th.a2_serving_db:
+        _add(EventType.A2)
+    if best_neighbor_db > serving_db + th.a3_offset_db:
+        _add(EventType.A3)
+    if best_neighbor_db > th.a4_neighbor_db:
+        _add(EventType.A4)
+    if serving_db < th.a5_serving_db and best_neighbor_db > th.a5_neighbor_db:
+        _add(EventType.A5)
+    if inter_rat_db is not None:
+        if inter_rat_db > th.b1_inter_rat_db:
+            _add(EventType.B1)
+        if serving_db < th.b2_serving_db and inter_rat_db > th.b2_inter_rat_db:
+            _add(EventType.B2)
+    return events

@@ -1,0 +1,446 @@
+"""Hand-off decision and execution under the 5G NSA architecture.
+
+Implements the paper's Sec. 3.4 / Appendix A machinery:
+
+* the A3 trigger of Eq. (1) — the neighbour's RSRQ must exceed the
+  serving cell's by a 3 dB hysteresis continuously for a 324 ms
+  time-to-trigger;
+* the signaling procedures per hand-off kind, with per-step latencies.
+  Under NSA a 5G-5G hand-off cannot switch gNBs directly: the UE releases
+  its NR leg, hands the 4G anchor over, then re-adds NR on the target —
+  which is why it takes ~108 ms against ~30 ms for a plain 4G-4G hand-off;
+* vertical hand-offs: losing NR service drops the UE to its LTE anchor
+  (5G-4G) and recovering NR coverage re-adds the leg (4G-5G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import DEFAULT_HANDOFF_CONFIG, HandoffConfig
+from repro.mobility.walker import TrajectoryPoint
+from repro.radio.cell import RadioNetwork
+from repro.radio.signal import MIN_SERVICE_RSRP_DBM
+
+__all__ = [
+    "HandoffKind",
+    "SignalingStep",
+    "HandoffProcedure",
+    "HandoffEvent",
+    "HandoffCampaign",
+    "HandoffEngine",
+]
+
+
+class HandoffKind:
+    """Canonical hand-off kind labels used throughout the experiments."""
+
+    LTE_TO_LTE = "4G-4G"
+    NR_TO_NR = "5G-5G"
+    NR_TO_LTE = "5G-4G"
+    LTE_TO_NR = "4G-5G"
+
+    ALL = (LTE_TO_LTE, NR_TO_NR, NR_TO_LTE, LTE_TO_NR)
+
+
+@dataclass(frozen=True)
+class SignalingStep:
+    """One control-plane message exchange with its mean latency."""
+
+    name: str
+    mean_latency_s: float
+
+
+#: Signaling procedures reverse-engineered from XCAL traces (Appendix A,
+#: Fig. 24).  Mean step latencies are calibrated so the totals match the
+#: measured averages: 30.10 ms (4G-4G), 108.40 ms (5G-5G), 80.23 ms (4G-5G).
+_PROCEDURES: dict[str, tuple[SignalingStep, ...]] = {
+    HandoffKind.LTE_TO_LTE: (
+        SignalingStep("measurement report", 0.002),
+        SignalingStep("hand-off request", 0.004),
+        SignalingStep("admission control", 0.005),
+        SignalingStep("RRC connection reconfiguration", 0.008),
+        SignalingStep("random access procedure", 0.008),
+        SignalingStep("path switch", 0.003),
+    ),
+    HandoffKind.NR_TO_NR: (
+        SignalingStep("measurement report", 0.002),
+        SignalingStep("NR resource release at source", 0.015),
+        SignalingStep("hand-off request (anchor eNB)", 0.004),
+        SignalingStep("admission control", 0.005),
+        SignalingStep("T-gNB addition request", 0.006),
+        SignalingStep("T-gNB addition request ACK", 0.004),
+        SignalingStep("RRC connection reconfiguration (x3)", 0.024),
+        SignalingStep("SN status transfer", 0.005),
+        SignalingStep("link synchronization with T-eNB", 0.020),
+        SignalingStep("random access procedure", 0.008),
+        SignalingStep("T-gNB RRC reconfiguration complete", 0.0154),
+    ),
+    HandoffKind.LTE_TO_NR: (
+        SignalingStep("B1 measurement report", 0.002),
+        SignalingStep("gNB addition request", 0.010),
+        SignalingStep("gNB addition request ACK", 0.008),
+        SignalingStep("RRC connection reconfiguration", 0.015),
+        SignalingStep("link synchronization", 0.020),
+        SignalingStep("random access procedure (NR)", 0.012),
+        SignalingStep("RRC reconfiguration complete", 0.013),
+    ),
+    HandoffKind.NR_TO_LTE: (
+        SignalingStep("measurement report", 0.002),
+        SignalingStep("NR resource release", 0.015),
+        SignalingStep("RRC connection reconfiguration", 0.012),
+        SignalingStep("data path roll-back to eNB", 0.016),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class HandoffProcedure:
+    """A realized signaling procedure: the steps with drawn latencies."""
+
+    kind: str
+    step_latencies_s: tuple[tuple[str, float], ...]
+
+    @property
+    def total_latency_s(self) -> float:
+        """Sum of the drawn step latencies."""
+        return sum(latency for _, latency in self.step_latencies_s)
+
+    @classmethod
+    def draw(cls, kind: str, rng: np.random.Generator) -> "HandoffProcedure":
+        """Draw per-step latencies for a hand-off of ``kind``.
+
+        Step latencies are gamma-distributed around their calibrated means
+        (shape 9, giving ~33% coefficient of variation as in the measured
+        CDFs of Fig. 6).
+        """
+        try:
+            steps = _PROCEDURES[kind]
+        except KeyError:
+            raise ValueError(f"unknown hand-off kind {kind!r}") from None
+        shape = 9.0
+        drawn = tuple(
+            (step.name, float(rng.gamma(shape, step.mean_latency_s / shape)))
+            for step in steps
+        )
+        return cls(kind=kind, step_latencies_s=drawn)
+
+    @staticmethod
+    def mean_latency_s(kind: str) -> float:
+        """Calibrated mean total latency for a hand-off kind."""
+        return sum(step.mean_latency_s for step in _PROCEDURES[kind])
+
+
+@dataclass(frozen=True)
+class HandoffEvent:
+    """One executed hand-off."""
+
+    time_s: float
+    kind: str
+    source_pci: int
+    target_pci: int
+    latency_s: float
+    rsrq_before_db: float
+    rsrq_after_db: float
+
+    @property
+    def rsrq_gain_db(self) -> float:
+        """Instantaneous RSRQ change across the hand-off (Fig. 5)."""
+        return self.rsrq_after_db - self.rsrq_before_db
+
+
+@dataclass
+class TraceSample:
+    """One measurement report in the campaign trace (Fig. 4 raw data)."""
+
+    time_s: float
+    rat: str
+    serving_pci: int
+    serving_rsrq_db: float
+    neighbor_rsrqs_db: dict[int, float] = field(default_factory=dict)
+    inter_rat_rsrq_db: float | None = None
+
+
+@dataclass
+class HandoffCampaign:
+    """Everything a hand-off measurement walk produced."""
+
+    events: list[HandoffEvent] = field(default_factory=list)
+    trace: list[TraceSample] = field(default_factory=list)
+    outages: list[tuple[float, float]] = field(default_factory=list)
+
+    def events_of_kind(self, kind: str) -> list[HandoffEvent]:
+        """All events of one hand-off kind."""
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def horizontal_count(self) -> int:
+        """5G-5G plus 4G-4G event count."""
+        return len(self.events_of_kind(HandoffKind.NR_TO_NR)) + len(
+            self.events_of_kind(HandoffKind.LTE_TO_LTE)
+        )
+
+    @property
+    def vertical_count(self) -> int:
+        """5G-4G plus 4G-5G event count."""
+        return len(self.events_of_kind(HandoffKind.NR_TO_LTE)) + len(
+            self.events_of_kind(HandoffKind.LTE_TO_NR)
+        )
+
+
+class HandoffEngine:
+    """Runs the NSA dual-connectivity hand-off logic over a trajectory.
+
+    The UE always holds an LTE anchor; an NR leg is attached whenever NR
+    coverage allows.  A3 events steer both legs; losing/regaining NR
+    service causes vertical hand-offs.
+
+    Args:
+        nr_network: The 5G campus network.
+        lte_network: The 4G campus network (anchors + infill).
+        rng: Randomness for signaling latency draws.
+        config: A3 hysteresis / time-to-trigger parameters.
+        nr_reentry_margin_db: RSRP above the service floor required before
+            re-adding the NR leg, preventing ping-pong at the coverage
+            edge.
+        measurement_noise_db: Std-dev of per-report RSRQ measurement noise.
+            Real filtered RSRQ reports jitter by 1-2 dB, which is what
+            makes a quarter of triggered hand-offs land on a worse cell
+            (Fig. 5).
+    """
+
+    def __init__(
+        self,
+        nr_network: RadioNetwork,
+        lte_network: RadioNetwork,
+        rng: np.random.Generator,
+        config: HandoffConfig = DEFAULT_HANDOFF_CONFIG,
+        nr_reentry_margin_db: float = 12.0,
+        measurement_noise_db: float = 1.5,
+    ) -> None:
+        self.nr = nr_network
+        self.lte = lte_network
+        self.config = config
+        self.nr_reentry_margin_db = nr_reentry_margin_db
+        self.measurement_noise_db = measurement_noise_db
+        self._rng = rng
+
+    def _measured(self, rsrq_db: float) -> float:
+        """Apply report-level measurement noise."""
+        if self.measurement_noise_db <= 0.0:
+            return rsrq_db
+        return rsrq_db + float(self._rng.normal(0.0, self.measurement_noise_db))
+
+    def run(self, trajectory: Iterable[TrajectoryPoint]) -> HandoffCampaign:
+        """Walk ``trajectory``, producing hand-off events and traces."""
+        campaign = HandoffCampaign()
+        nr_pci: int | None = None
+        lte_pci: int | None = None
+        a3_since: dict[str, float | None] = {"nr": None, "lte": None}
+        nr_good_since: float | None = None
+        blocked_until = -1.0
+        attached = False
+
+        for sample in trajectory:
+            t, loc = sample.time_s, sample.location
+            nr_rsrps = self.nr.rsrp_map_at(loc)
+            lte_rsrps = self.lte.rsrp_map_at(loc)
+
+            if not attached:
+                # Initial attach: pick the LTE anchor and, if covered, the
+                # NR leg without emitting hand-off events.  Later NR
+                # re-attachment goes through the 4G-5G procedure below.
+                lte_pci = max(lte_rsrps, key=lambda p: lte_rsrps[p])
+                if self._nr_usable(nr_rsrps):
+                    nr_pci = max(nr_rsrps, key=lambda p: nr_rsrps[p])
+                attached = True
+
+            on_nr = nr_pci is not None
+            serving_rsrps = nr_rsrps if on_nr else lte_rsrps
+            serving_net = self.nr if on_nr else self.lte
+            serving_pci = nr_pci if on_nr else lte_pci
+            serving_sample = serving_net.sample_from_rsrps(serving_rsrps, serving_pci)
+            serving_rsrq = self._measured(serving_sample.rsrq_db)
+            neighbor_rsrqs = {
+                pci: self._measured(serving_net.sample_from_rsrps(serving_rsrps, pci).rsrq_db)
+                for pci in serving_rsrps
+                if pci != serving_pci
+            }
+            # Inter-RAT measurement: the LTE anchor while riding NR, or the
+            # best NR cell while camped on LTE (feeds B1/B2 events).
+            if on_nr:
+                inter_rat = self.lte.sample_from_rsrps(lte_rsrps, lte_pci).rsrq_db
+            else:
+                best_nr_pci = max(nr_rsrps, key=lambda p: nr_rsrps[p])
+                inter_rat = self.nr.sample_from_rsrps(nr_rsrps, best_nr_pci).rsrq_db
+            campaign.trace.append(
+                TraceSample(
+                    time_s=t,
+                    rat="5G" if on_nr else "4G",
+                    serving_pci=serving_pci,
+                    serving_rsrq_db=serving_rsrq,
+                    neighbor_rsrqs_db=neighbor_rsrqs,
+                    inter_rat_rsrq_db=self._measured(inter_rat),
+                )
+            )
+
+            if t < blocked_until:
+                continue
+
+            # Vertical: NR leg lost -> fall back to the LTE anchor.
+            if on_nr and nr_rsrps[nr_pci] < MIN_SERVICE_RSRP_DBM:
+                best_nr = max(nr_rsrps, key=lambda p: nr_rsrps[p])
+                if nr_rsrps[best_nr] >= MIN_SERVICE_RSRP_DBM:
+                    # A usable neighbour exists; let A3 handle it instead.
+                    pass
+                else:
+                    blocked_until = self._execute(
+                        campaign,
+                        t,
+                        HandoffKind.NR_TO_LTE,
+                        source_pci=nr_pci,
+                        target_pci=lte_pci,
+                        rsrq_before=serving_rsrq,
+                        after_net=self.lte,
+                        after_rsrps=lte_rsrps,
+                        after_pci=lte_pci,
+                    )
+                    nr_pci = None
+                    a3_since["nr"] = None
+                    nr_good_since = None
+                    continue
+
+            # Vertical: NR coverage recovered -> re-add the NR leg (B1).
+            if not on_nr:
+                best_nr = max(nr_rsrps, key=lambda p: nr_rsrps[p])
+                if nr_rsrps[best_nr] >= MIN_SERVICE_RSRP_DBM + self.nr_reentry_margin_db:
+                    if nr_good_since is None:
+                        nr_good_since = t
+                    elif t - nr_good_since >= 3.0 * self.config.time_to_trigger_s:
+                        blocked_until = self._execute(
+                            campaign,
+                            t,
+                            HandoffKind.LTE_TO_NR,
+                            source_pci=lte_pci,
+                            target_pci=best_nr,
+                            rsrq_before=serving_rsrq,
+                            after_net=self.nr,
+                            after_rsrps=nr_rsrps,
+                            after_pci=best_nr,
+                        )
+                        nr_pci = best_nr
+                        nr_good_since = None
+                        continue
+                else:
+                    nr_good_since = None
+
+            # Horizontal A3 on the active data leg.
+            leg = "nr" if on_nr else "lte"
+            if neighbor_rsrqs:
+                best_pci = max(neighbor_rsrqs, key=lambda p: neighbor_rsrqs[p])
+                gap = neighbor_rsrqs[best_pci] - serving_rsrq
+                if gap > self.config.hysteresis_db:
+                    if a3_since[leg] is None:
+                        a3_since[leg] = t
+                    elif t - a3_since[leg] >= self.config.time_to_trigger_s:
+                        kind = HandoffKind.NR_TO_NR if on_nr else HandoffKind.LTE_TO_LTE
+                        blocked_until = self._execute(
+                            campaign,
+                            t,
+                            kind,
+                            source_pci=serving_pci,
+                            target_pci=best_pci,
+                            rsrq_before=serving_rsrq,
+                            after_net=serving_net,
+                            after_rsrps=serving_rsrps,
+                            after_pci=best_pci,
+                        )
+                        if on_nr:
+                            nr_pci = best_pci
+                        else:
+                            lte_pci = best_pci
+                        a3_since[leg] = None
+                else:
+                    a3_since[leg] = None
+
+            # The 4G anchor keeps its own A3 mobility even while the data
+            # plane rides NR (NSA dual connectivity).
+            if on_nr:
+                anchor_sample = self.lte.sample_from_rsrps(lte_rsrps, lte_pci)
+                anchor_rsrq = self._measured(anchor_sample.rsrq_db)
+                anchor_neighbors = {
+                    pci: self._measured(self.lte.sample_from_rsrps(lte_rsrps, pci).rsrq_db)
+                    for pci in lte_rsrps
+                    if pci != lte_pci
+                }
+                best_anchor = max(anchor_neighbors, key=lambda p: anchor_neighbors[p])
+                if anchor_neighbors[best_anchor] - anchor_rsrq > self.config.hysteresis_db:
+                    if a3_since["lte"] is None:
+                        a3_since["lte"] = t
+                    elif t - a3_since["lte"] >= self.config.time_to_trigger_s:
+                        blocked_until = self._execute(
+                            campaign,
+                            t,
+                            HandoffKind.LTE_TO_LTE,
+                            source_pci=lte_pci,
+                            target_pci=best_anchor,
+                            rsrq_before=anchor_rsrq,
+                            after_net=self.lte,
+                            after_rsrps=lte_rsrps,
+                            after_pci=best_anchor,
+                        )
+                        lte_pci = best_anchor
+                        a3_since["lte"] = None
+                else:
+                    a3_since["lte"] = None
+
+        return campaign
+
+    def _nr_usable(self, nr_rsrps: dict[int, float]) -> bool:
+        return max(nr_rsrps.values()) >= MIN_SERVICE_RSRP_DBM
+
+    def _execute(
+        self,
+        campaign: HandoffCampaign,
+        t: float,
+        kind: str,
+        source_pci: int,
+        target_pci: int,
+        rsrq_before: float,
+        after_net: RadioNetwork,
+        after_rsrps: dict[int, float],
+        after_pci: int,
+    ) -> float:
+        """Record one hand-off; returns the time the UE is busy until."""
+        procedure = HandoffProcedure.draw(kind, self._rng)
+        latency = procedure.total_latency_s
+        rsrq_after = after_net.sample_from_rsrps(after_rsrps, after_pci).rsrq_db
+        campaign.events.append(
+            HandoffEvent(
+                time_s=t,
+                kind=kind,
+                source_pci=source_pci,
+                target_pci=target_pci,
+                latency_s=latency,
+                rsrq_before_db=rsrq_before,
+                rsrq_after_db=rsrq_after,
+            )
+        )
+        campaign.outages.append((t, t + latency))
+        return t + latency
+
+
+def rsrq_gain_cdf_fraction(
+    events: Sequence[HandoffEvent], threshold_db: float = 3.0
+) -> float:
+    """Fraction of hand-offs whose RSRQ gain exceeds ``threshold_db``.
+
+    The paper reports only ~75% of hand-offs gain more than the 3 dB the
+    trigger nominally guarantees (Fig. 5).
+    """
+    if not events:
+        raise ValueError("no hand-off events")
+    return sum(1 for e in events if e.rsrq_gain_db > threshold_db) / len(events)

@@ -1,0 +1,61 @@
+"""Standalone (SA) 5G projections (Sec. 8, "Exploiting the coexistence...").
+
+The paper attributes the 108 ms 5G-5G hand-off and the doubled energy tail
+to the NSA architecture, and predicts both go away once SA gives NR its own
+control plane.  This module encodes those projections so the ablation
+benchmarks can quantify the NSA→SA gains:
+
+* a direct gNB-to-gNB (Xn) hand-off procedure — no NR release, no anchor
+  hand-off, no re-addition;
+* an SA DRX configuration with the Rel-15 RRC_INACTIVE state: connection
+  context survives release, so promotion is fast and the tail is short.
+"""
+
+from __future__ import annotations
+
+from repro.energy.drx import DrxConfig, RadioPowerProfile, NR_POWER
+from repro.mobility.handoff import SignalingStep
+
+__all__ = [
+    "SA_NR_TO_NR_STEPS",
+    "sa_handoff_mean_latency_s",
+    "draw_sa_handoff",
+    "NR_SA_DRX_CONFIG",
+    "NR_SA_POWER",
+]
+
+#: Direct Xn hand-off between gNBs under SA: the same four phases as a 4G
+#: X2 hand-off, on NR timing.
+SA_NR_TO_NR_STEPS: tuple[SignalingStep, ...] = (
+    SignalingStep("measurement report", 0.002),
+    SignalingStep("Xn hand-off request", 0.004),
+    SignalingStep("admission control", 0.005),
+    SignalingStep("RRC reconfiguration", 0.008),
+    SignalingStep("random access procedure (NR)", 0.008),
+    SignalingStep("path switch (5GC)", 0.004),
+)
+
+#: SA DRX: RRC_INACTIVE keeps the UE context, cutting the promotion to a
+#: resume exchange and letting the network release the connection quickly.
+NR_SA_DRX_CONFIG = DrxConfig(
+    promotion_s=0.080,  # RRC resume from INACTIVE
+    inactivity_s=0.100,
+    tail_s=5.0,  # aggressive release: INACTIVE makes long tails pointless
+)
+
+#: Same RF hardware as NSA — SA changes protocol states, not silicon.  The
+#: paper's point stands: the hardware floor remains.
+NR_SA_POWER: RadioPowerProfile = NR_POWER
+
+
+def sa_handoff_mean_latency_s() -> float:
+    """Mean latency of a direct SA 5G-5G hand-off."""
+    return sum(step.mean_latency_s for step in SA_NR_TO_NR_STEPS)
+
+
+def draw_sa_handoff(rng) -> float:
+    """Draw one SA hand-off latency (same gamma model as the NSA draws)."""
+    shape = 9.0
+    return float(
+        sum(rng.gamma(shape, step.mean_latency_s / shape) for step in SA_NR_TO_NR_STEPS)
+    )

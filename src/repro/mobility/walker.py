@@ -1,0 +1,114 @@
+"""Pedestrian mobility along the campus road network.
+
+The hand-off campaign (Sec. 3.4) was collected while walking/bicycling at
+3-10 km/h along campus roads; :class:`RouteWalker` reproduces that: it
+wanders the road graph at a configurable speed and emits a time-stamped
+position trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.geometry.campus import Campus
+from repro.geometry.points import Point, Segment
+
+__all__ = ["TrajectoryPoint", "RouteWalker"]
+
+#: Default speed range of the measurement campaign, km/h.
+MIN_SPEED_KMH = 3.0
+MAX_SPEED_KMH = 10.0
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One time-stamped sample of the walker's position."""
+
+    time_s: float
+    location: Point
+
+
+class RouteWalker:
+    """Walks the campus roads, turning at intersections at random.
+
+    Args:
+        campus: Road network to walk.
+        rng: Randomness source (turn choices, speed jitter).
+        speed_kmh: Walking speed; jittered per segment within +-20%.
+    """
+
+    def __init__(
+        self,
+        campus: Campus,
+        rng: np.random.Generator,
+        speed_kmh: float = 5.0,
+    ) -> None:
+        if not MIN_SPEED_KMH <= speed_kmh <= MAX_SPEED_KMH:
+            raise ValueError(
+                f"speed must be within the campaign range "
+                f"[{MIN_SPEED_KMH}, {MAX_SPEED_KMH}] km/h, got {speed_kmh}"
+            )
+        self._campus = campus
+        self._rng = rng
+        self._speed_mps = speed_kmh / 3.6
+
+    def _random_road(self) -> Segment:
+        roads = self._campus.roads
+        return roads[int(self._rng.integers(len(roads)))]
+
+    def trajectory(self, duration_s: float, dt_s: float = 0.040) -> Iterator[TrajectoryPoint]:
+        """Yield positions every ``dt_s`` for ``duration_s`` seconds.
+
+        The default 40 ms step matches the RRC measurement-report interval,
+        so the hand-off engine can consume the trace directly.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+
+        road = self._random_road()
+        heading_to_end = bool(self._rng.random() < 0.5)
+        fraction = float(self._rng.random())
+        time_s = 0.0
+        while time_s <= duration_s:
+            point = road.interpolate(fraction)
+            yield TrajectoryPoint(time_s=time_s, location=point)
+            speed = self._speed_mps * float(self._rng.uniform(0.8, 1.2))
+            step_fraction = speed * dt_s / max(road.length, 1e-9)
+            fraction += step_fraction if heading_to_end else -step_fraction
+            if fraction > 1.0 or fraction < 0.0:
+                # Reached the end of the road: turn onto a random new road,
+                # entering at the end nearest to the current position.
+                end = road.end if fraction > 1.0 else road.start
+                road = self._pick_next_road(end)
+                start_dist = end.distance_to(road.start)
+                end_dist = end.distance_to(road.end)
+                heading_to_end = start_dist <= end_dist
+                fraction = 0.0 if heading_to_end else 1.0
+            time_s += dt_s
+
+    def _pick_next_road(self, at: Point) -> Segment:
+        """Choose the next road, preferring ones passing near ``at``."""
+        nearby = [
+            seg
+            for seg in self._campus.roads
+            if _distance_point_to_segment(at, seg) < 15.0
+        ]
+        candidates = nearby if nearby else list(self._campus.roads)
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+def _distance_point_to_segment(p: Point, seg: Segment) -> float:
+    """Shortest distance from ``p`` to ``seg``."""
+    dx = seg.end.x - seg.start.x
+    dy = seg.end.y - seg.start.y
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return p.distance_to(seg.start)
+    t = ((p.x - seg.start.x) * dx + (p.y - seg.start.y) * dy) / length_sq
+    t = min(1.0, max(0.0, t))
+    return p.distance_to(Point(seg.start.x + t * dx, seg.start.y + t * dy))

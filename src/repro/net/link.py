@@ -1,0 +1,239 @@
+"""Links with DropTail buffers, and bursty cross-traffic modulation.
+
+A :class:`Link` models one forwarding hop: a finite DropTail queue feeding
+a serializer of some rate, followed by a propagation delay.  Queue
+overflow is the only loss mechanism in the wired network — exactly the
+bottleneck the paper identifies (Sec. 4.2): core-Internet router buffers
+sized for 4G-era flows overflow in bursts under 5G-scale workloads.
+
+Cross traffic is modelled as an ON/OFF modulation of the link's available
+rate rather than as individual packets, which keeps event counts
+manageable while preserving the bursty-overflow dynamics that produce the
+paper's Fig. 11 loss pattern.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.net.sim import Simulator
+
+__all__ = ["DropTailQueue", "Link", "CrossTraffic", "DelayProcess"]
+
+
+class DropTailQueue:
+    """A finite FIFO of packets; arrivals beyond capacity are dropped."""
+
+    def __init__(self, capacity_packets: int) -> None:
+        if capacity_packets < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity_packets}")
+        self.capacity_packets = capacity_packets
+        self._queue: deque[Packet] = deque()
+        self.drops = 0
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.capacity_packets:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Packet | None:
+        """Dequeue the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    @property
+    def occupancy(self) -> int:
+        """Packets currently queued."""
+        return len(self._queue)
+
+
+class CrossTraffic:
+    """ON/OFF background load stealing capacity from a link.
+
+    During ON bursts the background occupies ``burst_fraction`` of the
+    link; OFF periods leave the link free.  Durations are exponentially
+    distributed.  The long-run mean load is
+    ``burst_fraction * on_s / (on_s + off_s)``.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        burst_fraction: float = 0.85,
+        mean_on_s: float = 0.012,
+        mean_off_s: float = 0.012,
+    ) -> None:
+        if not 0.0 < burst_fraction < 1.0:
+            raise ValueError(f"burst_fraction must be in (0, 1), got {burst_fraction}")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("burst durations must be positive")
+        self._rng = rng
+        self.burst_fraction = burst_fraction
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self._on = False
+        self._phase_ends_at = 0.0
+
+    def load_at(self, now: float) -> float:
+        """Fraction of the link consumed by cross traffic at ``now``.
+
+        Time must be queried monotonically (as the simulator does).
+        """
+        while now >= self._phase_ends_at:
+            self._on = not self._on
+            mean = self.mean_on_s if self._on else self.mean_off_s
+            self._phase_ends_at += float(self._rng.exponential(mean))
+        return self.burst_fraction if self._on else 0.0
+
+    @property
+    def mean_load(self) -> float:
+        """Long-run average load fraction."""
+        return self.burst_fraction * self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+
+
+class DelayProcess:
+    """Slowly-varying extra latency on a link.
+
+    Cellular access delay wanders over tens-of-milliseconds timescales
+    (scheduling grants, HARQ round trips, DRX alignment) independent of
+    congestion.  The wandering floor makes any minimum-tracking RTT
+    estimator (Vegas's baseRTT, Veno's backlog estimate) systematically
+    optimistic, which is the classic reason delay-based congestion
+    control underperforms on cellular links.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        max_extra_s: float = 0.008,
+        redraw_interval_s: float = 0.3,
+    ) -> None:
+        if max_extra_s < 0 or redraw_interval_s <= 0:
+            raise ValueError("invalid delay-process parameters")
+        self._rng = rng
+        self.max_extra_s = max_extra_s
+        self.redraw_interval_s = redraw_interval_s
+        self._current = float(rng.uniform(0.0, max_extra_s))
+        self._redraw_at = redraw_interval_s
+
+    def extra_delay_s(self, now: float) -> float:
+        """Extra one-way delay at time ``now`` (monotonic queries)."""
+        while now >= self._redraw_at:
+            self._current = float(self._rng.uniform(0.0, self.max_extra_s))
+            self._redraw_at += self.redraw_interval_s
+        return self._current
+
+
+class Link:
+    """One hop: DropTail queue -> serializer -> propagation delay.
+
+    Args:
+        sim: Shared simulator.
+        rate_bps: Serialization rate.
+        delay_s: One-way propagation delay.
+        queue_capacity_packets: Router buffer at the link entrance.
+        name: Label for diagnostics.
+        cross_traffic: Optional background-load modulation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        delay_s: float,
+        queue_capacity_packets: int = 1000,
+        name: str = "link",
+        cross_traffic: CrossTraffic | None = None,
+        delay_process: "DelayProcess | None" = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay_s < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {delay_s}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue = DropTailQueue(queue_capacity_packets)
+        self.name = name
+        self.cross_traffic = cross_traffic
+        self.sink: Callable[[Packet], None] | None = None
+        self.delay_process = delay_process
+        self.delivered = 0
+        self.dropped_packets: list[int] = []
+        self._busy = False
+        self._paused = False
+        self._last_delivery_at = 0.0
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        """Set where serialized packets get delivered."""
+        self.sink = sink
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to this hop; drops silently on overflow."""
+        if self.sink is None:
+            raise RuntimeError(f"link {self.name!r} has no sink connected")
+        if not self.queue.push(packet):
+            self.dropped_packets.append(packet.packet_id)
+            return
+        if not self._busy and not self._paused:
+            self._transmit_next()
+
+    def pause(self) -> None:
+        """Stop serving the queue (hand-off outage); packets keep queueing."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume service after a pause."""
+        if not self._paused:
+            return
+        self._paused = False
+        if not self._busy:
+            self._transmit_next()
+
+    def current_rate_bps(self) -> float:
+        """Rate available to foreground traffic right now."""
+        rate = self.rate_bps
+        if self.cross_traffic is not None:
+            rate *= 1.0 - self.cross_traffic.load_at(self.sim.now)
+        return rate
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.pop()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        rate = max(self.current_rate_bps(), 1.0)
+        serialization = packet.size_bytes * 8 / rate
+        self.sim.schedule(serialization, self._serialized, packet)
+
+    def _serialized(self, packet: Packet) -> None:
+        delay = self.delay_s
+        if self.delay_process is not None:
+            delay += self.delay_process.extra_delay_s(self.sim.now)
+        # FIFO discipline: a falling delay process must not reorder.
+        arrival = max(self.sim.now + delay, self._last_delivery_at + 1e-9)
+        self._last_delivery_at = arrival
+        self.sim.schedule_at(arrival, self._deliver, packet)
+        if self._paused:
+            self._busy = False
+        else:
+            self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered += 1
+        assert self.sink is not None
+        self.sink(packet)

@@ -1,0 +1,55 @@
+"""Packets exchanged over the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+__all__ = ["Packet", "DATA", "ACK", "PROBE"]
+
+DATA = "data"
+ACK = "ack"
+PROBE = "probe"
+
+_ids = itertools.count(1)
+
+
+class Packet:
+    """One network packet.
+
+    Attributes:
+        packet_id: Globally unique id (useful for tracing loss patterns).
+        flow_id: Owning flow.
+        kind: ``"data"``, ``"ack"`` or ``"probe"``.
+        size_bytes: Wire size including headers.
+        seq: Transport sequence number (byte offset of first payload byte).
+        created_at: Simulation time the packet entered the network.
+        meta: Free-form per-protocol fields (ack numbers, timestamps...).
+    """
+
+    __slots__ = ("packet_id", "flow_id", "kind", "size_bytes", "seq", "created_at", "meta")
+
+    def __init__(
+        self,
+        flow_id: int,
+        kind: str,
+        size_bytes: int,
+        seq: int = 0,
+        created_at: float = 0.0,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.packet_id = next(_ids)
+        self.flow_id = flow_id
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.seq = seq
+        self.created_at = created_at
+        self.meta = meta if meta is not None else {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(id={self.packet_id}, flow={self.flow_id}, kind={self.kind}, "
+            f"seq={self.seq}, size={self.size_bytes})"
+        )

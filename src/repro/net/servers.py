@@ -1,0 +1,55 @@
+"""The 20 nationwide SPEEDTEST servers of the end-to-end delay study.
+
+Data reproduces the paper's Tab. 6 (Appendix C): server name, city,
+coordinates and great-circle distance from the measurement campus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.points import GeoPoint, haversine_km
+
+__all__ = ["SpeedtestServer", "SPEEDTEST_SERVERS", "CAMPUS_GEO"]
+
+#: The measurement campus (Beijing).
+CAMPUS_GEO = GeoPoint(39.96, 116.35)
+
+
+@dataclass(frozen=True)
+class SpeedtestServer:
+    """One remote probing target (Tab. 6)."""
+
+    server_id: int
+    name: str
+    city: str
+    location: GeoPoint
+    distance_km: float
+
+    def recomputed_distance_km(self) -> float:
+        """Haversine distance from the campus (sanity check vs Tab. 6)."""
+        return haversine_km(CAMPUS_GEO, self.location)
+
+
+SPEEDTEST_SERVERS: tuple[SpeedtestServer, ...] = (
+    SpeedtestServer(5145, "Beijing Unicom", "Beijing", GeoPoint(39.9289, 116.3883), 1.67),
+    SpeedtestServer(27154, "China Unicom 5G", "Tianjin", GeoPoint(39.1422, 117.1767), 111.65),
+    SpeedtestServer(5039, "China Unicom Jinan Branch", "Jinan", GeoPoint(36.6683, 116.9972), 366.42),
+    SpeedtestServer(25728, "China Mobile Liaoning Branch Dalian", "Dalian", GeoPoint(38.9128, 121.4989), 462.77),
+    SpeedtestServer(27100, "Shandong CMCC 5G", "Qingdao", GeoPoint(36.1748, 120.4284), 553.80),
+    SpeedtestServer(5396, "China Telecom Jiangsu 5G", "Suzhou", GeoPoint(31.3566, 120.4682), 638.00),
+    SpeedtestServer(16375, "China Mobile Jilin", "Changchun", GeoPoint(43.7914, 125.4784), 859.32),
+    SpeedtestServer(5724, "China Unicom", "Hefei", GeoPoint(31.8639, 117.2808), 900.06),
+    SpeedtestServer(5485, "China Unicom Hubei Branch", "Wuhan", GeoPoint(30.5801, 114.2734), 1056.52),
+    SpeedtestServer(4690, "China Unicom Lanzhou Branch Co.Ltd", "Lanzhou", GeoPoint(36.0564, 103.7922), 1183.99),
+    SpeedtestServer(6715, "China Mobile Zhejiang 5G", "Ningbo", GeoPoint(29.8573, 121.6323), 1213.23),
+    SpeedtestServer(4870, "Changsha Hunan Unicom Server1", "Changsha", GeoPoint(28.1792, 113.1136), 1341.73),
+    SpeedtestServer(5530, "CCN", "Chongqing", GeoPoint(29.5628, 106.5528), 1459.16),
+    SpeedtestServer(4884, "China Unicom Fujian", "Fuzhou", GeoPoint(26.0614, 119.3061), 1563.93),
+    SpeedtestServer(16398, "China Mobile Guizhou", "Guiyang", GeoPoint(26.6639, 106.6779), 1730.12),
+    SpeedtestServer(26678, "Guangzhou Unicom 5G", "Guangzhou", GeoPoint(23.1167, 113.25), 1890.52),
+    SpeedtestServer(5674, "GX Unicom", "Nanning", GeoPoint(22.8167, 108.3167), 2048.98),
+    SpeedtestServer(16503, "China Mobile Hainan", "Haikou", GeoPoint(19.9111, 110.3301), 2285.12),
+    SpeedtestServer(27575, "Xinjiang Telecom Cloud", "Urumqi", GeoPoint(43.801, 87.6005), 2404.00),
+    SpeedtestServer(17245, "China Mobile Group Xinjiang", "Kashi", GeoPoint(39.4694, 76.0739), 3426.37),
+)

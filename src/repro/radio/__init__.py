@@ -1,0 +1,92 @@
+"""Radio access layer: propagation, antennas, signal quality, link
+adaptation, PHY rates, HARQ and coverage surveying."""
+
+from repro.radio.antenna import OmniAntenna, SectorAntenna
+from repro.radio.cell import Cell, RadioNetwork
+from repro.radio.cpe import (
+    US_DSL_MEAN_BPS,
+    CpeLink,
+    DslComparison,
+    dsl_replacement_study,
+)
+from repro.radio.coverage import (
+    RSRP_BIN_EDGES,
+    SurveyPoint,
+    cell_grid_survey,
+    coverage_hole_fraction,
+    coverage_radius_m,
+    indoor_outdoor_gap,
+    road_survey,
+    rsrp_distribution,
+)
+from repro.radio.harq import RETRANSMISSION_THRESHOLD, HarqProcess, HarqStats
+from repro.radio.linkadapt import (
+    CQI_TABLE,
+    MAX_SPECTRAL_EFFICIENCY,
+    LinkAdaptation,
+    cqi_from_sinr,
+    spectral_efficiency_from_sinr,
+)
+from repro.radio.phy import (
+    TRANSPORT_EFFICIENCY,
+    PrbAllocation,
+    PrbAllocator,
+    max_phy_bit_rate,
+    phy_bit_rate,
+)
+from repro.radio.propagation import (
+    Environment,
+    free_space_path_loss_db,
+    uma_los_path_loss_db,
+    uma_nlos_path_loss_db,
+    wall_penetration_loss_db,
+)
+from repro.radio.signal import (
+    MIN_SERVICE_RSRP_DBM,
+    SignalSample,
+    combine_signal,
+    noise_per_re_dbm,
+    rsrp_dbm,
+)
+
+__all__ = [
+    "CQI_TABLE",
+    "Cell",
+    "CpeLink",
+    "DslComparison",
+    "Environment",
+    "HarqProcess",
+    "HarqStats",
+    "LinkAdaptation",
+    "MAX_SPECTRAL_EFFICIENCY",
+    "MIN_SERVICE_RSRP_DBM",
+    "OmniAntenna",
+    "PrbAllocation",
+    "PrbAllocator",
+    "RETRANSMISSION_THRESHOLD",
+    "RSRP_BIN_EDGES",
+    "RadioNetwork",
+    "SectorAntenna",
+    "SignalSample",
+    "SurveyPoint",
+    "TRANSPORT_EFFICIENCY",
+    "US_DSL_MEAN_BPS",
+    "cell_grid_survey",
+    "combine_signal",
+    "coverage_hole_fraction",
+    "coverage_radius_m",
+    "cqi_from_sinr",
+    "dsl_replacement_study",
+    "free_space_path_loss_db",
+    "indoor_outdoor_gap",
+    "max_phy_bit_rate",
+    "noise_per_re_dbm",
+    "phy_bit_rate",
+    "road_survey",
+    "rsrp_dbm",
+    "rsrp_distribution",
+    "spectral_efficiency_from_sinr",
+    "uma_los_path_loss_db",
+    "uma_nlos_path_loss_db",
+    "wall_penetration_loss_db",
+]

@@ -1,0 +1,68 @@
+"""Sectorized base-station antenna patterns.
+
+The paper notes that gNBs use fan-shaped sector antennas with a narrow
+field of view, which leaves locations outside any sector boresight
+uncovered (locations B/C in Fig. 2(b)).  We implement the standard 3GPP
+parabolic sector pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SectorAntenna", "OmniAntenna"]
+
+
+def _angle_difference_deg(a: float, b: float) -> float:
+    """Smallest signed angular difference ``a - b`` folded into [-180, 180)."""
+    return (a - b + 180.0) % 360.0 - 180.0
+
+
+@dataclass(frozen=True)
+class SectorAntenna:
+    """3GPP horizontal sector pattern: ``-min(12 (phi/phi_3dB)^2, A_m)``.
+
+    Attributes:
+        azimuth_deg: Boresight direction (0 = north, clockwise).
+        max_gain_dbi: Peak gain on boresight.
+        beamwidth_deg: 3 dB beamwidth (65 degrees is the 3GPP default).
+        front_to_back_db: Maximum attenuation off boresight.
+    """
+
+    azimuth_deg: float
+    max_gain_dbi: float = 17.0
+    beamwidth_deg: float = 65.0
+    front_to_back_db: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.beamwidth_deg <= 0:
+            raise ValueError(f"beamwidth must be positive, got {self.beamwidth_deg}")
+        if self.front_to_back_db < 0:
+            raise ValueError(
+                f"front-to-back ratio must be >= 0, got {self.front_to_back_db}"
+            )
+
+    def gain_dbi(self, direction_deg: float) -> float:
+        """Gain toward ``direction_deg`` (same convention as the azimuth)."""
+        off = _angle_difference_deg(direction_deg, self.azimuth_deg)
+        attenuation = min(12.0 * (off / self.beamwidth_deg) ** 2, self.front_to_back_db)
+        return self.max_gain_dbi - attenuation
+
+    def in_field_of_view(self, direction_deg: float, margin_db: float = 10.0) -> bool:
+        """True if the direction is within ``margin_db`` of peak gain."""
+        return self.gain_dbi(direction_deg) >= self.max_gain_dbi - margin_db
+
+
+@dataclass(frozen=True)
+class OmniAntenna:
+    """An idealized omnidirectional antenna (used by UEs and small cells)."""
+
+    max_gain_dbi: float = 0.0
+
+    def gain_dbi(self, direction_deg: float) -> float:
+        """Gain toward ``direction_deg`` (uniform for omni)."""
+        return self.max_gain_dbi
+
+    def in_field_of_view(self, direction_deg: float, margin_db: float = 10.0) -> bool:
+        """Always true: an omni antenna has no FoV edge."""
+        return True

@@ -1,0 +1,293 @@
+"""Coverage surveying: the blanket road survey, single-cell contours,
+coverage radius and the indoor/outdoor gap (Sec. 3.1-3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.stats import histogram_counts
+from repro.geometry.campus import Campus
+from repro.geometry.points import Point
+from repro.radio.cell import Cell, RadioNetwork
+from repro.radio.signal import MIN_SERVICE_RSRP_DBM
+
+__all__ = [
+    "RSRP_BIN_EDGES",
+    "SurveyPoint",
+    "road_survey",
+    "rsrp_distribution",
+    "coverage_hole_fraction",
+    "cell_grid_survey",
+    "coverage_radius_m",
+    "indoor_outdoor_gap",
+]
+
+#: Tab. 2 RSRP bins, ascending edges (dBm).
+RSRP_BIN_EDGES: tuple[float, ...] = (-140.0, -105.0, -90.0, -80.0, -70.0, -60.0, -40.0)
+
+
+@dataclass(frozen=True)
+class SurveyPoint:
+    """One sampled location of a survey."""
+
+    location: Point
+    pci: int
+    rsrp_dbm: float
+    rsrq_db: float
+    sinr_db: float
+    bit_rate_bps: float
+    indoor: bool
+
+    @property
+    def in_service(self) -> bool:
+        """Whether service can be initiated here (RSRP >= -105 dBm)."""
+        return self.rsrp_dbm >= MIN_SERVICE_RSRP_DBM
+
+
+def _survey_at(
+    network: RadioNetwork, location: Point, serving_pci: int | None = None
+) -> SurveyPoint:
+    """Measure the best (or locked) cell at one location."""
+    if serving_pci is None:
+        cell, _ = network.best_cell_at(location)
+        serving_pci = cell.pci
+    sample = network.sample_at(location, serving_pci=serving_pci)
+    rate = network.bit_rate_at(location, serving_pci=serving_pci)
+    return SurveyPoint(
+        location=location,
+        pci=serving_pci,
+        rsrp_dbm=sample.rsrp_dbm,
+        rsrq_db=sample.rsrq_db,
+        sinr_db=sample.sinr_db,
+        bit_rate_bps=rate,
+        indoor=network.environment.is_indoor(location),
+    )
+
+
+def road_locations(
+    campus: Campus, num_points: int, rng: np.random.Generator
+) -> list[Point]:
+    """Draw ``num_points`` random outdoor sampling locations on the roads.
+
+    Roads are chosen with probability proportional to length, matching a
+    walking survey at constant speed.
+    """
+    if num_points <= 0:
+        raise ValueError(f"num_points must be positive, got {num_points}")
+    lengths = np.array([seg.length for seg in campus.roads])
+    weights = lengths / lengths.sum()
+    choices = rng.choice(len(campus.roads), size=num_points, p=weights)
+    fractions = rng.random(num_points)
+    return [campus.roads[i].interpolate(f) for i, f in zip(choices, fractions)]
+
+
+def road_survey(
+    network: RadioNetwork,
+    campus: Campus,
+    num_points: int,
+    rng: np.random.Generator,
+) -> list[SurveyPoint]:
+    """The blanket road survey of Sec. 3.1 for one network."""
+    return [_survey_at(network, loc) for loc in road_locations(campus, num_points, rng)]
+
+
+def survey_at_locations(
+    network: RadioNetwork, locations: Sequence[Point]
+) -> list[SurveyPoint]:
+    """Survey the given fixed locations (for paired 4G/5G comparison)."""
+    return [_survey_at(network, loc) for loc in locations]
+
+
+def rsrp_distribution(
+    points: Sequence[SurveyPoint],
+) -> list[tuple[tuple[float, float], int, float]]:
+    """Tab. 2: counts and fractions per RSRP bin (ascending bins)."""
+    return histogram_counts((p.rsrp_dbm for p in points), RSRP_BIN_EDGES)
+
+
+def coverage_hole_fraction(points: Sequence[SurveyPoint]) -> float:
+    """Fraction of locations below the service threshold (coverage holes)."""
+    if not points:
+        raise ValueError("empty survey")
+    holes = sum(1 for p in points if not p.in_service)
+    return holes / len(points)
+
+
+def cell_grid_survey(
+    network: RadioNetwork,
+    pci: int,
+    grid_spacing_m: float = 20.0,
+    radius_m: float = 260.0,
+) -> list[SurveyPoint]:
+    """Grid survey around one locked cell, the Fig. 2(b) contour input.
+
+    Samples a square grid centred on the cell, skipping points outside
+    ``radius_m``.
+    """
+    if grid_spacing_m <= 0:
+        raise ValueError(f"grid_spacing_m must be positive, got {grid_spacing_m}")
+    cell = network.cell(pci)
+    points: list[SurveyPoint] = []
+    steps = int(radius_m // grid_spacing_m)
+    for ix in range(-steps, steps + 1):
+        for iy in range(-steps, steps + 1):
+            loc = cell.position.offset(ix * grid_spacing_m, iy * grid_spacing_m)
+            if cell.position.distance_to(loc) > radius_m:
+                continue
+            points.append(_survey_at(network, loc, serving_pci=pci))
+    return points
+
+
+def coverage_radius_m(
+    network: RadioNetwork,
+    pci: int,
+    step_m: float = 5.0,
+    max_range_m: float = 1200.0,
+) -> float:
+    """Distance along the sector boresight at which service is lost.
+
+    Uses the deterministic (shadowing- and building-free) path loss so the
+    answer is the clean line-of-sight radius the paper walks in Sec. 3.2
+    (~230 m for a gNB, ~520 m for an eNB).
+    """
+    from repro.radio.propagation import uma_los_path_loss_db
+    from repro.radio.signal import rsrp_dbm as compute_rsrp
+
+    cell = network.cell(pci)
+    env = network.environment
+    distance = step_m
+    while distance <= max_range_m:
+        loss = uma_los_path_loss_db(
+            distance, cell.profile.carrier_mhz, env.los_exponent
+        ) + env.clutter_db(distance, cell.profile.carrier_mhz)
+        rsrp = compute_rsrp(
+            tx_power_dbm=cell.profile.tx_power_dbm,
+            num_prb=cell.profile.num_prb,
+            antenna_gain_dbi=cell.antenna.max_gain_dbi,
+            path_loss_db=loss,
+        )
+        if rsrp < MIN_SERVICE_RSRP_DBM:
+            return distance - step_m
+        distance += step_m
+    return max_range_m
+
+
+@dataclass(frozen=True)
+class IndoorOutdoorGap:
+    """Paired indoor/outdoor bit-rate comparison (Fig. 3)."""
+
+    outdoor_rates_bps: tuple[float, ...]
+    indoor_rates_bps: tuple[float, ...]
+
+    @property
+    def mean_outdoor_bps(self) -> float:
+        """Mean outdoor bit-rate across the pairs."""
+        return float(np.mean(self.outdoor_rates_bps))
+
+    @property
+    def mean_indoor_bps(self) -> float:
+        """Mean indoor bit-rate across the pairs."""
+        return float(np.mean(self.indoor_rates_bps))
+
+    @property
+    def drop_fraction(self) -> float:
+        """Relative bit-rate drop when moving indoors."""
+        if self.mean_outdoor_bps == 0:
+            return 0.0
+        return 1.0 - self.mean_indoor_bps / self.mean_outdoor_bps
+
+
+def indoor_outdoor_gap(
+    network: RadioNetwork,
+    campus: Campus,
+    pci: int,
+    num_pairs: int,
+    rng: np.random.Generator,
+    min_distance_m: float = 90.0,
+    max_distance_m: float = 170.0,
+    locked: bool = True,
+) -> IndoorOutdoorGap:
+    """Measure immediately-adjacent indoor and outdoor spots near one cell.
+
+    For each pair we pick a cell-facing wall roughly 100 m from the base
+    station (the paper samples spots ~100 m from cell 72, locations
+    F/G/H/I), take a point just outside the wall and one just inside it,
+    and compare bit-rates — the Fig. 3 methodology.
+
+    Args:
+        locked: Measure with the UE frequency-locked to ``pci`` (how the
+            paper measured the NSA 5G cell).  With ``locked=False`` the UE
+            attaches to the best server at each spot, which is how an
+            unlocked 4G UE behaves.
+    """
+    if num_pairs <= 0:
+        raise ValueError(f"num_pairs must be positive, got {num_pairs}")
+    cell = network.cell(pci)
+    candidates = _wall_pair_candidates(network, cell, min_distance_m, max_distance_m)
+    if not candidates:
+        raise ValueError(
+            f"no serviceable in-FoV building walls within "
+            f"{min_distance_m}-{max_distance_m} m of PCI {pci}"
+        )
+    outdoor_rates: list[float] = []
+    indoor_rates: list[float] = []
+    for _ in range(num_pairs):
+        outdoor, indoor = candidates[int(rng.integers(len(candidates)))]
+        jitter = float(rng.uniform(-3.0, 3.0))
+        if abs(outdoor.x - indoor.x) > abs(outdoor.y - indoor.y):
+            outdoor, indoor = outdoor.offset(0.0, jitter), indoor.offset(0.0, jitter)
+        else:
+            outdoor, indoor = outdoor.offset(jitter, 0.0), indoor.offset(jitter, 0.0)
+        serving = pci if locked else None
+        outdoor_rates.append(network.bit_rate_at(outdoor, serving_pci=serving))
+        indoor_rates.append(network.bit_rate_at(indoor, serving_pci=serving))
+    return IndoorOutdoorGap(tuple(outdoor_rates), tuple(indoor_rates))
+
+
+def _wall_pair_candidates(
+    network: RadioNetwork, cell: Cell, min_distance_m: float, max_distance_m: float
+) -> list[tuple[Point, Point]]:
+    """(outdoor, indoor) point pairs on cell-facing walls.
+
+    Like the paper's spot choice near locations F/G/H/I, candidate walls
+    must face the sector (inside its field of view) and the outdoor spot
+    must have line of sight and be in service — adjacent spots straddling
+    one exterior wall.
+    """
+    pairs: list[tuple[Point, Point]] = []
+    for building in network.environment.buildings:
+        mid_x = (building.x_min + building.x_max) / 2.0
+        mid_y = (building.y_min + building.y_max) / 2.0
+        # Wall midpoints on the face toward the cell (one or two faces).
+        walls: list[tuple[Point, Point]] = []
+        if cell.position.x < building.x_min:
+            walls.append((Point(building.x_min - 2.0, mid_y), Point(building.x_min + 2.0, mid_y)))
+        elif cell.position.x > building.x_max:
+            walls.append((Point(building.x_max + 2.0, mid_y), Point(building.x_max - 2.0, mid_y)))
+        if cell.position.y < building.y_min:
+            walls.append((Point(mid_x, building.y_min - 2.0), Point(mid_x, building.y_min + 2.0)))
+        elif cell.position.y > building.y_max:
+            walls.append((Point(mid_x, building.y_max + 2.0), Point(mid_x, building.y_max - 2.0)))
+        for outdoor, indoor in walls:
+            if not min_distance_m <= cell.position.distance_to(outdoor) <= max_distance_m:
+                continue
+            bearing = cell.position.bearing_to(outdoor)
+            if not cell.antenna.in_field_of_view(bearing, margin_db=6.0):
+                continue
+            if not network.environment.buildings.has_line_of_sight(cell.position, outdoor):
+                continue
+            if not network.sample_at(outdoor, serving_pci=cell.pci).in_service:
+                continue
+            # The paper samples where the locked cell dominates; spots in
+            # another site's footprint would measure interference, not
+            # penetration.
+            best_out, _ = network.best_cell_at(outdoor)
+            best_in, _ = network.best_cell_at(indoor)
+            if best_out.position != cell.position or best_in.position != cell.position:
+                continue
+            pairs.append((outdoor, indoor))
+    return pairs

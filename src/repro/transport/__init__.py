@@ -1,0 +1,41 @@
+"""Transport protocols: TCP variants, UDP and the iperf-style harness."""
+
+from repro.transport.base import CongestionControl, FlowStats, TcpConnection, TcpReceiver, TcpSender
+from repro.transport.bbr import Bbr
+from repro.transport.cubic import Cubic
+from repro.transport.iperf import (
+    CC_ALGORITHMS,
+    TcpRunResult,
+    UdpRunResult,
+    make_cc,
+    run_tcp,
+    run_udp,
+    run_udp_baseline,
+)
+from repro.transport.reno import Reno
+from repro.transport.udp import UdpSender, UdpSink, loss_runs
+from repro.transport.vegas import Vegas
+from repro.transport.veno import Veno
+
+__all__ = [
+    "Bbr",
+    "CC_ALGORITHMS",
+    "CongestionControl",
+    "Cubic",
+    "FlowStats",
+    "Reno",
+    "TcpConnection",
+    "TcpReceiver",
+    "TcpRunResult",
+    "TcpSender",
+    "UdpRunResult",
+    "UdpSender",
+    "UdpSink",
+    "Vegas",
+    "Veno",
+    "loss_runs",
+    "make_cc",
+    "run_tcp",
+    "run_udp",
+    "run_udp_baseline",
+]

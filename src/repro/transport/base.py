@@ -1,0 +1,458 @@
+"""TCP sender/receiver machinery with pluggable congestion control.
+
+Implements the transport behaviour the paper's iperf3 experiments
+exercise: NewReno-style loss recovery (fast retransmit on three duplicate
+ACKs, partial-ACK retransmission), RFC 6298 RTO estimation, optional
+pacing (for BBR) and delivery-rate sampling.  Congestion control is a
+strategy object so Reno/Cubic/Vegas/Veno/BBR plug into identical
+machinery — matching the paper's methodology of switching kernel modules
+while keeping everything else fixed (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.net.packet import ACK, DATA, Packet
+from repro.net.path import NetworkPath
+from repro.net.sim import Event, Simulator
+
+__all__ = ["CongestionControl", "TcpSender", "TcpReceiver", "TcpConnection", "FlowStats"]
+
+_INITIAL_CWND_SEGMENTS = 10
+_DUPACK_THRESHOLD = 3
+_MIN_RTO_S = 0.2
+_MAX_RTO_S = 60.0
+_ACK_SIZE_BYTES = 60
+_HEADER_BYTES = 52  # IP + TCP headers on the wire
+
+
+class CongestionControl(ABC):
+    """Strategy interface for congestion-control algorithms."""
+
+    name: str = "abstract"
+
+    def __init__(self, mss_bytes: int, rate_scale: float = 1.0) -> None:
+        if not 0.0 < rate_scale <= 1.0:
+            raise ValueError(f"rate_scale must be in (0, 1], got {rate_scale}")
+        self.mss = mss_bytes
+        #: Bandwidth scale of the simulated path relative to the real
+        #: system.  Additive window increments are multiplied by this so
+        #: that AIMD recovery takes the same wall-clock time as at full
+        #: scale — the dimensionless ratio (loss-event interval / window
+        #: regrowth time) is what determines utilization, and it must
+        #: survive the rate down-scaling that keeps packet-level
+        #: simulation tractable.
+        self.rate_scale = rate_scale
+        self.cwnd_bytes: float = _INITIAL_CWND_SEGMENTS * mss_bytes
+        self.ssthresh_bytes: float = float("inf")
+
+    @property
+    def pacing_rate_bps(self) -> float | None:
+        """Pacing rate, or None for pure ACK clocking."""
+        return None
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether cwnd is still below the slow-start threshold."""
+        return self.cwnd_bytes < self.ssthresh_bytes
+
+    @abstractmethod
+    def on_ack(
+        self,
+        acked_bytes: int,
+        rtt_s: float,
+        now: float,
+        delivery_rate_bps: float | None = None,
+    ) -> None:
+        """New data was cumulatively acknowledged."""
+
+    @abstractmethod
+    def on_loss(self, now: float) -> None:
+        """Loss detected by fast retransmit."""
+
+    def on_timeout(self, now: float) -> None:
+        """Retransmission timeout: collapse to one segment."""
+        self.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd_bytes = float(self.mss)
+
+
+@dataclass
+class FlowStats:
+    """Counters and traces collected over a TCP flow's lifetime."""
+
+    bytes_acked: int = 0
+    packets_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    cwnd_trace: list[tuple[float, float]] = field(default_factory=list)
+    rtt_samples: list[tuple[float, float]] = field(default_factory=list)
+    delivered_trace: list[tuple[float, int]] = field(default_factory=list)
+
+    def throughput_bps(self, duration_s: float, from_s: float = 0.0) -> float:
+        """Mean goodput over ``[from_s, duration_s]`` from the ack trace."""
+        if duration_s <= from_s:
+            raise ValueError("duration must exceed the start offset")
+        start_bytes = 0
+        for t, delivered in self.delivered_trace:
+            if t <= from_s:
+                start_bytes = delivered
+            else:
+                break
+        end_bytes = self.delivered_trace[-1][1] if self.delivered_trace else 0
+        return (end_bytes - start_bytes) * 8 / (duration_s - from_s)
+
+
+class TcpReceiver:
+    """Receiver half: reassembly cursor plus cumulative ACK generation."""
+
+    def __init__(self, sim: Simulator, path: NetworkPath, flow_id: int) -> None:
+        self.sim = sim
+        self.path = path
+        self.flow_id = flow_id
+        self.rcv_next = 0
+        self._out_of_order: dict[int, int] = {}  # seq -> payload length
+        self.bytes_received = 0
+        path.on_forward_delivery(self._on_data)
+
+    def _on_data(self, packet: Packet) -> None:
+        if packet.kind != DATA or packet.flow_id != self.flow_id:
+            return
+        payload = packet.meta["payload"]
+        self.bytes_received += payload
+        if packet.seq == self.rcv_next:
+            self.rcv_next += payload
+            # Drain any contiguous buffered segments.
+            while self.rcv_next in self._out_of_order:
+                self.rcv_next += self._out_of_order.pop(self.rcv_next)
+        elif packet.seq > self.rcv_next:
+            self._out_of_order[packet.seq] = payload
+        ack = Packet(
+            flow_id=self.flow_id,
+            kind=ACK,
+            size_bytes=_ACK_SIZE_BYTES,
+            seq=0,
+            created_at=self.sim.now,
+            meta={
+                "ack": self.rcv_next,
+                "ts_echo": packet.meta.get("ts"),
+                "retx_echo": packet.meta.get("retx", False),
+                "sacked": sum(self._out_of_order.values()),
+                "holes": self._holes(),
+            },
+        )
+        self.path.send_reverse(ack)
+
+    def _holes(self, limit: int = 16) -> tuple[tuple[int, int], ...]:
+        """Missing byte ranges between the cumulative ack and the highest
+        out-of-order segment (a bounded SACK scoreboard)."""
+        if not self._out_of_order:
+            return ()
+        holes: list[tuple[int, int]] = []
+        cursor = self.rcv_next
+        for seq in sorted(self._out_of_order):
+            if seq > cursor:
+                holes.append((cursor, seq))
+                if len(holes) >= limit:
+                    break
+            cursor = max(cursor, seq + self._out_of_order[seq])
+        return tuple(holes)
+
+
+class TcpSender:
+    """Sender half: windowing, loss recovery, RTO, pacing, rate sampling."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: NetworkPath,
+        cc: CongestionControl,
+        flow_id: int,
+        transfer_bytes: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.path = path
+        self.cc = cc
+        self.flow_id = flow_id
+        self.mss = cc.mss
+        self.rwnd_bytes = path.config.rwnd_bytes
+        self.transfer_bytes = transfer_bytes
+
+        self.next_seq = 0
+        self.cum_ack = 0
+        self.high_water = 0
+        self.dup_acks = 0
+        self.recover_seq: int | None = None  # NewReno recovery point
+        self.delivered_bytes = 0
+        self.completed_at: float | None = None
+
+        self._sacked_bytes = 0
+        self._retx_times: dict[int, float] = {}
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self.rto_s = 1.0
+        self._rto_event: Event | None = None
+        self._pace_event: Event | None = None
+        self._send_log: dict[int, tuple[float, int]] = {}  # seq -> (time, delivered)
+
+        self.stats = FlowStats()
+        path.on_reverse_delivery(self._on_ack)
+
+    # -- public API ----------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting."""
+        self._try_send()
+
+    @property
+    def in_flight_bytes(self) -> int:
+        """Unacknowledged, un-SACKed bytes in the network."""
+        return max(self.next_seq - self.cum_ack - self._sacked_bytes, 0)
+
+    @property
+    def done(self) -> bool:
+        """Whether a fixed-size transfer is fully acknowledged."""
+        return (
+            self.transfer_bytes is not None and self.cum_ack >= self.transfer_bytes
+        )
+
+    # -- transmission --------------------------------------------------
+
+    def _window_bytes(self) -> float:
+        return min(self.cc.cwnd_bytes, float(self.rwnd_bytes))
+
+    def _has_data(self) -> bool:
+        if self.transfer_bytes is None:
+            return True
+        return self.next_seq < self.transfer_bytes
+
+    def _try_send(self) -> None:
+        pacing = self.cc.pacing_rate_bps
+        if pacing is not None:
+            self._pace(pacing)
+            return
+        while self._has_data() and self.in_flight_bytes + self.mss <= self._window_bytes():
+            self._transmit(self.next_seq, advance=True)
+
+    def _pace(self, pacing_rate: float) -> None:
+        if self._pace_event is not None:
+            return
+        if not self._has_data() or self.in_flight_bytes + self.mss > self._window_bytes():
+            return
+        self._transmit(self.next_seq, advance=True)
+        gap = self.mss * 8 / max(pacing_rate, 1.0)
+        self._pace_event = self.sim.schedule(gap, self._pace_tick)
+
+    def _pace_tick(self) -> None:
+        self._pace_event = None
+        pacing = self.cc.pacing_rate_bps
+        if pacing is not None:
+            self._pace(pacing)
+        else:
+            self._try_send()
+
+    def _transmit(self, seq: int, advance: bool, retx: bool = False) -> None:
+        payload = self.mss
+        if self.transfer_bytes is not None:
+            payload = min(payload, self.transfer_bytes - seq)
+            if payload <= 0:
+                return
+        # Anything below the high-water mark is a retransmission even when
+        # sent through the regular path (e.g. after an RTO rollback); Karn's
+        # rule then suppresses its RTT sample.
+        retx = retx or seq < self.high_water
+        packet = Packet(
+            flow_id=self.flow_id,
+            kind=DATA,
+            size_bytes=payload + _HEADER_BYTES,
+            seq=seq,
+            created_at=self.sim.now,
+            meta={"payload": payload, "ts": self.sim.now, "retx": retx},
+        )
+        self.stats.packets_sent += 1
+        if retx:
+            self.stats.retransmissions += 1
+        else:
+            # Delivery-rate bookkeeping counts SACKed bytes as delivered
+            # (as real BBR does); otherwise a cumulative-ACK jump after
+            # hole repair would attribute seconds of deliveries to one
+            # short interval and blow up the bandwidth estimate.
+            self._send_log[seq] = (self.sim.now, self.delivered_bytes + self._sacked_bytes)
+        if advance:
+            self.next_seq = seq + payload
+            self.high_water = max(self.high_water, self.next_seq)
+        self.path.send_forward(packet)
+        self._arm_rto()
+
+    # -- acknowledgement handling ---------------------------------------
+
+    def _on_ack(self, packet: Packet) -> None:
+        if packet.kind != ACK or packet.flow_id != self.flow_id:
+            return
+        ack = packet.meta["ack"]
+        now = self.sim.now
+
+        self._sacked_bytes = packet.meta.get("sacked", 0)
+        if ack > self.cum_ack:
+            newly_acked = ack - self.cum_ack
+            self.cum_ack = ack
+            self.delivered_bytes += newly_acked
+            self.dup_acks = 0
+            # Forward progress clears any RTO backoff (RFC 6298 restart).
+            if self.srtt is not None:
+                self.rto_s = min(max(self.srtt + 4 * self.rttvar, _MIN_RTO_S), _MAX_RTO_S)
+            self.stats.bytes_acked = self.delivered_bytes
+            self.stats.delivered_trace.append((now, self.delivered_bytes))
+
+            rtt, rate = self._rtt_and_rate_sample(packet, ack, now)
+            if rtt is not None:
+                self._update_rto(rtt)
+            if self.recover_seq is not None:
+                if ack >= self.recover_seq:
+                    self.recover_seq = None  # full recovery
+                else:
+                    # Partial ACK: the next hole starts exactly here.
+                    self._retransmit_hole(ack)
+            if rtt is not None or rate is not None:
+                self.cc.on_ack(
+                    newly_acked,
+                    rtt if rtt is not None else (self.srtt or 0.0),
+                    now,
+                    delivery_rate_bps=rate,
+                )
+            else:
+                self.cc.on_ack(newly_acked, self.srtt or 0.0, now)
+            self.stats.cwnd_trace.append((now, self.cc.cwnd_bytes))
+            self._arm_rto()
+            if self.done:
+                if self.completed_at is None:
+                    self.completed_at = now
+                self._cancel_rto()
+                return
+        else:
+            self.dup_acks += 1
+            if self.dup_acks == _DUPACK_THRESHOLD and self.recover_seq is None:
+                self.recover_seq = self.high_water
+                self.cc.on_loss(now)
+                self.stats.fast_retransmits += 1
+                self.stats.cwnd_trace.append((now, self.cc.cwnd_bytes))
+                self._retransmit_hole(self.cum_ack)
+        # SACK-style repair: refill every hole the receiver reports, at
+        # most once per smoothed RTT each (Linux TCP behaviour; NewReno's
+        # one-hole-per-RTT would stall for whole seconds under the bursty
+        # multi-packet drops of the 5G path).  This runs regardless of the
+        # recovery state: holes created above the recovery point would
+        # otherwise linger until an RTO whose backoff has spiralled.
+        for start, end in packet.meta.get("holes", ()):
+            seq = start
+            while seq < end:
+                self._retransmit_hole(seq)
+                seq += self.mss
+        self._try_send()
+
+    def _retransmit_hole(self, seq: int) -> None:
+        """Retransmit the segment at ``seq`` unless recently repaired."""
+        if seq < self.cum_ack:
+            return
+        recent = self._retx_times.get(seq)
+        holdoff = self.srtt if self.srtt is not None else self.rto_s
+        if recent is not None and self.sim.now - recent < holdoff:
+            return
+        self._retx_times[seq] = self.sim.now
+        if len(self._retx_times) > 8192:
+            self._retx_times = {
+                s2: t2 for s2, t2 in self._retx_times.items() if s2 >= self.cum_ack
+            }
+        self._transmit(seq, advance=False, retx=True)
+
+    def _rtt_and_rate_sample(
+        self, packet: Packet, ack: int, now: float
+    ) -> tuple[float | None, float | None]:
+        """RTT from the timestamp echo; delivery rate from the send log."""
+        rtt = None
+        if not packet.meta.get("retx_echo") and packet.meta.get("ts_echo") is not None:
+            rtt = now - packet.meta["ts_echo"]
+            self.stats.rtt_samples.append((now, rtt))
+        rate = None
+        # Find the send record for the last acked segment.
+        record = self._send_log.pop(ack - (ack % self.mss or self.mss), None)
+        # Drop stale records below the cumulative ack to bound memory.
+        if len(self._send_log) > 4096:
+            self._send_log = {
+                seq: rec for seq, rec in self._send_log.items() if seq >= self.cum_ack
+            }
+        if record is not None:
+            sent_at, delivered_at_send = record
+            elapsed = now - sent_at
+            delivered_now = self.delivered_bytes + self._sacked_bytes
+            if elapsed > 0 and delivered_now > delivered_at_send:
+                rate = (delivered_now - delivered_at_send) * 8 / elapsed
+        return rtt, rate
+
+    # -- retransmission timer --------------------------------------------
+
+    def _update_rto(self, rtt: float) -> None:
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+        self.rto_s = min(max(self.srtt + 4 * self.rttvar, _MIN_RTO_S), _MAX_RTO_S)
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        if self.in_flight_bytes > 0:
+            self._rto_event = self.sim.schedule(self.rto_s, self._on_timeout)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_timeout(self) -> None:
+        self._rto_event = None
+        if self.in_flight_bytes == 0:
+            return
+        self.stats.timeouts += 1
+        self.cc.on_timeout(self.sim.now)
+        self.stats.cwnd_trace.append((self.sim.now, self.cc.cwnd_bytes))
+        self.recover_seq = None
+        self.dup_acks = 0
+        self._retx_times.clear()
+        self.rto_s = min(self.rto_s * 2, _MAX_RTO_S)
+        # Go-back-N rollback: everything past the cumulative ACK is
+        # presumed lost (an RTO means no SACK feedback is flowing) and is
+        # resent window-by-window.  Without this, a tail-of-transfer burst
+        # loss would crawl out one segment per exponentially-backed-off
+        # timeout.
+        self.next_seq = self.cum_ack
+        self._try_send()
+
+
+@dataclass
+class TcpConnection:
+    """A wired-up sender/receiver pair over one path."""
+
+    sender: TcpSender
+    receiver: TcpReceiver
+
+    @classmethod
+    def establish(
+        cls,
+        sim: Simulator,
+        path: NetworkPath,
+        cc: CongestionControl,
+        flow_id: int = 1,
+        transfer_bytes: int | None = None,
+    ) -> "TcpConnection":
+        """Wire a receiver and sender onto ``path`` and return the pair."""
+        receiver = TcpReceiver(sim, path, flow_id)
+        sender = TcpSender(sim, path, cc, flow_id, transfer_bytes=transfer_bytes)
+        return cls(sender=sender, receiver=receiver)
+
+    def start(self) -> None:
+        """Begin transmitting."""
+        self.sender.start()

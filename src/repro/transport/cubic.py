@@ -1,0 +1,79 @@
+"""TCP Cubic congestion control (Ha, Rhee, Xu 2008).
+
+The de facto Linux default the paper tests; its window grows as a cubic
+function of time since the last loss, plateauing near the previous
+maximum — which makes it collapse persistently under the bursty loss of
+the under-buffered 5G wireline path (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import CongestionControl
+
+__all__ = ["Cubic"]
+
+_C = 0.4  # cubic scaling constant (segments/s^3)
+_BETA = 0.7  # multiplicative decrease factor
+
+
+class Cubic(CongestionControl):
+    """Cubic window growth with fast convergence."""
+
+    name = "cubic"
+
+    def __init__(self, mss_bytes: int, rate_scale: float = 1.0) -> None:
+        super().__init__(mss_bytes, rate_scale)
+        self._w_max_segments = 0.0
+        self._epoch_start: float | None = None
+        self._k = 0.0
+
+    def _cwnd_segments(self) -> float:
+        return self.cwnd_bytes / self.mss
+
+    def on_ack(self, acked_bytes, rtt_s, now, delivery_rate_bps=None):
+        """Grow the window along the cubic curve toward W_max."""
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            return
+        if self._epoch_start is None:
+            self._epoch_start = now
+            w = self._cwnd_segments()
+            self._w_max_segments = max(self._w_max_segments, w)
+            c_eff = _C * self.rate_scale
+            self._k = (
+                ((self._w_max_segments - w) / c_eff) ** (1.0 / 3.0)
+                if self._w_max_segments > w
+                else 0.0
+            )
+        t = now - self._epoch_start
+        c_eff = _C * self.rate_scale
+        target_segments = c_eff * (t - self._k) ** 3 + self._w_max_segments
+        current = self._cwnd_segments()
+        if target_segments > current:
+            # Close 10% of the gap per ACK batch, as the kernel's per-RTT
+            # interpolation effectively does.
+            self.cwnd_bytes += max(
+                (target_segments - current) * self.mss * acked_bytes / self.cwnd_bytes,
+                0.0,
+            )
+        else:
+            # TCP-friendly floor: at least Reno-like growth.
+            self.cwnd_bytes += 0.1 * self.rate_scale * self.mss * acked_bytes / self.cwnd_bytes
+
+    def on_loss(self, now):
+        """Multiplicative decrease to 0.7 with fast convergence."""
+        w = self._cwnd_segments()
+        if w < self._w_max_segments:
+            # Fast convergence: release bandwidth for newer flows.
+            self._w_max_segments = w * (2.0 - _BETA) / 2.0
+        else:
+            self._w_max_segments = w
+        self.cwnd_bytes = max(self.cwnd_bytes * _BETA, 2.0 * self.mss)
+        self.ssthresh_bytes = self.cwnd_bytes
+        self._epoch_start = None
+
+    def on_timeout(self, now):
+        """Collapse the window and reset the cubic epoch."""
+        super().on_timeout(now)
+        self._epoch_start = None
+        self._w_max_segments = 0.0

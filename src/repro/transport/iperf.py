@@ -1,0 +1,162 @@
+"""An iperf3-style measurement harness over the simulated network.
+
+Mirrors the paper's methodology (Sec. 4.1): measure the UDP baseline by
+ramping a CBR flow, then measure each TCP variant's throughput against
+that baseline and report bandwidth utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.path import PathConfig, build_cellular_path
+from repro.net.sim import Simulator
+from repro.transport.base import CongestionControl, TcpConnection
+from repro.transport.bbr import Bbr
+from repro.transport.cubic import Cubic
+from repro.transport.reno import Reno
+from repro.transport.udp import UdpSender, UdpSink
+from repro.transport.vegas import Vegas
+from repro.transport.veno import Veno
+
+__all__ = [
+    "CC_ALGORITHMS",
+    "make_cc",
+    "UdpRunResult",
+    "TcpRunResult",
+    "run_udp",
+    "run_udp_baseline",
+    "run_tcp",
+]
+
+CC_ALGORITHMS: dict[str, type[CongestionControl]] = {
+    "reno": Reno,
+    "cubic": Cubic,
+    "vegas": Vegas,
+    "veno": Veno,
+    "bbr": Bbr,
+}
+
+
+def make_cc(name: str, mss_bytes: int, rate_scale: float = 1.0) -> CongestionControl:
+    """Instantiate a congestion-control algorithm by kernel-module name.
+
+    ``rate_scale`` is the path's bandwidth scale; additive window growth
+    is slowed proportionally so utilization dynamics match full scale
+    (see :class:`repro.transport.base.CongestionControl`).
+    """
+    try:
+        cls = CC_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; choose from {sorted(CC_ALGORITHMS)}"
+        ) from None
+    cc = cls(mss_bytes)
+    cc.rate_scale = rate_scale
+    return cc
+
+
+@dataclass(frozen=True)
+class UdpRunResult:
+    """Outcome of one CBR UDP run."""
+
+    offered_bps: float
+    throughput_bps: float
+    loss_rate: float
+    sent: int
+    received: int
+    lost_seqs: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TcpRunResult:
+    """Outcome of one TCP run."""
+
+    algorithm: str
+    throughput_bps: float
+    utilization: float
+    retransmissions: int
+    timeouts: int
+    fast_retransmits: int
+    cwnd_trace: tuple[tuple[float, float], ...]
+    rtt_samples: tuple[tuple[float, float], ...]
+
+
+def run_udp(
+    config: PathConfig,
+    offered_bps: float,
+    duration_s: float = 20.0,
+    seed: int = 1,
+    packet_bytes: int = 1500,
+) -> UdpRunResult:
+    """Send CBR UDP at ``offered_bps`` and measure delivery."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    path = build_cellular_path(sim, config, rng)
+    sender = UdpSender(sim, path, offered_bps, packet_bytes=packet_bytes)
+    sink = UdpSink(path)
+    sender.start()
+    sim.run(until=duration_s)
+    sender.stop()
+    sim.run(until=duration_s + 2.0)  # drain in-flight packets
+    return UdpRunResult(
+        offered_bps=offered_bps,
+        throughput_bps=sink.bytes_received * 8 / duration_s,
+        loss_rate=sink.loss_rate(sender.sent),
+        sent=sender.sent,
+        received=sink.received,
+        lost_seqs=tuple(sink.lost_seqs(sender.sent)),
+    )
+
+
+def run_udp_baseline(
+    config: PathConfig, duration_s: float = 20.0, seed: int = 1
+) -> float:
+    """Peak deliverable UDP throughput (bits/s): offer slightly above the
+    access capacity and take what arrives, as the paper's ramp-up does."""
+    offered = config.access_rate_bps() * config.scale * 1.1
+    return run_udp(config, offered, duration_s=duration_s, seed=seed).throughput_bps
+
+
+def run_tcp(
+    config: PathConfig,
+    algorithm: str,
+    duration_s: float = 30.0,
+    seed: int = 1,
+    baseline_bps: float | None = None,
+    warmup_s: float = 0.0,
+) -> TcpRunResult:
+    """Run one TCP flow for ``duration_s`` and report throughput/utilization.
+
+    Args:
+        config: Path to measure.
+        algorithm: One of :data:`CC_ALGORITHMS`.
+        duration_s: Flow duration.
+        seed: Cross-traffic randomness seed.
+        baseline_bps: UDP baseline for the utilization ratio; measured on
+            the fly when omitted.
+        warmup_s: Initial interval excluded from the throughput average.
+    """
+    if baseline_bps is None:
+        baseline_bps = run_udp_baseline(config, duration_s=min(duration_s, 15.0), seed=seed)
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    path = build_cellular_path(sim, config, rng)
+    cc = make_cc(algorithm, config.mss_bytes, rate_scale=config.scale)
+    conn = TcpConnection.establish(sim, path, cc)
+    conn.start()
+    sim.run(until=duration_s)
+    stats = conn.sender.stats
+    throughput = stats.throughput_bps(duration_s, from_s=warmup_s)
+    return TcpRunResult(
+        algorithm=algorithm,
+        throughput_bps=throughput,
+        utilization=throughput / baseline_bps if baseline_bps > 0 else 0.0,
+        retransmissions=stats.retransmissions,
+        timeouts=stats.timeouts,
+        fast_retransmits=stats.fast_retransmits,
+        cwnd_trace=tuple(stats.cwnd_trace),
+        rtt_samples=tuple(stats.rtt_samples),
+    )

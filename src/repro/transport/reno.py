@@ -1,0 +1,25 @@
+"""TCP Reno (NewReno flavour) congestion control."""
+
+from __future__ import annotations
+
+from repro.transport.base import CongestionControl
+
+__all__ = ["Reno"]
+
+
+class Reno(CongestionControl):
+    """Classic AIMD: slow start, congestion avoidance, halve on loss."""
+
+    name = "reno"
+
+    def on_ack(self, acked_bytes, rtt_s, now, delivery_rate_bps=None):
+        """Slow-start doubling, then linear congestion avoidance."""
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+        else:
+            self.cwnd_bytes += self.rate_scale * self.mss * acked_bytes / self.cwnd_bytes
+
+    def on_loss(self, now):
+        """Halve the window (classic multiplicative decrease)."""
+        self.ssthresh_bytes = max(self.cwnd_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd_bytes = self.ssthresh_bytes

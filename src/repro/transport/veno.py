@@ -1,0 +1,63 @@
+"""TCP Veno congestion control (Fu & Liew 2003).
+
+Veno blends Reno with a Vegas-style queue estimate to distinguish random
+wireless loss from congestion loss: when the estimated backlog is small,
+a loss is treated as random and the window only shrinks to 80%.
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import CongestionControl
+
+__all__ = ["Veno"]
+
+
+class Veno(CongestionControl):
+    """Reno with a Vegas-informed decrease and moderated increase."""
+
+    name = "veno"
+
+    def __init__(
+        self, mss_bytes: int, beta_segments: float = 3.0, rate_scale: float = 1.0
+    ) -> None:
+        super().__init__(mss_bytes, rate_scale)
+        self.beta_segments = beta_segments
+        self.base_rtt_s = float("inf")
+        self._smoothed_rtt_s: float | None = None
+        self._diff_segments = 0.0
+        self._increase_credit = 0.0
+
+    def on_ack(self, acked_bytes, rtt_s, now, delivery_rate_bps=None):
+        """Reno-style growth, moderated when the backlog estimate is high."""
+        if rtt_s > 0:
+            self.base_rtt_s = min(self.base_rtt_s, rtt_s)
+            if self._smoothed_rtt_s is None:
+                self._smoothed_rtt_s = rtt_s
+            else:
+                self._smoothed_rtt_s = 0.8 * self._smoothed_rtt_s + 0.2 * rtt_s
+            expected = self.cwnd_bytes / self.base_rtt_s
+            actual = self.cwnd_bytes / self._smoothed_rtt_s
+            self._diff_segments = (expected - actual) * self.base_rtt_s / self.mss
+
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            return
+        if self._diff_segments < self.beta_segments:
+            # Available bandwidth: normal Reno additive increase.
+            self.cwnd_bytes += self.rate_scale * self.mss * acked_bytes / self.cwnd_bytes
+        else:
+            # Network near saturation: increase half as fast.
+            self._increase_credit += acked_bytes
+            if self._increase_credit >= 2 * self.cwnd_bytes:
+                self.cwnd_bytes += self.rate_scale * self.mss
+                self._increase_credit = 0.0
+
+    def on_loss(self, now):
+        """Decrease by 0.8 for random loss, 0.5 for congestion loss."""
+        if self._diff_segments < self.beta_segments:
+            # Backlog small: most likely a random (non-congestive) loss.
+            factor = 0.8
+        else:
+            factor = 0.5
+        self.ssthresh_bytes = max(self.cwnd_bytes * factor, 2.0 * self.mss)
+        self.cwnd_bytes = self.ssthresh_bytes

@@ -1,0 +1,136 @@
+"""Tests for analysis tooling: buffer estimation, KPI logging, dataset IO."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    KpiLogger,
+    KpiSample,
+    estimate_buffer_packets,
+    read_csv,
+    read_json,
+    stanford_buffer_packets,
+    write_csv,
+    write_json,
+)
+
+
+class TestBufferEstimation:
+    def test_known_value(self):
+        # 10 ms of queueing at 1 Gbps in 60 B packets: 10e-3*1e9/480 ~ 20833.
+        est = estimate_buffer_packets([0.020, 0.030])
+        assert est.buffer_packets == pytest.approx(20833, abs=2)
+
+    def test_queueing_delay(self):
+        est = estimate_buffer_packets([0.020, 0.025, 0.030])
+        assert est.queueing_delay_s == pytest.approx(0.010)
+
+    def test_bytes_consistent(self):
+        est = estimate_buffer_packets([0.020, 0.030])
+        assert est.buffer_bytes == est.buffer_packets * 60
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            estimate_buffer_packets([0.02])
+
+    def test_rejects_nonpositive_rtts(self):
+        with pytest.raises(ValueError):
+            estimate_buffer_packets([0.02, -0.01])
+
+    @given(st.lists(st.floats(min_value=1e-4, max_value=1.0), min_size=2, max_size=30))
+    @settings(max_examples=30)
+    def test_estimate_nonnegative(self, rtts):
+        assert estimate_buffer_packets(rtts).buffer_packets >= 0
+
+    def test_stanford_rule(self):
+        # B = C*RTT/sqrt(n): 1 Gbps * 40 ms / sqrt(100) = 4 Mb -> /12000 b/pkt.
+        packets = stanford_buffer_packets(1e9, 0.040, 100)
+        assert packets == pytest.approx(333, abs=1)
+
+    def test_stanford_rule_5x_capacity_needs_5x_buffer(self):
+        b4 = stanford_buffer_packets(0.2e9, 0.040, 16)
+        b5 = stanford_buffer_packets(1.0e9, 0.040, 16)
+        assert b5 == pytest.approx(5 * b4, rel=0.01)
+
+    def test_stanford_validation(self):
+        with pytest.raises(ValueError):
+            stanford_buffer_packets(0.0, 0.04, 10)
+        with pytest.raises(ValueError):
+            stanford_buffer_packets(1e9, 0.04, 0)
+
+
+def _sample(t: float, network: str = "5G", rsrp: float = -84.0) -> KpiSample:
+    return KpiSample(
+        time_s=t,
+        network=network,
+        pci=72,
+        rsrp_dbm=rsrp,
+        rsrq_db=-11.0,
+        sinr_db=20.0,
+        cqi=15,
+        mcs_index=27,
+        prb_granted=262,
+        bit_rate_bps=900e6,
+    )
+
+
+class TestKpiLogger:
+    def test_append_and_len(self):
+        logger = KpiLogger()
+        logger.append(_sample(0.0))
+        logger.append(_sample(1.0))
+        assert len(logger) == 2
+
+    def test_time_order_enforced(self):
+        logger = KpiLogger()
+        logger.append(_sample(1.0))
+        with pytest.raises(ValueError):
+            logger.append(_sample(0.5))
+
+    def test_network_filter(self):
+        logger = KpiLogger()
+        logger.append(_sample(0.0, "5G"))
+        logger.append(_sample(1.0, "4G"))
+        assert len(list(logger.samples("5G"))) == 1
+        assert len(list(logger.samples())) == 2
+
+    def test_summarize_field(self):
+        logger = KpiLogger()
+        logger.append(_sample(0.0, rsrp=-80.0))
+        logger.append(_sample(1.0, rsrp=-90.0))
+        summary = logger.summarize_field("rsrp_dbm")
+        assert summary.mean == pytest.approx(-85.0)
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            KpiLogger().summarize_field("rsrp_dbm")
+
+    def test_to_rows(self):
+        logger = KpiLogger()
+        logger.append(_sample(0.0))
+        rows = logger.to_rows()
+        assert rows[0]["pci"] == 72
+
+
+class TestDatasetIo:
+    def test_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = tmp_path / "data.csv"
+        write_csv(path, rows)
+        back = read_csv(path)
+        assert back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", [])
+
+    def test_csv_heterogeneous_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", [{"a": 1}, {"b": 2}])
+
+    def test_json_roundtrip(self, tmp_path):
+        payload = {"tables": [1, 2, 3], "nested": {"x": 1.5}}
+        path = tmp_path / "data.json"
+        write_json(path, payload)
+        assert read_json(path) == payload

@@ -1,0 +1,85 @@
+"""Tests for the panoramic video telephony model."""
+
+import numpy as np
+import pytest
+
+from repro.core import LTE_PROFILE, NR_PROFILE
+from repro.apps.video import (
+    CAPTURE_SPLICE_RENDER_S,
+    DECODE_S,
+    ENCODE_S,
+    FPS,
+    RTMP_RELAY_S,
+    VIDEO_PROFILES,
+    FrameRecord,
+    run_video_session,
+)
+
+
+class TestVideoProfiles:
+    def test_resolution_ladder(self):
+        assert list(VIDEO_PROFILES) == ["720P", "1080P", "4K", "5.7K"]
+        rates = [p.mean_rate_bps for p in VIDEO_PROFILES.values()]
+        assert rates == sorted(rates)
+
+    def test_dynamic_fluctuates_more(self):
+        for profile in VIDEO_PROFILES.values():
+            assert profile.sigma(dynamic=True) > profile.sigma(dynamic=False)
+
+    def test_4k_rate_in_paper_range(self):
+        # Paper cites 35-68 Mbps for 4K telephony.
+        assert 35e6 <= VIDEO_PROFILES["4K"].mean_rate_bps <= 68e6
+
+
+class TestFrameRecord:
+    def test_undelivered_frame_has_no_delay(self):
+        frame = FrameRecord(index=0, capture_time_s=0.0, size_bytes=1400)
+        assert frame.display_time_s() is None
+        assert frame.end_to_end_delay_s() is None
+
+    def test_delay_composition(self):
+        frame = FrameRecord(index=0, capture_time_s=1.0, size_bytes=1400)
+        frame.sent_time_s = 1.0 + ENCODE_S
+        frame.network_done_s = frame.sent_time_s + 0.03
+        delay = frame.end_to_end_delay_s()
+        expected = ENCODE_S + 0.03 + DECODE_S + CAPTURE_SPLICE_RENDER_S + RTMP_RELAY_S
+        assert delay == pytest.approx(expected)
+
+
+class TestVideoSession:
+    def test_unknown_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            run_video_session(NR_PROFILE, "8K", dynamic=False)
+
+    def test_frame_count_matches_duration(self):
+        session = run_video_session(NR_PROFILE, "720P", False, duration_s=5.0, seed=1)
+        assert len(session.frames) == pytest.approx(5.0 * FPS, abs=2)
+
+    def test_5g_carries_4k(self):
+        session = run_video_session(NR_PROFILE, "4K", False, duration_s=8.0, seed=1)
+        nominal = VIDEO_PROFILES["4K"].mean_rate_bps * 0.25
+        assert session.mean_throughput_bps > 0.8 * nominal
+        assert session.freeze_count() < 5
+
+    def test_4g_collapses_on_57k(self):
+        session = run_video_session(LTE_PROFILE, "5.7K", False, duration_s=8.0, seed=1)
+        nominal = VIDEO_PROFILES["5.7K"].mean_rate_bps * 0.25
+        assert session.mean_throughput_bps < 0.5 * nominal
+        assert session.freeze_count() > 20
+
+    def test_frame_delay_near_paper_level(self):
+        session = run_video_session(NR_PROFILE, "4K", False, duration_s=8.0, seed=1)
+        delays = session.frame_delays_s()
+        assert delays
+        # Paper: ~950 ms, dominated by processing.
+        assert 0.8 <= float(np.mean(delays)) <= 1.1
+
+    def test_processing_constants_sum(self):
+        total = ENCODE_S + DECODE_S + CAPTURE_SPLICE_RENDER_S
+        # Paper: ~650 ms of frame processing (Sec. 5.2).
+        assert total == pytest.approx(0.650, abs=0.01)
+
+    def test_deterministic(self):
+        a = run_video_session(NR_PROFILE, "1080P", True, duration_s=4.0, seed=9)
+        b = run_video_session(NR_PROFILE, "1080P", True, duration_s=4.0, seed=9)
+        assert a.mean_throughput_bps == b.mean_throughput_bps

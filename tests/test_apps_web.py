@@ -1,0 +1,70 @@
+"""Tests for the web browsing application model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LTE_PROFILE, NR_PROFILE
+from repro.core.units import MB
+from repro.apps.web import WEB_PAGE_CATALOG, WebPage, image_page, measure_plt
+
+
+class TestWebPage:
+    def test_catalog_has_five_categories(self):
+        categories = [p.category for p in WEB_PAGE_CATALOG]
+        assert categories == ["search", "image", "shopping", "map", "video"]
+
+    def test_render_time_grows_with_size(self):
+        small = WebPage("t", int(1 * MB), 0.2, 0.1, 4)
+        large = WebPage("t", int(8 * MB), 0.2, 0.1, 4)
+        assert large.render_time_s > small.render_time_s
+
+    def test_image_page_sizes(self):
+        assert image_page(4.0).size_bytes == 4 * MB
+
+    def test_image_page_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            image_page(0.0)
+
+    @given(st.floats(min_value=0.5, max_value=32.0))
+    @settings(max_examples=20)
+    def test_render_time_positive(self, size_mb):
+        assert image_page(size_mb).render_time_s > 0
+
+
+class TestMeasurePlt:
+    def test_download_plus_render(self):
+        plt = measure_plt(WEB_PAGE_CATALOG[0], NR_PROFILE, seed=3)
+        assert plt.total_s == pytest.approx(plt.download_s + plt.render_s)
+        assert plt.download_s > 0
+        assert plt.render_s > 0
+
+    def test_5g_downloads_faster(self):
+        page = image_page(16.0)
+        p5 = measure_plt(page, NR_PROFILE, seed=3)
+        p4 = measure_plt(page, LTE_PROFILE, seed=3)
+        assert p5.download_s < p4.download_s
+
+    def test_render_is_network_independent(self):
+        page = WEB_PAGE_CATALOG[2]
+        p5 = measure_plt(page, NR_PROFILE, seed=3)
+        p4 = measure_plt(page, LTE_PROFILE, seed=3)
+        assert p5.render_s == p4.render_s
+
+    def test_bigger_page_longer_plt(self):
+        small = measure_plt(image_page(1.0), NR_PROFILE, seed=3)
+        big = measure_plt(image_page(16.0), NR_PROFILE, seed=3)
+        assert big.total_s > small.total_s
+
+    def test_5g_gain_far_below_capacity_ratio(self):
+        # The headline: 5x the bandwidth, nowhere near 5x faster pages.
+        page = WEB_PAGE_CATALOG[0]
+        p5 = measure_plt(page, NR_PROFILE, seed=3)
+        p4 = measure_plt(page, LTE_PROFILE, seed=3)
+        assert p4.total_s / p5.total_s < 2.0
+
+    def test_deterministic_given_seed(self):
+        page = WEB_PAGE_CATALOG[1]
+        a = measure_plt(page, NR_PROFILE, seed=5)
+        b = measure_plt(page, NR_PROFILE, seed=5)
+        assert a.download_s == b.download_s

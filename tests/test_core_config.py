@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.config profiles."""
+
+import pytest
+
+from repro.core import DEFAULT_HANDOFF_CONFIG, LTE_PROFILE, NR_PROFILE, HandoffConfig
+
+
+class TestProfiles:
+    def test_nr_matches_paper_band(self):
+        assert NR_PROFILE.carrier_mhz == 3500.0
+        assert NR_PROFILE.bandwidth_mhz == 100.0
+        assert NR_PROFILE.duplex == "TDD"
+        assert NR_PROFILE.generation == 5
+
+    def test_lte_matches_paper_band(self):
+        assert LTE_PROFILE.carrier_mhz == 1840.0
+        assert LTE_PROFILE.bandwidth_mhz == 20.0
+        assert LTE_PROFILE.duplex == "FDD"
+
+    def test_nr_tdd_split_is_3_to_1(self):
+        assert NR_PROFILE.dl_slot_fraction == pytest.approx(0.75)
+        assert NR_PROFILE.ul_slot_fraction == pytest.approx(0.25)
+
+    def test_slot_duration_from_numerology(self):
+        assert LTE_PROFILE.slot_duration_s == pytest.approx(1e-3)
+        assert NR_PROFILE.slot_duration_s == pytest.approx(0.5e-3)
+
+    def test_with_overrides_returns_new(self):
+        modified = NR_PROFILE.with_overrides(tx_power_dbm=40.0)
+        assert modified.tx_power_dbm == 40.0
+        assert NR_PROFILE.tx_power_dbm != 40.0
+        assert modified.carrier_mhz == NR_PROFILE.carrier_mhz
+
+    def test_invalid_duplex_rejected(self):
+        with pytest.raises(ValueError):
+            NR_PROFILE.with_overrides(duplex="HD")
+
+    def test_tdd_fractions_cannot_exceed_frame(self):
+        with pytest.raises(ValueError):
+            NR_PROFILE.with_overrides(dl_slot_fraction=0.9, ul_slot_fraction=0.3)
+
+    def test_fdd_full_duplex_allowed(self):
+        # FDD uses separate bands so both directions get the whole frame.
+        assert LTE_PROFILE.dl_slot_fraction == 1.0
+        assert LTE_PROFILE.ul_slot_fraction == 1.0
+
+    def test_zero_slot_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            NR_PROFILE.with_overrides(dl_slot_fraction=0.0)
+
+    def test_gnb_more_expensive_than_enb(self):
+        assert NR_PROFILE.base_station_cost_usd > LTE_PROFILE.base_station_cost_usd
+
+
+class TestHandoffConfig:
+    def test_paper_defaults(self):
+        assert DEFAULT_HANDOFF_CONFIG.hysteresis_db == 3.0
+        assert DEFAULT_HANDOFF_CONFIG.time_to_trigger_s == pytest.approx(0.324)
+
+    def test_negative_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            HandoffConfig(hysteresis_db=-1.0)
+
+    def test_negative_ttt_rejected(self):
+        with pytest.raises(ValueError):
+            HandoffConfig(time_to_trigger_s=-0.1)
+
+    def test_zero_report_interval_rejected(self):
+        with pytest.raises(ValueError):
+            HandoffConfig(report_interval_s=0.0)

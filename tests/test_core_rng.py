@@ -1,0 +1,51 @@
+"""Unit tests for repro.core.rng determinism guarantees."""
+
+from repro.core.rng import RngFactory, default_rng
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(42).stream("shadowing")
+        b = RngFactory(42).stream("shadowing")
+        assert a.random(5).tolist() == b.random(5).tolist()
+
+    def test_different_names_differ(self):
+        f = RngFactory(42)
+        a = f.stream("shadowing").random(5)
+        b = f.stream("traffic").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x").random(5)
+        b = RngFactory(2).stream("x").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_order_independence(self):
+        f1 = RngFactory(7)
+        first_then_second = (f1.stream("a").random(), f1.stream("b").random())
+        f2 = RngFactory(7)
+        second_then_first = (f2.stream("b").random(), f2.stream("a").random())
+        assert first_then_second[0] == second_then_first[1]
+        assert first_then_second[1] == second_then_first[0]
+
+    def test_repeated_stream_restarts(self):
+        f = RngFactory(3)
+        assert f.stream("x").random() == f.stream("x").random()
+
+    def test_child_factories_are_independent(self):
+        f = RngFactory(5)
+        c1 = f.child("rep1").stream("s").random(3)
+        c2 = f.child("rep2").stream("s").random(3)
+        assert c1.tolist() != c2.tolist()
+
+    def test_child_is_deterministic(self):
+        a = RngFactory(5).child("rep1").stream("s").random(3)
+        b = RngFactory(5).child("rep1").stream("s").random(3)
+        assert a.tolist() == b.tolist()
+
+    def test_seed_property(self):
+        assert RngFactory(11).seed == 11
+
+
+def test_default_rng_deterministic():
+    assert default_rng(9).random() == default_rng(9).random()

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import units
+
+
+class TestPowerConversions:
+    def test_dbm_to_mw_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_dbm_to_mw_30_dbm_is_one_watt(self):
+        assert units.dbm_to_mw(30.0) == pytest.approx(1000.0)
+
+    def test_mw_to_dbm_roundtrip_fixed(self):
+        assert units.mw_to_dbm(100.0) == pytest.approx(20.0)
+
+    def test_mw_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+
+    def test_mw_to_dbm_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-5.0)
+
+    @given(st.floats(min_value=-120.0, max_value=80.0))
+    def test_roundtrip_dbm(self, dbm):
+        assert units.mw_to_dbm(units.dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_db_linear_roundtrip(self, db):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    def test_db_to_linear_3db_doubles(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+
+class TestRatesAndSizes:
+    def test_mbps(self):
+        assert units.mbps(880.0) == 880e6
+
+    def test_gbps(self):
+        assert units.gbps(1.0) == 1e9
+
+    def test_kbps(self):
+        assert units.kbps(64.0) == 64e3
+
+    def test_byte_sizes_are_powers_of_two(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+
+
+class TestThermalNoise:
+    def test_noise_grows_with_bandwidth(self):
+        narrow = units.thermal_noise_dbm(15e3)
+        wide = units.thermal_noise_dbm(100e6)
+        assert wide > narrow
+
+    def test_noise_scaling_is_10log10(self):
+        n1 = units.thermal_noise_dbm(1e6)
+        n10 = units.thermal_noise_dbm(10e6)
+        assert n10 - n1 == pytest.approx(10.0)
+
+    def test_known_value_20mhz(self):
+        # -174 + 10log10(20e6) + 7 = -93.99 dBm
+        assert units.thermal_noise_dbm(20e6, 7.0) == pytest.approx(-93.99, abs=0.01)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_dbm(0.0)

@@ -1,0 +1,246 @@
+"""Tests for the energy subsystem: DRX machine, models, traces, pwrStrip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import (
+    FILE_CAPACITIES,
+    LTE_DRX_CONFIG,
+    LTE_POWER,
+    NR_NSA_DRX_CONFIG,
+    NR_POWER,
+    VIDEO_CAPACITIES,
+    WEB_CAPACITIES,
+    DrxConfig,
+    RadioEnergyModel,
+    Transfer,
+    WorkloadCapacities,
+    app_power_breakdown,
+    energy_per_bit,
+    file_transfer_trace,
+    sample_timeline,
+    simulate_dynamic_switch,
+    simulate_lte,
+    simulate_nr_nsa,
+    simulate_nr_oracle,
+    video_telephony_trace,
+    web_browsing_trace,
+)
+from repro.energy.power_model import APP_CATALOG
+
+
+class TestDrxConfig:
+    def test_paper_tab7_timers(self):
+        assert LTE_DRX_CONFIG.paging_cycle_s == pytest.approx(1.280)
+        assert LTE_DRX_CONFIG.on_duration_s == pytest.approx(0.010)
+        assert LTE_DRX_CONFIG.promotion_s == pytest.approx(0.623)
+        assert LTE_DRX_CONFIG.long_drx_cycle_s == pytest.approx(0.320)
+        assert LTE_DRX_CONFIG.tail_s == pytest.approx(10.720)
+        assert NR_NSA_DRX_CONFIG.tail_s == pytest.approx(21.440)
+        assert NR_NSA_DRX_CONFIG.promotion_s == pytest.approx(1.681)
+
+    def test_nr_tail_double_of_lte(self):
+        assert NR_NSA_DRX_CONFIG.tail_s == pytest.approx(2 * LTE_DRX_CONFIG.tail_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DrxConfig(on_duration_s=1.0, long_drx_cycle_s=0.5)
+        with pytest.raises(ValueError):
+            DrxConfig(promotion_s=0.0)
+
+
+class TestPowerProfiles:
+    def test_nr_hungrier_in_every_state(self):
+        assert NR_POWER.promotion_w > LTE_POWER.promotion_w
+        assert NR_POWER.active_base_w > LTE_POWER.active_base_w
+        assert NR_POWER.drx_sleep_w > LTE_POWER.drx_sleep_w
+        assert NR_POWER.idle_paging_w > LTE_POWER.idle_paging_w
+
+    def test_active_power_grows_with_rate(self):
+        assert NR_POWER.active_w(880e6) > NR_POWER.active_w(100e6)
+
+    def test_drx_average_between_sleep_and_on(self):
+        avg = NR_POWER.drx_average_w(NR_NSA_DRX_CONFIG)
+        assert NR_POWER.drx_sleep_w < avg < NR_POWER.drx_on_w
+
+    def test_idle_average_near_sleep(self):
+        avg = LTE_POWER.idle_average_w(LTE_DRX_CONFIG)
+        assert avg < 0.05  # paging duty cycle is tiny
+
+
+class TestTransfer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Transfer(start_s=0.0, size_bytes=0)
+        with pytest.raises(ValueError):
+            Transfer(start_s=-1.0, size_bytes=100)
+
+
+class TestRadioEnergyModel:
+    @pytest.fixture()
+    def model(self):
+        return RadioEnergyModel(LTE_POWER, LTE_DRX_CONFIG, capacity_bps=100e6)
+
+    def test_single_transfer_timeline(self, model):
+        result = model.replay([Transfer(0.0, int(100e6 / 8))])  # 1 s of data
+        states = [seg.state for seg in result.segments]
+        assert states[0] == "promotion"
+        assert "active" in states
+        assert "tail-drx" in states
+        assert states[-1] == "idle"
+
+    def test_energy_positive_and_additive(self, model):
+        result = model.replay([Transfer(0.0, 10_000_000)])
+        assert result.total_energy_j > 0
+        assert result.total_energy_j == pytest.approx(
+            sum(result.energy_by_state().values())
+        )
+
+    def test_timeline_contiguous(self, model):
+        result = model.replay(web_browsing_trace(num_pages=4))
+        for a, b in zip(result.segments, result.segments[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+
+    def test_rate_hint_caps_rate(self, model):
+        capped = model.replay([Transfer(0.0, 10_000_000, rate_hint_bps=10e6)])
+        uncapped = model.replay([Transfer(0.0, 10_000_000)])
+        assert capped.completion_s > uncapped.completion_s
+
+    def test_short_gap_stays_in_continuous_mode(self, model):
+        # The second burst lands ~70 ms after the first finishes
+        # (promotion 0.623 s + 10 ms transfer): within the inactivity window.
+        transfers = [Transfer(0.0, 125_000), Transfer(0.70, 125_000)]
+        result = model.replay(transfers)
+        states = [seg.state for seg in result.segments]
+        assert "inactivity" in states
+        assert states.count("promotion") == 1
+
+    def test_long_gap_pays_second_promotion(self, model):
+        transfers = [Transfer(0.0, 125_000), Transfer(30.0, 125_000)]
+        result = model.replay(transfers)
+        states = [seg.state for seg in result.segments]
+        assert states.count("promotion") == 2
+
+    def test_empty_trace_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.replay([])
+
+    def test_power_at_lookup(self, model):
+        result = model.replay([Transfer(0.0, 1_000_000)])
+        assert result.power_at(result.segments[0].start_s) == pytest.approx(
+            result.segments[0].power_w
+        )
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_more_transfers_more_energy(self, n):
+        model = RadioEnergyModel(LTE_POWER, LTE_DRX_CONFIG, 100e6)
+        small = model.replay(web_browsing_trace(num_pages=n))
+        big = model.replay(web_browsing_trace(num_pages=n + 1))
+        assert big.total_energy_j > small.total_energy_j
+
+
+class TestModels:
+    def test_tab4_web_shape(self):
+        trace = web_browsing_trace()
+        lte = simulate_lte(trace, WEB_CAPACITIES).total_energy_j
+        nsa = simulate_nr_nsa(trace, WEB_CAPACITIES).total_energy_j
+        dyn = simulate_dynamic_switch(trace, WEB_CAPACITIES).total_energy_j
+        assert nsa > lte  # 5G wastes energy on light traffic
+        assert dyn == pytest.approx(lte, rel=0.1)  # heuristic routes web to 4G
+
+    def test_tab4_file_shape(self):
+        trace = file_transfer_trace()
+        lte = simulate_lte(trace, FILE_CAPACITIES).total_energy_j
+        nsa = simulate_nr_nsa(trace, FILE_CAPACITIES).total_energy_j
+        oracle = simulate_nr_oracle(trace, FILE_CAPACITIES).total_energy_j
+        assert nsa < lte  # 5G's per-bit efficiency wins on bulk data
+        assert oracle < nsa
+
+    def test_tab4_video_shape(self):
+        trace = video_telephony_trace(duration_s=30.0)
+        lte = simulate_lte(trace, VIDEO_CAPACITIES)
+        nsa = simulate_nr_nsa(trace, VIDEO_CAPACITIES)
+        # Congested 4G takes far longer to move the same video bytes.
+        assert lte.completion_s > 2.0 * nsa.completion_s
+        assert lte.total_energy_j > nsa.total_energy_j
+
+    def test_oracle_is_lower_bound_on_nr(self):
+        for trace, caps in (
+            (web_browsing_trace(), WEB_CAPACITIES),
+            (file_transfer_trace(num_files=3), FILE_CAPACITIES),
+        ):
+            oracle = simulate_nr_oracle(trace, caps).total_energy_j
+            nsa = simulate_nr_nsa(trace, caps).total_energy_j
+            assert oracle < nsa
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadCapacities(lte_bps=0.0, nr_bps=1e6)
+
+
+class TestTraces:
+    def test_web_trace_spacing(self):
+        trace = web_browsing_trace(num_pages=5, think_time_s=7.0)
+        starts = [t.start_s for t in trace]
+        assert starts == pytest.approx([0.0, 7.0, 14.0, 21.0, 28.0])
+
+    def test_video_trace_rate_hint(self):
+        trace = video_telephony_trace(duration_s=10.0, rate_bps=45e6)
+        assert all(t.rate_hint_bps == 45e6 for t in trace)
+        total_bits = sum(t.size_bytes for t in trace) * 8
+        assert total_bits == pytest.approx(45e6 * 10.0, rel=0.05)
+
+    def test_file_trace_back_to_back(self):
+        trace = file_transfer_trace(num_files=3)
+        assert all(t.start_s == 0.0 for t in trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            web_browsing_trace(num_pages=0)
+        with pytest.raises(ValueError):
+            video_telephony_trace(duration_s=0.0)
+        with pytest.raises(ValueError):
+            file_transfer_trace(num_files=0)
+
+
+class TestPowerModelAndPwrstrip:
+    def test_breakdown_components_sum(self):
+        b = app_power_breakdown(APP_CATALOG[0], 5)
+        assert b.total_w == pytest.approx(b.system_w + b.screen_w + b.app_w + b.radio_w)
+
+    def test_5g_radio_dominates_download(self):
+        b = app_power_breakdown(APP_CATALOG[-1], 5)
+        assert b.radio_fraction > 0.5
+
+    def test_unknown_generation_rejected(self):
+        with pytest.raises(ValueError):
+            app_power_breakdown(APP_CATALOG[0], 6)
+
+    def test_energy_per_bit_5g_cheaper(self):
+        assert energy_per_bit(5, 20.0) < 0.5 * energy_per_bit(4, 20.0)
+
+    def test_energy_per_bit_validation(self):
+        with pytest.raises(ValueError):
+            energy_per_bit(5, 0.0)
+
+    def test_pwrstrip_sampling(self):
+        result = simulate_lte(web_browsing_trace(num_pages=2), WEB_CAPACITIES)
+        samples = sample_timeline(result)
+        assert len(samples) == pytest.approx(result.end_s / 0.1, abs=2)
+        times = [s.time_s for s in samples]
+        assert times == sorted(times)
+        assert all(s.power_w >= 0 for s in samples)
+
+    def test_pwrstrip_device_baseline(self):
+        result = simulate_lte(web_browsing_trace(num_pages=2), WEB_CAPACITIES)
+        bare = sample_timeline(result)
+        with_device = sample_timeline(result, include_device=True)
+        assert with_device[0].power_w > bare[0].power_w
+
+    def test_pwrstrip_interval_validation(self):
+        result = simulate_lte(web_browsing_trace(num_pages=1), WEB_CAPACITIES)
+        with pytest.raises(ValueError):
+            sample_timeline(result, interval_s=0.0)

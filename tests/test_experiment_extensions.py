@@ -1,0 +1,76 @@
+"""Fast integration tests for the ablation/discussion experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_coexistence,
+    appendix_tables,
+    discussion_cpe_dsl,
+    discussion_edge_computing,
+    sec34_event_mix,
+)
+from repro.mobility.events import EventType
+
+
+class TestCoexistencePlumbing:
+    def test_shared_path_carries_both_flows(self):
+        result = ablation_coexistence.run(seed=3, duration_s=4.0, scale=0.02)
+        for point in result.points.values():
+            assert point.nr_throughput_bps > 0
+            assert point.lte_throughput_bps > 0
+            assert point.lte_p95_rtt_s > 0
+
+    def test_points_cover_multipliers(self):
+        result = ablation_coexistence.run(seed=3, duration_s=3.0, scale=0.02)
+        assert set(result.points) == set(ablation_coexistence.BUFFER_MULTIPLIERS)
+
+
+class TestAppendix:
+    def test_distance_cross_check(self):
+        result = appendix_tables.run()
+        # The worst error is the paper's own Suzhou row (see benchmark).
+        assert result.max_distance_error_km > 300.0
+
+    def test_all_three_tables_render(self):
+        result = appendix_tables.run()
+        assert len(result.tab5().rows) == 7
+        assert len(result.tab6().rows) == 20
+        assert len(result.tab7().rows) == 6
+
+    def test_tab7_shows_doubled_tail(self):
+        rows = appendix_tables.run().tab7().to_dicts()
+        tail = next(r for r in rows if r["parameter"] == "tail cycle")
+        assert tail["4G LTE"] == "10720"
+        assert tail["5G NR NSA"] == "21440"
+
+
+class TestEventMix:
+    def test_short_walk_produces_reports(self):
+        result = sec34_event_mix.run(seed=3, duration_s=120.0)
+        assert result.reports > 0
+        assert result.total > 0
+
+    def test_fractions_sum_to_one(self):
+        result = sec34_event_mix.run(seed=3, duration_s=120.0)
+        total = sum(result.fraction(e) for e in EventType)
+        assert total == pytest.approx(1.0)
+
+
+class TestCpeDsl:
+    def test_run_structure(self):
+        result = discussion_cpe_dsl.run()
+        assert result.window_throughput_bps > result.deep_indoor_throughput_bps
+        assert len(result.table().rows) == 5
+
+
+class TestEdgeComputing:
+    def test_edge_beats_all_cloud_deployments(self):
+        result = discussion_edge_computing.run()
+        assert all(result.edge_rtt_ms < rtt for rtt in result.cloud_rtt_ms.values())
+        assert 0.0 < result.edge_plt_s < result.cloud_plt_s
+
+    def test_cloud_rtt_grows_with_distance(self):
+        result = discussion_edge_computing.run()
+        distances = sorted(result.cloud_rtt_ms)
+        rtts = [result.cloud_rtt_ms[d] for d in distances]
+        assert rtts == sorted(rtts)

@@ -1,0 +1,125 @@
+"""Integration tests over the experiment modules.
+
+Benchmarks assert the paper's quantitative shape on full-size runs;
+these tests exercise the same code paths quickly (small samples) and
+check structural invariants: tables well-formed, series consistent,
+determinism given a seed.
+"""
+
+import pytest
+
+from repro.core.results import ResultTable
+from repro.experiments import (
+    fig10_retransmissions,
+    fig13_rtt_scatter,
+    fig14_rtt_hops,
+    fig15_rtt_distance,
+    fig21_power_breakdown,
+    fig22_energy_per_bit,
+    fig23_energy_timeline,
+    tab1_physical_info,
+    tab4_energy_models,
+)
+from repro.experiments import testbed as make_testbed
+from repro.experiments.fig22_energy_per_bit import TRANSFER_TIMES_S
+
+
+class TestTestbed:
+    def test_cached_per_seed(self):
+        assert make_testbed(3) is make_testbed(3)
+        assert make_testbed(3) is not make_testbed(4)
+
+    def test_networks_share_environment(self):
+        bed = make_testbed(3)
+        assert bed.nr.environment is bed.lte.environment
+
+    def test_anchor_network_is_subset(self):
+        bed = make_testbed(3)
+        anchor_pcis = {c.pci for c in bed.lte_anchors.cells}
+        full_pcis = {c.pci for c in bed.lte.cells}
+        assert anchor_pcis < full_pcis
+
+
+class TestTab1:
+    def test_structure_and_determinism(self):
+        a = tab1_physical_info.run(seed=3, num_points=120)
+        b = tab1_physical_info.run(seed=3, num_points=120)
+        assert a.nr_rsrp.mean == b.nr_rsrp.mean
+        table = a.table()
+        assert isinstance(table, ResultTable)
+        assert len(table.rows) == 3
+
+    def test_bands_from_profiles(self):
+        result = tab1_physical_info.run(seed=3, num_points=60)
+        assert result.nr_band_mhz == (3500.0, 3600.0)
+        assert result.lte_band_mhz == (1840.0, 1860.0)
+
+
+class TestFig10:
+    def test_rates_sum_to_bler(self):
+        result = fig10_retransmissions.run(seed=3, transport_blocks=20_000)
+        total = sum(result.nr.retransmission_rate(k) for k in range(1, 33))
+        assert total == pytest.approx(result.nr.block_error_rate, abs=1e-9)
+
+    def test_5g_shallower_chains(self):
+        result = fig10_retransmissions.run(seed=3, transport_blocks=20_000)
+        assert result.nr.max_retransmissions <= result.lte.max_retransmissions
+
+
+class TestRttExperiments:
+    def test_fig13_pairs(self):
+        result = fig13_rtt_scatter.run(seed=3, base_stations=1, probes_per_path=3)
+        assert len(result.nr_rtts_ms) == len(result.lte_rtts_ms) == 20
+
+    def test_fig14_hop_count(self):
+        result = fig14_rtt_hops.run(seed=3, wired_hops=6, probes=5)
+        assert len(result.nr_hop_rtts_ms) == 8  # RAN + core + 6 wired
+
+    def test_fig15_sorted_by_distance(self):
+        result = fig15_rtt_distance.run(seed=3, probes_per_server=3)
+        assert list(result.distances_km) == sorted(result.distances_km)
+        assert len(result.gaps_ms) == 20
+
+    def test_fig15_5g_always_faster(self):
+        result = fig15_rtt_distance.run(seed=3, probes_per_server=3)
+        assert all(g > 0 for g in result.gaps_ms)
+
+
+class TestEnergyExperiments:
+    def test_fig21_full_matrix(self):
+        result = fig21_power_breakdown.run()
+        assert len(result.breakdowns) == 8  # 4 apps x 2 RATs
+
+    def test_fig22_series_lengths(self):
+        result = fig22_energy_per_bit.run()
+        assert len(result.series(4)) == len(TRANSFER_TIMES_S)
+        assert all(v > 0 for v in result.series(5))
+
+    def test_fig23_landmarks_ordered(self):
+        result = fig23_energy_timeline.run(seed=3)
+        assert (
+            result.transfer_start_s
+            < result.transfer_end_s
+            < result.lte_tail_end_s
+            < result.nr_tail_end_s
+        )
+
+    def test_tab4_complete_grid(self):
+        result = tab4_energy_models.run(seed=3)
+        assert len(result.energy_j) == 12  # 4 models x 3 workloads
+        assert all(v > 0 for v in result.energy_j.values())
+        table = result.table()
+        assert len(table.rows) == 4
+
+
+class TestResultTableContract:
+    def test_tables_render(self):
+        # Every cheap experiment's table must render without raising.
+        for result in (
+            tab1_physical_info.run(seed=3, num_points=60).table(),
+            fig22_energy_per_bit.run().table(),
+            tab4_energy_models.run(seed=3).table(),
+            fig21_power_breakdown.run().table(),
+        ):
+            text = result.render()
+            assert text.count("\n") >= 2

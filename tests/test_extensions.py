@@ -1,0 +1,117 @@
+"""Tests for the Sec. 8 extensions: SA mode, CPE/DSL, edge computing, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import LTE_PROFILE, NR_PROFILE
+from repro.mobility import (
+    NR_SA_DRX_CONFIG,
+    HandoffKind,
+    HandoffProcedure,
+    draw_sa_handoff,
+    sa_handoff_mean_latency_s,
+)
+from repro.radio import CpeLink, dsl_replacement_study
+from repro.cli import EXPERIMENTS, main
+
+
+class TestSaMode:
+    def test_sa_handoff_near_4g_level(self):
+        sa = sa_handoff_mean_latency_s()
+        lte = HandoffProcedure.mean_latency_s(HandoffKind.LTE_TO_LTE)
+        assert sa == pytest.approx(lte, rel=0.15)
+
+    def test_sa_much_faster_than_nsa(self):
+        nsa = HandoffProcedure.mean_latency_s(HandoffKind.NR_TO_NR)
+        assert nsa > 3.0 * sa_handoff_mean_latency_s()
+
+    def test_sa_draw_positive_and_varies(self):
+        rng = np.random.default_rng(0)
+        draws = [draw_sa_handoff(rng) for _ in range(100)]
+        assert all(d > 0 for d in draws)
+        assert np.std(draws) > 0
+        assert np.mean(draws) == pytest.approx(sa_handoff_mean_latency_s(), rel=0.1)
+
+    def test_sa_drx_shorter_than_nsa(self):
+        from repro.energy import NR_NSA_DRX_CONFIG
+
+        assert NR_SA_DRX_CONFIG.tail_s < NR_NSA_DRX_CONFIG.tail_s
+        assert NR_SA_DRX_CONFIG.promotion_s < NR_NSA_DRX_CONFIG.promotion_s
+
+
+class TestCpe:
+    def test_link_quality_decays_with_distance(self):
+        near = CpeLink(profile=NR_PROFILE, distance_m=80.0)
+        far = CpeLink(profile=NR_PROFILE, distance_m=300.0)
+        assert near.sinr_db() > far.sinr_db()
+        assert near.throughput_bps() >= far.throughput_bps()
+
+    def test_window_beats_deep_indoor(self):
+        window = CpeLink(profile=NR_PROFILE, distance_m=240.0, window_mounted=True)
+        indoor = CpeLink(profile=NR_PROFILE, distance_m=240.0, window_mounted=False)
+        assert window.throughput_bps() > indoor.throughput_bps()
+
+    def test_distance_validation(self):
+        with pytest.raises(ValueError):
+            CpeLink(profile=NR_PROFILE, distance_m=0.0)
+
+    def test_dsl_study_paper_shape(self):
+        result = dsl_replacement_study(NR_PROFILE)
+        # Paper: ~650 Mbps CPE, ~39 Mbps per house, beats 24 Mbps DSL.
+        assert 400e6 <= result.cpe_throughput_bps <= 800e6
+        assert result.replaces_dsl
+        assert result.per_house_bps == pytest.approx(
+            result.cpe_throughput_bps * 3 / 50
+        )
+
+    def test_dsl_study_dense_neighbourhood_loses(self):
+        # Enough houses dilute the share below the DSL line.
+        result = dsl_replacement_study(NR_PROFILE, houses=200)
+        assert not result.replaces_dsl
+
+    def test_dsl_study_validation(self):
+        with pytest.raises(ValueError):
+            dsl_replacement_study(NR_PROFILE, houses=0)
+
+    def test_lte_cpe_weaker(self):
+        nr = CpeLink(profile=NR_PROFILE, distance_m=240.0)
+        lte = CpeLink(profile=LTE_PROFILE, distance_m=240.0)
+        assert nr.throughput_bps() > lte.throughput_bps()
+
+
+class TestCli:
+    def test_catalogue_covers_all_paper_artifacts(self):
+        names = set(EXPERIMENTS)
+        for required in (
+            "tab1", "tab2", "tab3", "tab4",
+            *(f"fig{i}" for i in range(2, 24)),
+        ):
+            assert required in names, required
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "tab4" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_and_json_export(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        assert main(["run", "fig22", "--json", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert "fig22" in payload
+        out = capsys.readouterr().out
+        assert "energy per bit" in out
+
+    def test_paper_index(self, capsys):
+        assert main(["paper-index"]) == 0
+        assert "benchmarks/test_" in capsys.readouterr().out
+
+    def test_run_descriptive_experiment(self, capsys):
+        # fig11 has no table(); the describe fallback must kick in.
+        assert main(["run", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "burst fraction" in out

@@ -1,0 +1,205 @@
+"""Unit tests for repro.geometry: points, buildings, campus."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Building,
+    BuildingMap,
+    GeoPoint,
+    Point,
+    Segment,
+    build_campus,
+    haversine_km,
+)
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_bearing_north(self):
+        assert Point(0, 0).bearing_to(Point(0, 10)) == pytest.approx(0.0)
+
+    def test_bearing_east(self):
+        assert Point(0, 0).bearing_to(Point(10, 0)) == pytest.approx(90.0)
+
+    def test_bearing_south_west(self):
+        assert Point(0, 0).bearing_to(Point(-1, -1)) == pytest.approx(225.0)
+
+    def test_offset(self):
+        assert Point(1, 2).offset(3, -1) == Point(4, 1)
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(0, 10)).length == 10.0
+
+    def test_interpolate_midpoint(self):
+        seg = Segment(Point(0, 0), Point(10, 20))
+        assert seg.interpolate(0.5) == Point(5, 10)
+
+    def test_interpolate_bounds(self):
+        seg = Segment(Point(0, 0), Point(1, 1))
+        with pytest.raises(ValueError):
+            seg.interpolate(1.5)
+
+    def test_sample_includes_endpoints(self):
+        pts = list(Segment(Point(0, 0), Point(0, 10)).sample(3.0))
+        assert pts[0] == Point(0, 0)
+        assert pts[-1] == Point(0, 10)
+
+    def test_sample_spacing_positive(self):
+        with pytest.raises(ValueError):
+            list(Segment(Point(0, 0), Point(1, 1)).sample(0.0))
+
+
+class TestBuilding:
+    def test_contains(self):
+        b = Building(0, 0, 10, 10)
+        assert b.contains(Point(5, 5))
+        assert not b.contains(Point(15, 5))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Building(5, 0, 5, 10)
+
+    def test_through_ray_crosses_two_walls(self):
+        b = Building(0, 0, 10, 10)
+        assert b.wall_crossings(Point(-5, 5), Point(15, 5)) == 2
+
+    def test_ray_into_building_crosses_one_wall(self):
+        b = Building(0, 0, 10, 10)
+        assert b.wall_crossings(Point(-5, 5), Point(5, 5)) == 1
+
+    def test_internal_ray_crosses_nothing(self):
+        b = Building(0, 0, 10, 10)
+        assert b.wall_crossings(Point(2, 2), Point(8, 8)) == 0
+
+    def test_miss_crosses_nothing(self):
+        b = Building(0, 0, 10, 10)
+        assert b.wall_crossings(Point(-5, 20), Point(15, 20)) == 0
+
+    def test_diagonal_hit(self):
+        b = Building(0, 0, 10, 10)
+        assert b.wall_crossings(Point(-5, -5), Point(15, 15)) == 2
+
+
+class TestBuildingMap:
+    def test_line_of_sight_clear(self):
+        m = BuildingMap([Building(0, 0, 10, 10)])
+        assert m.has_line_of_sight(Point(-5, 20), Point(15, 20))
+
+    def test_line_of_sight_blocked(self):
+        m = BuildingMap([Building(0, 0, 10, 10)])
+        assert not m.has_line_of_sight(Point(-5, 5), Point(15, 5))
+
+    def test_crossings_accumulate(self):
+        m = BuildingMap([Building(0, 0, 10, 10), Building(20, 0, 30, 10)])
+        assert m.wall_crossings(Point(-5, 5), Point(35, 5)) == 4
+
+    def test_is_indoor(self):
+        m = BuildingMap([Building(0, 0, 10, 10)])
+        assert m.is_indoor(Point(5, 5))
+        assert not m.is_indoor(Point(50, 50))
+
+    def test_building_at(self):
+        b = Building(0, 0, 10, 10, name="lab")
+        m = BuildingMap([b])
+        assert m.building_at(Point(5, 5)) is b
+        assert m.building_at(Point(50, 50)) is None
+
+    def test_len_and_iter(self):
+        m = BuildingMap([Building(0, 0, 1, 1), Building(2, 2, 3, 3)])
+        assert len(m) == 2
+        assert len(list(m)) == 2
+
+
+class TestGeo:
+    def test_geopoint_validation(self):
+        with pytest.raises(ValueError):
+            GeoPoint(95.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 200.0)
+
+    def test_haversine_zero(self):
+        p = GeoPoint(39.9, 116.4)
+        assert haversine_km(p, p) == 0.0
+
+    def test_haversine_beijing_tianjin(self):
+        # Paper Tab. 6: Beijing Unicom to Tianjin server is ~111.65 km.
+        beijing = GeoPoint(39.9289, 116.3883)
+        tianjin = GeoPoint(39.1422, 117.1767)
+        assert haversine_km(beijing, tianjin) == pytest.approx(111.65, rel=0.02)
+
+    def test_haversine_symmetry(self):
+        a, b = GeoPoint(10, 20), GeoPoint(-30, 50)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+
+class TestCampus:
+    @pytest.fixture(scope="class")
+    def campus(self):
+        return build_campus()
+
+    def test_area_matches_paper(self, campus):
+        assert campus.area_km2 == pytest.approx(0.46)
+
+    def test_gnb_density_matches_paper(self, campus):
+        assert campus.gnb_density_per_km2 == pytest.approx(12.99, rel=0.02)
+
+    def test_enb_density_matches_paper(self, campus):
+        assert campus.enb_density_per_km2 == pytest.approx(28.14, rel=0.02)
+
+    def test_cell_counts_match_tab1(self, campus):
+        assert campus.cell_count("5G") == 13
+        assert campus.cell_count("4G") == 34
+
+    def test_road_length_matches_paper(self, campus):
+        assert campus.road_length_km == pytest.approx(6.019, rel=0.05)
+
+    def test_six_co_sited_anchors(self, campus):
+        anchors = campus.co_sited_enbs()
+        assert len(anchors) == 6
+        assert all(site.power_class == "macro" for site in anchors)
+
+    def test_non_anchor_sites_are_micro(self, campus):
+        anchor_names = {s.name for s in campus.co_sited_enbs()}
+        others = [s for s in campus.enb_sites if s.name not in anchor_names]
+        assert len(others) == 7
+        assert all(site.power_class == "micro" for site in others)
+
+    def test_pcis_unique_per_network(self, campus):
+        gnb_pcis = [sec.pci for s in campus.gnb_sites for sec in s.sectors]
+        enb_pcis = [sec.pci for s in campus.enb_sites for sec in s.sectors]
+        assert len(set(gnb_pcis)) == len(gnb_pcis)
+        assert len(set(enb_pcis)) == len(enb_pcis)
+
+    def test_cell_72_exists(self, campus):
+        pcis = {sec.pci for s in campus.gnb_sites for sec in s.sectors}
+        assert 72 in pcis
+
+    def test_roads_inside_bounds(self, campus):
+        for seg in campus.roads:
+            for p in (seg.start, seg.end):
+                assert 0 <= p.x <= campus.width_m
+                assert 0 <= p.y <= campus.height_m
+
+    def test_buildings_do_not_cover_roads(self, campus):
+        for seg in campus.roads:
+            for p in seg.sample(50.0):
+                assert not campus.buildings.is_indoor(p)
+
+    def test_sites_outdoors(self, campus):
+        for site in list(campus.gnb_sites) + list(campus.enb_sites):
+            assert not campus.buildings.is_indoor(site.position)

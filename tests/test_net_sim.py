@@ -1,0 +1,280 @@
+"""Tests for the discrete-event simulator, queues, links and paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import LTE_PROFILE, NR_PROFILE
+from repro.net import (
+    CrossTraffic,
+    DropTailQueue,
+    Link,
+    Packet,
+    PathConfig,
+    Simulator,
+    build_cellular_path,
+)
+from repro.net.link import DelayProcess
+
+
+class TestSimulator:
+    def test_events_run_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(1.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(3.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(1.0, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_run_until_advances_time_when_idle(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+
+class TestDropTailQueue:
+    def test_fifo(self):
+        q = DropTailQueue(10)
+        p1 = Packet(1, "data", 100)
+        p2 = Packet(1, "data", 100)
+        q.push(p1)
+        q.push(p2)
+        assert q.pop() is p1
+        assert q.pop() is p2
+        assert q.pop() is None
+
+    def test_overflow_drops(self):
+        q = DropTailQueue(2)
+        assert q.push(Packet(1, "data", 100))
+        assert q.push(Packet(1, "data", 100))
+        assert not q.push(Packet(1, "data", 100))
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestLink:
+    def test_delivery_latency(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay_s=0.5)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(Packet(1, "data", 100))  # 100 B at 1 kB/s = 0.1 s + 0.5 s
+        sim.run()
+        assert arrivals == [pytest.approx(0.6)]
+
+    def test_serialization_queueing(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8000.0, delay_s=0.0)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.send(Packet(1, "data", 100))
+        link.send(Packet(1, "data", 100))
+        sim.run()
+        assert arrivals == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_pause_resume(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=8e6, delay_s=0.0)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(sim.now))
+        link.pause()
+        link.send(Packet(1, "data", 1000))
+        sim.run(until=1.0)
+        assert arrivals == []
+        link.resume()
+        sim.run(until=2.0)
+        assert len(arrivals) == 1
+
+    def test_queue_overflow_records_drop(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=800.0, delay_s=0.0, queue_capacity_packets=1)
+        link.connect(lambda p: None)
+        for _ in range(5):
+            link.send(Packet(1, "data", 100))
+        assert link.queue.drops >= 3
+        assert len(link.dropped_packets) == link.queue.drops
+
+    def test_unconnected_link_raises(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1e6, delay_s=0.0)
+        with pytest.raises(RuntimeError):
+            link.send(Packet(1, "data", 100))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), rate_bps=0.0, delay_s=0.0)
+
+    def test_fifo_preserved_under_delay_process(self):
+        sim = Simulator()
+        dp = DelayProcess(np.random.default_rng(0), max_extra_s=0.05, redraw_interval_s=0.01)
+        link = Link(sim, rate_bps=8e6, delay_s=0.001, delay_process=dp)
+        seqs = []
+        link.connect(lambda p: seqs.append(p.seq))
+
+        def send(i):
+            link.send(Packet(1, "data", 1000, seq=i))
+
+        for i in range(200):
+            sim.schedule(i * 0.002, send, i)
+        sim.run()
+        assert seqs == sorted(seqs)
+
+
+class TestCrossTraffic:
+    def test_mean_load(self):
+        ct = CrossTraffic(np.random.default_rng(0), 0.8, 0.01, 0.03)
+        assert ct.mean_load == pytest.approx(0.2)
+
+    def test_load_alternates(self):
+        ct = CrossTraffic(np.random.default_rng(1), 0.9, 0.01, 0.01)
+        loads = {ct.load_at(t / 100.0) for t in range(200)}
+        assert loads == {0.0, 0.9}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            CrossTraffic(np.random.default_rng(0), 1.5)
+
+
+class TestPathConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathConfig(profile=NR_PROFILE, direction="sideways")
+        with pytest.raises(ValueError):
+            PathConfig(profile=NR_PROFILE, scale=0.0)
+        with pytest.raises(ValueError):
+            PathConfig(profile=NR_PROFILE, time_of_day="noon")
+
+    def test_access_rate_matches_baselines(self):
+        # Daytime 5G ~900 Mbps; 4G day ~125 Mbps (Sec. 4.1).
+        rate5 = PathConfig(profile=NR_PROFILE, with_scheduling_stalls=False).access_rate_bps()
+        rate4 = PathConfig(profile=LTE_PROFILE, with_scheduling_stalls=False).access_rate_bps()
+        assert rate5 / 1e6 == pytest.approx(864, rel=0.05)
+        assert rate4 / 1e6 == pytest.approx(125, rel=0.05)
+        assert 4.0 <= rate5 / rate4 <= 8.0
+
+    def test_night_4g_recovers(self):
+        day = PathConfig(profile=LTE_PROFILE, time_of_day="day").access_rate_bps()
+        night = PathConfig(profile=LTE_PROFILE, time_of_day="night").access_rate_bps()
+        assert night > 1.4 * day
+
+
+class TestBuiltPath:
+    def test_base_rtt_5g_lower_than_4g(self):
+        cfg5 = PathConfig(profile=NR_PROFILE, scale=0.05)
+        cfg4 = PathConfig(profile=LTE_PROFILE, scale=0.05)
+        p5 = build_cellular_path(Simulator(), cfg5)
+        p4 = build_cellular_path(Simulator(), cfg4)
+        # The 4G EPC detour adds ~20 ms RTT (Fig. 14).
+        assert p4.base_rtt_s - p5.base_rtt_s == pytest.approx(0.020, abs=0.004)
+
+    def test_rtt_grows_with_distance(self):
+        near = build_cellular_path(
+            Simulator(), PathConfig(profile=NR_PROFILE, server_distance_km=10)
+        )
+        far = build_cellular_path(
+            Simulator(), PathConfig(profile=NR_PROFILE, server_distance_km=2500)
+        )
+        assert far.base_rtt_s > near.base_rtt_s + 0.030
+
+    def test_forward_delivery(self):
+        sim = Simulator()
+        path = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=0.05))
+        got = []
+        path.on_forward_delivery(got.append)
+        path.send_forward(Packet(1, "data", 1500))
+        sim.run(until=1.0)
+        assert len(got) == 1
+
+    def test_reverse_delivery(self):
+        sim = Simulator()
+        path = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=0.05))
+        got = []
+        path.on_reverse_delivery(got.append)
+        path.send_reverse(Packet(1, "ack", 60))
+        sim.run(until=1.0)
+        assert len(got) == 1
+
+    def test_outage_blocks_access(self):
+        sim = Simulator()
+        path = build_cellular_path(
+            sim, PathConfig(profile=NR_PROFILE, scale=0.05, with_scheduling_stalls=False)
+        )
+        arrivals = []
+        path.on_forward_delivery(lambda p: arrivals.append(sim.now))
+        path.schedule_access_outage(0.0, 0.5)
+        path.send_forward(Packet(1, "data", 1500))
+        sim.run(until=0.4)
+        assert arrivals == []
+        sim.run(until=1.0)
+        assert len(arrivals) == 1
+        assert arrivals[0] >= 0.5
+
+    def test_hop_rtts_monotone(self):
+        path = build_cellular_path(Simulator(), PathConfig(profile=NR_PROFILE))
+        rtts = path.hop_rtts_s(np.random.default_rng(0))
+        assert len(rtts) == 3
+        assert rtts == sorted(rtts)
+
+    def test_wired_buffer_ratio_matches_tab3(self):
+        # 5G paths hold ~2.5x the wired buffer of 4G paths (Tab. 3).
+        p5 = build_cellular_path(Simulator(), PathConfig(profile=NR_PROFILE))
+        p4 = build_cellular_path(Simulator(), PathConfig(profile=LTE_PROFILE))
+        ratio = p5.wired_link.queue.capacity_packets / p4.wired_link.queue.capacity_packets
+        assert 2.0 <= ratio <= 3.0

@@ -1,0 +1,79 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, cdf_plot, heatmap, timeseries_plot
+
+
+class TestCdfPlot:
+    def test_renders_axes_and_legend(self):
+        out = cdf_plot({"5G": [1, 2, 3], "4G": [2, 4, 6]}, title="RTT", unit="ms")
+        assert "RTT" in out
+        assert "o=5G" in out and "x=4G" in out
+        assert "1.00 |" in out and "0.00 |" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot({})
+
+    def test_single_series(self):
+        out = cdf_plot({"a": [1.0, 1.0, 1.0]})
+        assert "o=a" in out
+
+    def test_grid_dimensions(self):
+        out = cdf_plot({"a": list(range(10))}, width=30, height=6)
+        plot_rows = [line for line in out.splitlines() if "|" in line]
+        assert len(plot_rows) == 6
+
+
+class TestTimeseriesPlot:
+    def test_renders(self):
+        pts = [(t / 10, t**2) for t in range(20)]
+        out = timeseries_plot(pts, title="cwnd")
+        assert "cwnd" in out
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timeseries_plot([])
+
+    def test_constant_series(self):
+        out = timeseries_plot([(0.0, 5.0), (1.0, 5.0)])
+        assert "*" in out
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        lines = {line.split("|")[0].strip(): line for line in out.splitlines()}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+    def test_values_shown(self):
+        out = bar_chart({"x": 42.0}, unit="J")
+        assert "42" in out and "J" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out
+
+
+class TestHeatmap:
+    def test_renders_scale(self):
+        samples = [(x * 10.0, y * 10.0, float(x + y)) for x in range(10) for y in range(10)]
+        out = heatmap(samples, width_m=100.0, height_m=100.0, cols=20, rows=10)
+        assert "scale:" in out
+
+    def test_stronger_samples_darker(self):
+        samples = [(10.0, 10.0, 0.0), (90.0, 90.0, 100.0)]
+        out = heatmap(samples, 100.0, 100.0, cols=10, rows=10)
+        body = "\n".join(out.splitlines()[:-1])
+        assert "@" in body  # the strongest glyph appears
+        assert "." in body  # and the weakest non-empty one
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap([], 10.0, 10.0)

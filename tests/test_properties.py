@@ -1,0 +1,145 @@
+"""Property-based tests over the simulation core.
+
+These pin down the invariants everything else relies on: event ordering,
+FIFO delivery, packet conservation, TCP reassembly correctness, and the
+monotonicity of the radio chain.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LTE_PROFILE, NR_PROFILE
+from repro.net import DropTailQueue, Link, Packet, PathConfig, Simulator, build_cellular_path
+from repro.net.link import DelayProcess
+from repro.radio.linkadapt import spectral_efficiency_from_sinr
+from repro.radio.propagation import uma_los_path_loss_db, uma_nlos_path_loss_db
+from repro.transport.base import TcpConnection
+from repro.transport.iperf import make_cc
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_run_until_never_fires_late_events(self, delays, horizon):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run(until=horizon)
+        assert all(d <= horizon for d in fired)
+        assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+
+
+class TestLinkProperties:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_packet_conservation(self, num_packets, capacity):
+        """sent == delivered + dropped + queued, always."""
+        sim = Simulator()
+        link = Link(sim, rate_bps=8e5, delay_s=0.001, queue_capacity_packets=capacity)
+        delivered = []
+        link.connect(delivered.append)
+        for i in range(num_packets):
+            link.send(Packet(1, "data", 100, seq=i))
+        sim.run()
+        assert len(delivered) + link.queue.drops + link.queue.occupancy == num_packets
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_fifo_under_random_delay_process(self, seed):
+        sim = Simulator()
+        dp = DelayProcess(np.random.default_rng(seed), max_extra_s=0.05, redraw_interval_s=0.02)
+        link = Link(sim, rate_bps=8e6, delay_s=0.001, delay_process=dp)
+        seqs = []
+        link.connect(lambda p: seqs.append(p.seq))
+        for i in range(100):
+            sim.schedule(i * 0.003, lambda i=i: link.send(Packet(1, "data", 500, seq=i)))
+        sim.run()
+        assert seqs == sorted(seqs)
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_droptail_never_exceeds_capacity(self, capacity):
+        q = DropTailQueue(capacity)
+        for i in range(capacity * 3):
+            q.push(Packet(1, "data", 100, seq=i))
+        assert len(q) == capacity
+        assert q.drops == capacity * 2
+
+
+class TestTcpProperties:
+    @given(
+        st.integers(min_value=1_000, max_value=300_000),
+        st.sampled_from(["reno", "cubic", "vegas", "veno", "bbr"]),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_transfer_always_completes_and_reassembles(self, size, algorithm, seed):
+        """Any transfer over a lossy path completes with exact reassembly."""
+        config = PathConfig(profile=NR_PROFILE, scale=0.02)
+        sim = Simulator()
+        path = build_cellular_path(sim, config, np.random.default_rng(seed))
+        cc = make_cc(algorithm, config.mss_bytes, rate_scale=0.02)
+        conn = TcpConnection.establish(sim, path, cc, transfer_bytes=size)
+        conn.start()
+        sim.run(until=240.0)
+        assert conn.sender.done
+        assert conn.receiver.rcv_next == size
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_delivered_bytes_monotone(self, seed):
+        config = PathConfig(profile=LTE_PROFILE, scale=0.02)
+        sim = Simulator()
+        path = build_cellular_path(sim, config, np.random.default_rng(seed))
+        conn = TcpConnection.establish(
+            sim, path, make_cc("cubic", config.mss_bytes, 0.02)
+        )
+        conn.start()
+        sim.run(until=10.0)
+        trace = conn.sender.stats.delivered_trace
+        values = [d for _, d in trace]
+        assert values == sorted(values)
+        times = [t for t, _ in trace]
+        assert times == sorted(times)
+
+
+class TestRadioProperties:
+    @given(st.floats(min_value=-20.0, max_value=45.0), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50)
+    def test_spectral_efficiency_monotone(self, sinr, delta):
+        assert spectral_efficiency_from_sinr(sinr + delta) >= spectral_efficiency_from_sinr(sinr)
+
+    @given(
+        st.floats(min_value=1.0, max_value=900.0),
+        st.floats(min_value=1.01, max_value=3.0),
+        st.sampled_from([1840.0, 3500.0]),
+    )
+    @settings(max_examples=50)
+    def test_path_loss_monotone_both_classes(self, d, factor, carrier):
+        assert uma_los_path_loss_db(d * factor, carrier) > uma_los_path_loss_db(d, carrier)
+        assert uma_nlos_path_loss_db(d * factor, carrier) > uma_nlos_path_loss_db(d, carrier)
+
+    @given(st.floats(min_value=1.0, max_value=900.0))
+    @settings(max_examples=50)
+    def test_5g_attenuates_at_least_as_much(self, d):
+        assert uma_nlos_path_loss_db(d, 3500.0) >= uma_nlos_path_loss_db(d, 1840.0)

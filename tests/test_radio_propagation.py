@@ -1,0 +1,121 @@
+"""Unit tests for repro.radio.propagation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rng import RngFactory
+from repro.geometry import Building, BuildingMap, Point
+from repro.radio.propagation import (
+    Environment,
+    clutter_loss_db,
+    free_space_path_loss_db,
+    uma_los_path_loss_db,
+    uma_nlos_path_loss_db,
+    wall_penetration_loss_db,
+)
+
+distances = st.floats(min_value=1.0, max_value=2000.0)
+carriers = st.sampled_from([1840.0, 3500.0])
+
+
+class TestPathLossFormulas:
+    def test_fspl_known_value(self):
+        # 1 km at 1 GHz: 32.45 + 0 + 60 = 92.45 dB.
+        assert free_space_path_loss_db(1000.0, 1000.0) == pytest.approx(92.45)
+
+    @given(distances, carriers)
+    def test_nlos_at_least_los(self, d, f):
+        assert uma_nlos_path_loss_db(d, f) >= uma_los_path_loss_db(d, f) - 1e-9
+
+    @given(st.floats(min_value=1.0, max_value=1000.0), carriers)
+    def test_loss_monotone_in_distance(self, d, f):
+        assert uma_los_path_loss_db(d * 2, f) > uma_los_path_loss_db(d, f)
+        assert uma_nlos_path_loss_db(d * 2, f) > uma_nlos_path_loss_db(d, f)
+
+    @given(distances)
+    def test_higher_frequency_attenuates_more(self, d):
+        assert uma_los_path_loss_db(d, 3500.0) > uma_los_path_loss_db(d, 1840.0)
+
+    def test_minimum_distance_clamp(self):
+        assert uma_los_path_loss_db(0.0, 3500.0) == uma_los_path_loss_db(1.0, 3500.0)
+
+
+class TestClutterAndWalls:
+    def test_clutter_linear_in_distance(self):
+        one = clutter_loss_db(100.0, 3500.0)
+        two = clutter_loss_db(200.0, 3500.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_clutter_frequency_ordering(self):
+        assert clutter_loss_db(100.0, 3500.0) > clutter_loss_db(100.0, 1840.0)
+
+    def test_wall_loss_frequency_ordering(self):
+        # 5G's 3.5 GHz penetrates worse than 4G's 1.84 GHz (Fig. 3).
+        assert wall_penetration_loss_db(3500.0) > wall_penetration_loss_db(1840.0)
+
+    def test_wall_loss_scales_with_walls(self):
+        assert wall_penetration_loss_db(3500.0, 2) == pytest.approx(
+            2 * wall_penetration_loss_db(3500.0, 1)
+        )
+
+    def test_zero_walls_zero_loss(self):
+        assert wall_penetration_loss_db(3500.0, 0) == 0.0
+
+    def test_negative_walls_rejected(self):
+        with pytest.raises(ValueError):
+            wall_penetration_loss_db(3500.0, -1)
+
+
+class TestEnvironment:
+    @pytest.fixture()
+    def env(self):
+        buildings = BuildingMap([Building(40.0, -20.0, 60.0, 20.0)])
+        return Environment(buildings, RngFactory(1))
+
+    def test_deterministic(self, env):
+        a = env.path_loss_db(Point(0, 0), Point(100, 0), 3500.0)
+        b = env.path_loss_db(Point(0, 0), Point(100, 0), 3500.0)
+        assert a == b
+
+    def test_blocked_link_is_nlos(self, env):
+        bd = env.breakdown(Point(0, 0), Point(100, 0), 3500.0)
+        assert not bd.line_of_sight
+
+    def test_clear_link_is_los(self, env):
+        bd = env.breakdown(Point(0, 50), Point(100, 50), 3500.0)
+        assert bd.line_of_sight
+
+    def test_indoor_receiver_pays_penetration(self, env):
+        bd = env.breakdown(Point(0, 0), Point(50, 0), 3500.0)
+        assert bd.penetration_db > 0
+
+    def test_outdoor_receiver_behind_building_pays_no_penetration(self, env):
+        bd = env.breakdown(Point(0, 0), Point(100, 0), 3500.0)
+        assert bd.penetration_db == 0.0
+
+    def test_indoor_rx_keeps_los_class_through_own_wall(self, env):
+        # The receiver's own wall must not also flip the link NLOS.
+        bd = env.breakdown(Point(0, 0), Point(45, 0), 3500.0)
+        assert bd.line_of_sight
+        assert bd.penetration_db > 0
+
+    def test_is_indoor(self, env):
+        assert env.is_indoor(Point(50, 0))
+        assert not env.is_indoor(Point(0, 0))
+
+    def test_total_is_sum_of_parts(self, env):
+        bd = env.breakdown(Point(0, 0), Point(100, 0), 3500.0)
+        assert bd.total_db == pytest.approx(bd.base_db + bd.penetration_db + bd.shadowing_db)
+
+    def test_shadowing_has_spread(self):
+        env = Environment(BuildingMap(()), RngFactory(2))
+        losses = [
+            env.breakdown(Point(0, 0), Point(100, 100 + 50 * i), 3500.0).shadowing_db
+            for i in range(20)
+        ]
+        assert max(losses) > min(losses)
+
+    def test_empty_environment_defaults(self):
+        env = Environment()
+        assert env.path_loss_db(Point(0, 0), Point(100, 0), 3500.0) > 0

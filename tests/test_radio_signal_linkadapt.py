@@ -1,0 +1,229 @@
+"""Unit tests for signal metrics, link adaptation, PHY rates and antennas."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LTE_PROFILE, NR_PROFILE
+from repro.radio.antenna import OmniAntenna, SectorAntenna
+from repro.radio.linkadapt import (
+    CQI_TABLE,
+    MAX_SPECTRAL_EFFICIENCY,
+    LinkAdaptation,
+    cqi_from_sinr,
+    spectral_efficiency_from_sinr,
+)
+from repro.radio.phy import (
+    TRANSPORT_EFFICIENCY,
+    PrbAllocator,
+    max_phy_bit_rate,
+    phy_bit_rate,
+)
+from repro.radio.signal import (
+    MIN_SERVICE_RSRP_DBM,
+    combine_signal,
+    noise_per_re_dbm,
+    rsrp_dbm,
+)
+
+sinrs = st.floats(min_value=-20.0, max_value=50.0)
+
+
+class TestAntenna:
+    def test_boresight_gain_is_max(self):
+        ant = SectorAntenna(azimuth_deg=90.0)
+        assert ant.gain_dbi(90.0) == ant.max_gain_dbi
+
+    def test_backlobe_capped(self):
+        ant = SectorAntenna(azimuth_deg=0.0, front_to_back_db=30.0)
+        assert ant.gain_dbi(180.0) == ant.max_gain_dbi - 30.0
+
+    def test_3db_point_at_half_beamwidth(self):
+        ant = SectorAntenna(azimuth_deg=0.0, beamwidth_deg=65.0)
+        # 12*(32.5/65)^2 = 3 dB down.
+        assert ant.gain_dbi(32.5) == pytest.approx(ant.max_gain_dbi - 3.0)
+
+    def test_pattern_symmetric(self):
+        ant = SectorAntenna(azimuth_deg=0.0)
+        assert ant.gain_dbi(40.0) == pytest.approx(ant.gain_dbi(-40.0))
+
+    def test_wraparound(self):
+        ant = SectorAntenna(azimuth_deg=350.0)
+        assert ant.gain_dbi(10.0) == pytest.approx(ant.gain_dbi(330.0))
+
+    def test_fov(self):
+        ant = SectorAntenna(azimuth_deg=0.0)
+        assert ant.in_field_of_view(0.0)
+        assert not ant.in_field_of_view(180.0)
+
+    def test_omni_uniform(self):
+        ant = OmniAntenna(max_gain_dbi=2.0)
+        assert ant.gain_dbi(0.0) == ant.gain_dbi(123.0) == 2.0
+        assert ant.in_field_of_view(275.0)
+
+    def test_invalid_beamwidth(self):
+        with pytest.raises(ValueError):
+            SectorAntenna(azimuth_deg=0.0, beamwidth_deg=0.0)
+
+
+class TestLinkAdaptation:
+    def test_cqi_table_monotone(self):
+        effs = [e.efficiency for e in CQI_TABLE]
+        assert effs == sorted(effs)
+        assert len(CQI_TABLE) == 15
+
+    def test_top_cqi_is_256qam_0925(self):
+        top = CQI_TABLE[-1]
+        assert top.modulation == "256QAM"
+        assert top.code_rate == pytest.approx(0.9258, abs=1e-3)
+
+    def test_very_low_sinr_unusable(self):
+        assert cqi_from_sinr(-10.0) == 0
+        assert spectral_efficiency_from_sinr(-10.0) == 0.0
+
+    def test_high_sinr_saturates(self):
+        assert cqi_from_sinr(40.0) == 15
+        assert spectral_efficiency_from_sinr(40.0) == MAX_SPECTRAL_EFFICIENCY
+
+    @given(sinrs)
+    def test_cqi_monotone_in_sinr(self, sinr):
+        assert cqi_from_sinr(sinr + 1.0) >= cqi_from_sinr(sinr)
+
+    @given(sinrs)
+    def test_efficiency_bounded(self, sinr):
+        se = spectral_efficiency_from_sinr(sinr)
+        assert 0.0 <= se <= MAX_SPECTRAL_EFFICIENCY
+
+    def test_link_adaptation_reports_mcs_27_at_peak(self):
+        la = LinkAdaptation.for_sinr(35.0)
+        assert la.mcs_index == 27
+        assert la.modulation == "256QAM"
+        assert la.usable
+
+    def test_link_adaptation_unusable(self):
+        la = LinkAdaptation.for_sinr(-15.0)
+        assert not la.usable
+        assert la.efficiency == 0.0
+
+
+class TestPhyRates:
+    def test_nr_dl_peak_matches_paper(self):
+        # Paper Sec. 4.1: 1200.98 Mbps maximum physical rate.
+        assert max_phy_bit_rate(NR_PROFILE, "dl") / 1e6 == pytest.approx(1201.0, rel=0.001)
+
+    def test_udp_baseline_fraction(self):
+        # 880-900 Mbps UDP over the peak rate = 74.94%.
+        assert TRANSPORT_EFFICIENCY == pytest.approx(0.7494)
+        udp = max_phy_bit_rate(NR_PROFILE, "dl") * TRANSPORT_EFFICIENCY
+        assert 880e6 <= udp <= 910e6
+
+    def test_nr_ul_baseline(self):
+        udp = max_phy_bit_rate(NR_PROFILE, "ul") * TRANSPORT_EFFICIENCY
+        assert udp / 1e6 == pytest.approx(130.0, rel=0.03)
+
+    def test_lte_dl_night_baseline(self):
+        udp = max_phy_bit_rate(LTE_PROFILE, "dl") * TRANSPORT_EFFICIENCY
+        assert udp / 1e6 == pytest.approx(200.0, rel=0.03)
+
+    def test_lte_ul_night_baseline(self):
+        udp = max_phy_bit_rate(LTE_PROFILE, "ul") * TRANSPORT_EFFICIENCY
+        assert udp / 1e6 == pytest.approx(100.0, rel=0.03)
+
+    def test_rate_scales_with_prb_fraction(self):
+        full = phy_bit_rate(NR_PROFILE, 30.0, prb_fraction=1.0)
+        half = phy_bit_rate(NR_PROFILE, 30.0, prb_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_rate_zero_below_floor(self):
+        assert phy_bit_rate(NR_PROFILE, -20.0) == 0.0
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            phy_bit_rate(NR_PROFILE, 10.0, direction="sideways")
+
+    def test_bad_prb_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            phy_bit_rate(NR_PROFILE, 10.0, prb_fraction=1.5)
+
+    @given(sinrs)
+    def test_rate_below_peak(self, sinr):
+        assert phy_bit_rate(NR_PROFILE, sinr) <= max_phy_bit_rate(NR_PROFILE) + 1e-6
+
+
+class TestPrbAllocator:
+    def test_5g_gets_almost_all_prbs(self):
+        alloc = PrbAllocator(NR_PROFILE, np.random.default_rng(0))
+        grants = [alloc.allocate("day").granted for _ in range(50)]
+        assert all(260 <= g <= 264 for g in grants)
+
+    def test_4g_daytime_contention(self):
+        alloc = PrbAllocator(LTE_PROFILE, np.random.default_rng(0))
+        grants = [alloc.allocate("day").granted for _ in range(50)]
+        assert all(40 <= g <= 85 for g in grants)
+
+    def test_4g_night_recovery(self):
+        alloc = PrbAllocator(LTE_PROFILE, np.random.default_rng(0))
+        grants = [alloc.allocate("night").granted for _ in range(50)]
+        assert all(95 <= g <= 100 for g in grants)
+
+    def test_mean_fraction_ordering(self):
+        alloc = PrbAllocator(LTE_PROFILE, np.random.default_rng(0))
+        assert alloc.mean_fraction("night") > alloc.mean_fraction("day")
+
+    def test_invalid_time_rejected(self):
+        alloc = PrbAllocator(LTE_PROFILE, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            alloc.allocate("dusk")
+
+    def test_fraction_property(self):
+        alloc = PrbAllocator(NR_PROFILE, np.random.default_rng(1))
+        a = alloc.allocate()
+        assert a.fraction == pytest.approx(a.granted / NR_PROFILE.num_prb)
+
+
+class TestSignal:
+    def test_rsrp_spreads_power_over_res(self):
+        # Doubling PRBs costs 3 dB per RE.
+        a = rsrp_dbm(40.0, 100, 0.0, 100.0)
+        b = rsrp_dbm(40.0, 200, 0.0, 100.0)
+        assert a - b == pytest.approx(10 * math.log10(2), abs=1e-6)
+
+    def test_rsrp_rejects_bad_prb(self):
+        with pytest.raises(ValueError):
+            rsrp_dbm(40.0, 0, 0.0, 100.0)
+
+    def test_noise_per_re_scales_with_scs(self):
+        assert noise_per_re_dbm(30.0) - noise_per_re_dbm(15.0) == pytest.approx(3.01, abs=0.01)
+
+    def test_sinr_degrades_with_interference(self):
+        clean = combine_signal(-80.0, [], 30.0)
+        dirty = combine_signal(-80.0, [-85.0], 30.0)
+        assert dirty.sinr_db < clean.sinr_db
+
+    def test_interference_floor_caps_sinr(self):
+        floored = combine_signal(-80.0, [], 30.0, interference_floor_dbm=-105.0)
+        assert floored.sinr_db == pytest.approx(25.0, abs=0.3)
+
+    def test_rsrq_uses_full_load(self):
+        # Activity scaling must not change RSRQ, only SINR.
+        low = combine_signal(-80.0, [-85.0], 30.0, interference_activity=0.01)
+        high = combine_signal(-80.0, [-85.0], 30.0, interference_activity=1.0)
+        assert low.rsrq_db == pytest.approx(high.rsrq_db)
+        assert low.sinr_db > high.sinr_db
+
+    def test_rsrq_upper_bound(self):
+        # Alone on the channel, RSRQ -> -10log10(12) = -10.79 dB.
+        s = combine_signal(-60.0, [], 30.0)
+        assert s.rsrq_db == pytest.approx(-10.79, abs=0.1)
+
+    def test_service_threshold(self):
+        assert combine_signal(-104.0, [], 30.0).in_service
+        assert not combine_signal(-106.0, [], 30.0).in_service
+        assert MIN_SERVICE_RSRP_DBM == -105.0
+
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(ValueError):
+            combine_signal(-80.0, [], 30.0, interference_activity=1.5)

@@ -1,0 +1,266 @@
+"""Tests for the transport layer: TCP machinery, CC algorithms, UDP."""
+
+import numpy as np
+import pytest
+
+from repro.core import NR_PROFILE
+from repro.net import PathConfig, Simulator, build_cellular_path
+from repro.transport import (
+    CC_ALGORITHMS,
+    Bbr,
+    Cubic,
+    Reno,
+    TcpConnection,
+    UdpSender,
+    UdpSink,
+    Vegas,
+    Veno,
+    loss_runs,
+    make_cc,
+    run_tcp,
+    run_udp,
+)
+
+MSS = 1448
+
+
+def quiet_config(**overrides):
+    """A clean path: no cross traffic or stalls, fast to simulate."""
+    defaults = dict(
+        profile=NR_PROFILE,
+        scale=0.02,
+        with_cross_traffic=False,
+        with_scheduling_stalls=False,
+    )
+    defaults.update(overrides)
+    return PathConfig(**defaults)
+
+
+class TestCcAlgorithms:
+    def test_registry_complete(self):
+        assert set(CC_ALGORITHMS) == {"reno", "cubic", "vegas", "veno", "bbr"}
+
+    def test_make_cc_unknown(self):
+        with pytest.raises(ValueError):
+            make_cc("turbo", MSS)
+
+    def test_make_cc_sets_rate_scale(self):
+        cc = make_cc("reno", MSS, rate_scale=0.1)
+        assert cc.rate_scale == 0.1
+
+    def test_reno_slow_start_doubles(self):
+        cc = Reno(MSS)
+        start = cc.cwnd_bytes
+        cc.on_ack(start, 0.02, 0.0)
+        assert cc.cwnd_bytes == pytest.approx(2 * start)
+
+    def test_reno_halves_on_loss(self):
+        cc = Reno(MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.on_loss(1.0)
+        assert cc.cwnd_bytes == pytest.approx(50 * MSS)
+        assert not cc.in_slow_start
+
+    def test_reno_congestion_avoidance_linear(self):
+        cc = Reno(MSS, rate_scale=1.0)
+        cc.cwnd_bytes = 10 * MSS
+        cc.ssthresh_bytes = 5 * MSS  # force CA
+        cc.on_ack(10 * MSS, 0.02, 0.0)  # one full window acked
+        assert cc.cwnd_bytes == pytest.approx(11 * MSS, rel=0.01)
+
+    def test_timeout_collapses_window(self):
+        cc = Reno(MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.on_timeout(1.0)
+        assert cc.cwnd_bytes == MSS
+        assert cc.ssthresh_bytes == pytest.approx(50 * MSS)
+
+    def test_cubic_decrease_factor(self):
+        cc = Cubic(MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.ssthresh_bytes = 1.0  # out of slow start
+        cc.on_loss(1.0)
+        assert cc.cwnd_bytes == pytest.approx(70 * MSS)
+
+    def test_cubic_regrows_toward_wmax(self):
+        cc = Cubic(MSS, rate_scale=1.0)
+        cc.cwnd_bytes = 100 * MSS
+        cc.ssthresh_bytes = 1.0
+        cc.on_loss(0.0)
+        before = cc.cwnd_bytes
+        for i in range(200):
+            cc.on_ack(MSS, 0.02, 0.01 * (i + 1))
+        assert cc.cwnd_bytes > before
+
+    def test_vegas_decreases_on_inflated_rtt(self):
+        cc = Vegas(MSS, rate_scale=1.0)
+        cc.ssthresh_bytes = 1.0
+        cc.cwnd_bytes = 50 * MSS
+        cc.on_ack(MSS, 0.020, 0.1)  # establishes base RTT
+        before = cc.cwnd_bytes
+        t = 0.2
+        for _ in range(30):  # persistent 2x RTT: heavy queueing signal
+            cc.on_ack(MSS, 0.040, t)
+            t += 0.05
+        assert cc.cwnd_bytes < before
+
+    def test_vegas_increases_when_no_queueing(self):
+        cc = Vegas(MSS, rate_scale=1.0)
+        cc.ssthresh_bytes = 1.0
+        cc.cwnd_bytes = 10 * MSS
+        t = 0.1
+        before = cc.cwnd_bytes
+        for _ in range(10):
+            cc.on_ack(MSS, 0.020, t)
+            t += 0.05
+        assert cc.cwnd_bytes > before
+
+    def test_veno_random_loss_gentler(self):
+        congested = Veno(MSS)
+        random_loss = Veno(MSS)
+        for cc, rtt in ((congested, 0.08), (random_loss, 0.0201)):
+            cc.ssthresh_bytes = 1.0
+            cc.cwnd_bytes = 100 * MSS
+            cc.on_ack(MSS, 0.02, 0.0)  # base rtt
+            cc.on_ack(MSS, rtt, 0.1)
+        congested.on_loss(1.0)
+        random_loss.on_loss(1.0)
+        assert random_loss.cwnd_bytes > congested.cwnd_bytes
+
+    def test_bbr_paces(self):
+        cc = Bbr(MSS)
+        assert cc.pacing_rate_bps is not None
+        assert cc.pacing_rate_bps > 0
+
+    def test_bbr_tracks_delivery_rate(self):
+        cc = Bbr(MSS)
+        cc.on_ack(MSS, 0.02, 0.1, delivery_rate_bps=50e6)
+        assert cc.bottleneck_bw_bps == pytest.approx(50e6)
+
+    def test_bbr_ignores_loss(self):
+        cc = Bbr(MSS)
+        cc.on_ack(MSS, 0.02, 0.1, delivery_rate_bps=50e6)
+        cwnd = cc.cwnd_bytes
+        cc.on_loss(0.2)
+        assert cc.cwnd_bytes == cwnd
+
+    def test_invalid_rate_scale(self):
+        with pytest.raises(ValueError):
+            Reno(MSS, rate_scale=0.0)
+
+
+class TestTcpEndToEnd:
+    def test_clean_path_high_utilization(self):
+        cfg = quiet_config()
+        res = run_tcp(cfg, "cubic", duration_s=20.0, baseline_bps=cfg.access_rate_bps() * cfg.scale)
+        assert res.utilization > 0.7
+        assert res.timeouts == 0
+
+    def test_bbr_clean_path(self):
+        cfg = quiet_config()
+        res = run_tcp(cfg, "bbr", duration_s=20.0, baseline_bps=cfg.access_rate_bps() * cfg.scale)
+        assert res.utilization > 0.6
+
+    def test_fixed_transfer_completes(self):
+        cfg = quiet_config()
+        sim = Simulator()
+        path = build_cellular_path(sim, cfg)
+        conn = TcpConnection.establish(sim, path, make_cc("cubic", MSS), transfer_bytes=200_000)
+        conn.start()
+        sim.run(until=30.0)
+        assert conn.sender.done
+        assert conn.sender.completed_at is not None
+        assert conn.receiver.rcv_next == 200_000
+
+    def test_transfer_survives_heavy_loss(self):
+        # Tiny wired buffer forces drops; SACK recovery must still finish.
+        cfg = PathConfig(
+            profile=NR_PROFILE,
+            scale=0.02,
+            with_cross_traffic=True,
+            with_scheduling_stalls=True,
+        )
+        sim = Simulator()
+        path = build_cellular_path(sim, cfg, np.random.default_rng(5))
+        conn = TcpConnection.establish(sim, path, make_cc("reno", MSS), transfer_bytes=500_000)
+        conn.start()
+        sim.run(until=120.0)
+        assert conn.sender.done
+
+    def test_receiver_reassembles_in_order(self):
+        cfg = quiet_config()
+        sim = Simulator()
+        path = build_cellular_path(sim, cfg)
+        conn = TcpConnection.establish(sim, path, make_cc("reno", MSS), transfer_bytes=100_000)
+        conn.start()
+        sim.run(until=20.0)
+        assert conn.receiver.rcv_next == 100_000
+        assert conn.receiver.bytes_received >= 100_000
+
+    def test_rtt_samples_close_to_base(self):
+        cfg = quiet_config()
+        sim = Simulator()
+        path = build_cellular_path(sim, cfg)
+        conn = TcpConnection.establish(sim, path, make_cc("vegas", MSS), transfer_bytes=50_000)
+        conn.start()
+        sim.run(until=20.0)
+        rtts = [r for _, r in conn.sender.stats.rtt_samples]
+        assert min(rtts) >= path.base_rtt_s
+
+    def test_cwnd_trace_recorded(self):
+        cfg = quiet_config()
+        res = run_tcp(cfg, "cubic", duration_s=5.0, baseline_bps=1e6)
+        assert len(res.cwnd_trace) > 10
+        times = [t for t, _ in res.cwnd_trace]
+        assert times == sorted(times)
+
+
+class TestUdp:
+    def test_lossless_at_low_rate(self):
+        cfg = quiet_config()
+        res = run_udp(cfg, cfg.access_rate_bps() * cfg.scale * 0.2, duration_s=5.0)
+        assert res.loss_rate == pytest.approx(0.0, abs=0.01)
+
+    def test_overload_drops(self):
+        cfg = quiet_config()
+        res = run_udp(cfg, cfg.access_rate_bps() * cfg.scale * 3.0, duration_s=5.0)
+        assert res.loss_rate > 0.3
+
+    def test_throughput_capped_by_access(self):
+        cfg = quiet_config()
+        capacity = cfg.access_rate_bps() * cfg.scale
+        res = run_udp(cfg, capacity * 3.0, duration_s=5.0)
+        assert res.throughput_bps <= capacity * 1.05
+
+    def test_sink_seq_accounting(self):
+        sim = Simulator()
+        cfg = quiet_config()
+        path = build_cellular_path(sim, cfg)
+        sender = UdpSender(sim, path, 1e6)
+        sink = UdpSink(path)
+        sender.start()
+        sim.run(until=1.0)
+        sender.stop()
+        sim.run(until=2.0)
+        assert sink.received == sender.sent
+        assert sink.lost_seqs(sender.sent) == []
+
+    def test_invalid_rate(self):
+        sim = Simulator()
+        path = build_cellular_path(sim, quiet_config())
+        with pytest.raises(ValueError):
+            UdpSender(sim, path, 0.0)
+
+
+class TestLossRuns:
+    def test_empty(self):
+        assert loss_runs([]) == []
+
+    def test_isolated_losses(self):
+        assert loss_runs([3, 7, 11]) == [1, 1, 1]
+
+    def test_burst(self):
+        assert loss_runs([5, 6, 7, 8, 20, 21]) == [4, 2]
+
+    def test_single(self):
+        assert loss_runs([9]) == [1]
