@@ -8,7 +8,6 @@ def test_fig9_loss_rate(run_once):
     print()
     print(result.table().render())
     nr = result.series("5G")
-    lte = result.series("4G")
     # Loss grows monotonically with load on 5G.
     assert all(a <= b + 1e-6 for a, b in zip(nr, nr[1:]))
     # Paper: at 1/2 load, 5G already loses >3% — ~10x the 4G session.

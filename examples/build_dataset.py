@@ -9,7 +9,6 @@ Run:
 """
 
 import sys
-from pathlib import Path
 
 from repro.analysis.drive_test import DriveTester
 from repro.analysis.release import DatasetRelease

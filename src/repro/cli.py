@@ -3,8 +3,16 @@
 Usage:
     python -m repro list
     python -m repro run fig7 [--seed 7] [--json out.json]
-    python -m repro run tab2 fig3 fig6
+    python -m repro run tab2 fig3 fig6 --timings
+    python -m repro run --all --parallel 4
     python -m repro paper-index
+
+``run`` goes through the campaign runner (:mod:`repro.runner`): results
+are cached on disk under ``.repro_cache/`` keyed by (experiment, seed,
+source hash), so repeating an invocation returns instantly until the code
+changes.  ``--no-cache`` bypasses the cache, ``--parallel N`` fans cache
+misses out over N worker processes, and ``--timings`` prints per-run
+provenance (wall time, simulator events, RNG streams, peak RSS).
 """
 
 from __future__ import annotations
@@ -13,137 +21,34 @@ import argparse
 import dataclasses
 import json
 import sys
-import time
-from typing import Any, Callable
+from typing import Any
 
-from repro.experiments import (
-    ablation_buffer_sizing,
-    appendix_tables,
-    ablation_coexistence,
-    ablation_sa_mode,
-    discussion_cpe_dsl,
-    discussion_edge_computing,
-    fig2_coverage_map,
-    fig3_indoor_outdoor,
-    fig4_handoff_rsrq,
-    fig5_rsrq_gap,
-    fig6_handoff_latency,
-    fig7_throughput,
-    fig8_cwnd,
-    fig9_loss_rate,
-    fig10_retransmissions,
-    fig11_bursty_loss,
-    fig12_ho_throughput,
-    fig13_rtt_scatter,
-    fig14_rtt_hops,
-    fig15_rtt_distance,
-    fig16_plt_sites,
-    fig17_plt_images,
-    fig18_video_throughput,
-    fig19_video_fluctuation,
-    fig20_frame_delay,
-    fig21_power_breakdown,
-    fig22_energy_per_bit,
-    fig23_energy_timeline,
-    tab1_physical_info,
-    tab2_rsrp_distribution,
-    sec34_event_mix,
-    tab3_buffer_size,
-    tab4_energy_models,
+import numpy as np
+
+from repro.core.results import ResultTable
+from repro.experiments.registry import EXPERIMENTS, UnknownExperimentError
+from repro.runner import (
+    CampaignOutcome,
+    ExperimentFailure,
+    ResultCache,
+    campaign_timings,
+    run_campaign,
+    source_hash,
 )
 
 __all__ = ["EXPERIMENTS", "main"]
 
-
-def _describe_fig4(r: Any) -> str:
-    return (
-        f"5G-5G hand-off at t={r.handoff_time_s:.1f}s "
-        f"(PCI {r.source_pci} -> {r.target_pci}), {len(r.times_s)} RSRQ samples, "
-        f"serving degrades beforehand: {r.serving_degrades_before_handoff}"
-    )
-
-
-def _describe_fig8(r: Any) -> str:
-    cubic = r.mean_cwnd(r.cubic_trace, 10.0) / 1448
-    bbr = r.mean_cwnd(r.bbr_trace, 10.0) / 1448
-    return (
-        f"mean cwnd after slow-start: cubic {cubic:.0f} segs vs bbr {bbr:.0f} segs; "
-        f"cubic fast-retransmits: {r.cubic_fast_retransmits}"
-    )
-
-
-def _describe_fig11(r: Any) -> str:
-    return (
-        f"loss {r.loss_rate:.2%}; mean run {r.mean_run_length:.1f} pkts "
-        f"(i.i.d. would be {r.expected_random_mean_run:.2f}); "
-        f"burst fraction {r.burst_fraction:.0%}"
-    )
-
-
-def _describe_fig19(r: Any) -> str:
-    return (
-        f"throughput CV static {r.fluctuation(r.static_trace_mbps):.3f} vs "
-        f"dynamic {r.fluctuation(r.dynamic_trace_mbps):.3f}; "
-        f"freezes static {r.static_freezes} / dynamic {r.dynamic_freezes}"
-    )
-
-
-def _describe_fig20(r: Any) -> str:
-    return (
-        f"mean frame delay 5G {r.nr_mean_s * 1000:.0f} ms / 4G {r.lte_mean_s * 1000:.0f} ms; "
-        f"processing {r.processing_s * 1000:.0f} ms vs "
-        f"5G network {r.nr_network_s * 1000:.0f} ms"
-    )
-
-
-#: name -> (module, one-line description, fallback describe fn).
-EXPERIMENTS: dict[str, tuple[Any, str, Callable[[Any], str] | None]] = {
-    "tab1": (tab1_physical_info, "basic physical info of both networks", None),
-    "tab2": (tab2_rsrp_distribution, "RSRP distribution and coverage holes", None),
-    "fig2": (fig2_coverage_map, "campus RSRP map + cell-72 bit-rate contour", None),
-    "fig3": (fig3_indoor_outdoor, "indoor/outdoor bit-rate gap", None),
-    "fig4": (fig4_handoff_rsrq, "RSRQ evolution across one hand-off", _describe_fig4),
-    "fig5": (fig5_rsrq_gap, "RSRQ gain across hand-offs", None),
-    "fig6": (fig6_handoff_latency, "hand-off latency by kind", None),
-    "fig7": (fig7_throughput, "UDP baselines + TCP utilization anomaly", None),
-    "fig8": (fig8_cwnd, "Cubic vs BBR cwnd evolution", _describe_fig8),
-    "fig9": (fig9_loss_rate, "UDP loss vs offered load", None),
-    "fig10": (fig10_retransmissions, "HARQ retransmission depth", None),
-    "fig11": (fig11_bursty_loss, "bursty loss pattern", _describe_fig11),
-    "tab3": (tab3_buffer_size, "in-network buffer estimation", None),
-    "fig12": (fig12_ho_throughput, "TCP throughput drop at hand-off", None),
-    "fig13": (fig13_rtt_scatter, "4G vs 5G RTT over 80 paths", None),
-    "fig14": (fig14_rtt_hops, "per-hop RTT decomposition", None),
-    "fig15": (fig15_rtt_distance, "RTT vs path distance", None),
-    "fig16": (fig16_plt_sites, "PLT by website category", None),
-    "fig17": (fig17_plt_images, "PLT vs image size", None),
-    "fig18": (fig18_video_throughput, "video throughput by resolution", None),
-    "fig19": (fig19_video_fluctuation, "5.7K throughput fluctuation", _describe_fig19),
-    "fig20": (fig20_frame_delay, "4K telephony frame delay", _describe_fig20),
-    "fig21": (fig21_power_breakdown, "power breakdown per app", None),
-    "fig22": (fig22_energy_per_bit, "energy per bit, saturated", None),
-    "fig23": (fig23_energy_timeline, "energy-management showcase", None),
-    "tab4": (tab4_energy_models, "energy of the four power models", None),
-    "ablation-buffers": (
-        ablation_buffer_sizing,
-        "wired buffer sizing vs TCP anomaly",
-        None,
-    ),
-    "ablation-sa": (ablation_sa_mode, "NSA vs projected SA architecture", None),
-    "ablation-coexistence": (
-        ablation_coexistence,
-        "4G/5G flows sharing a wireline path",
-        None,
-    ),
-    "cpe-dsl": (discussion_cpe_dsl, "5G fixed wireless vs DSL", None),
-    "event-mix": (sec34_event_mix, "measurement-event mix along a walk", None),
-    "appendix": (appendix_tables, "appendix tables 5/6/7", None),
-    "edge": (discussion_edge_computing, "mobile edge computing", None),
-}
+#: Version tag for the ``--json`` export layout.
+JSON_SCHEMA_VERSION = 1
 
 
 def _to_jsonable(value: Any) -> Any:
-    """Best-effort conversion of experiment results to JSON."""
+    """Best-effort conversion of experiment results to JSON.
+
+    Numpy scalars and arrays are converted to their Python equivalents —
+    falling through to ``repr`` would export strings like
+    ``"np.int64(42)"`` instead of numbers.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: _to_jsonable(getattr(value, field.name))
@@ -153,55 +58,131 @@ def _to_jsonable(value: Any) -> Any:
         return {str(k): _to_jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_to_jsonable(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_to_jsonable(v) for v in value.tolist()]
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
     return repr(value)
 
 
 def _print_result(name: str, result: Any) -> None:
-    module, _, describe = EXPERIMENTS[name]
+    spec = EXPERIMENTS[name]
     if hasattr(result, "table"):
         print(result.table().render())
-    elif describe is not None:
-        print(describe(result))
+    elif spec.describe is not None:
+        print(spec.describe(result))
     else:
         print(repr(result))
 
 
 def _cmd_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
-    for name, (_, description, _) in EXPERIMENTS.items():
-        print(f"  {name:<{width}}  {description}")
+    for name, spec in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {spec.description}")
     return 0
 
 
-def _cmd_run(names: list[str], seed: int, json_path: str | None) -> int:
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+def _timings_table(outcomes: list[CampaignOutcome]) -> ResultTable:
+    table = ResultTable(
+        "Campaign timings (slowest first)",
+        ["experiment", "wall (s)", "cached", "events run", "rng streams", "peak RSS (MiB)"],
+    )
+    for record in campaign_timings(outcomes):
+        table.add_row(
+            [
+                record.experiment,
+                f"{record.wall_time_s:.2f}",
+                "yes" if record.cached else "no",
+                record.events_executed,
+                record.rng_streams_drawn,
+                f"{record.peak_rss_kib / 1024:.0f}",
+            ]
+        )
+    return table
+
+
+def _export_json(
+    path: str, outcomes: list[CampaignOutcome], seed: int
+) -> None:
+    payload: dict[str, Any] = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "seed": seed,
+        "source_hash": source_hash(),
+        "experiments": {
+            o.name: {
+                "description": EXPERIMENTS[o.name].description,
+                "wall_time_s": o.record.wall_time_s,
+                "cached": o.record.cached,
+                "record": o.record.as_dict(),
+                "result": _to_jsonable(o.result),
+            }
+            for o in outcomes
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"wrote {path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    serial = args.parallel <= 1
+
+    def progress(outcome: CampaignOutcome) -> None:
+        record = outcome.record
+        origin = "cache" if record.cached else f"{record.wall_time_s:.1f}s"
+        if serial:
+            print(f"== {outcome.name}: {EXPERIMENTS[outcome.name].description} "
+                  f"(seed={args.seed}) ==")
+            _print_result(outcome.name, outcome.result)
+            print(f"   [{origin}]\n")
+        else:
+            print(f"   done {outcome.name} [{origin}]")
+
+    try:
+        outcomes = run_campaign(
+            args.names,
+            seed=args.seed,
+            parallel=args.parallel,
+            cache=cache,
+            run_all=args.run_all,
+            progress=progress,
+        )
+    except UnknownExperimentError as exc:
+        print(str(exc), file=sys.stderr)
         print("use `python -m repro list` to see the catalogue", file=sys.stderr)
         return 2
-    exported: dict[str, Any] = {}
-    for name in names:
-        module, description, _ = EXPERIMENTS[name]
-        print(f"== {name}: {description} (seed={seed}) ==")
-        started = time.time()
-        result = module.run(seed=seed)
-        _print_result(name, result)
-        print(f"   [{time.time() - started:.1f}s]\n")
-        exported[name] = _to_jsonable(result)
-    if json_path is not None:
-        with open(json_path, "w") as handle:
-            json.dump(exported, handle, indent=2)
-        print(f"wrote {json_path}")
+    except ExperimentFailure as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    if not serial:
+        print()
+        for outcome in outcomes:
+            print(f"== {outcome.name}: {EXPERIMENTS[outcome.name].description} "
+                  f"(seed={args.seed}) ==")
+            _print_result(outcome.name, outcome.result)
+            print()
+    if args.timings and outcomes:
+        total = sum(o.record.wall_time_s for o in outcomes if not o.record.cached)
+        print(_timings_table(outcomes).render())
+        print(f"total uncached wall time: {total:.2f}s\n")
+    if args.json_path is not None:
+        _export_json(args.json_path, outcomes, args.seed)
     return 0
 
 
 def _cmd_paper_index() -> int:
     print("Paper table/figure -> experiment name -> benchmark file")
-    for name, (module, description, _) in EXPERIMENTS.items():
-        bench = f"benchmarks/test_{module.__name__.rsplit('.', 1)[-1]}.py"
-        print(f"  {name:<18} {description:<45} {bench}")
+    for name, spec in EXPERIMENTS.items():
+        bench = f"benchmarks/test_{spec.module.__name__.rsplit('.', 1)[-1]}.py"
+        print(f"  {name:<18} {spec.description:<45} {bench}")
     return 0
 
 
@@ -214,17 +195,31 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run_parser = sub.add_parser("run", help="run one or more experiments")
-    run_parser.add_argument("names", nargs="+", help="experiment names (see `list`)")
+    run_parser.add_argument("names", nargs="*", default=[],
+                            help="experiment names (see `list`)")
+    run_parser.add_argument("--all", dest="run_all", action="store_true",
+                            help="run the whole catalogue")
     run_parser.add_argument("--seed", type=int, default=7)
     run_parser.add_argument("--json", dest="json_path", default=None,
-                            help="also dump results to a JSON file")
+                            help="also dump results + run metadata to a JSON file")
+    run_parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                            help="run across N worker processes (default: 1, serial)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk result cache")
+    run_parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                            help="result cache location (default: .repro_cache, "
+                                 "or $REPRO_CACHE_DIR)")
+    run_parser.add_argument("--timings", action="store_true",
+                            help="print per-experiment instrumentation records")
     sub.add_parser("paper-index", help="map experiments to benchmark files")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.names, args.seed, args.json_path)
+        if not args.names and not args.run_all:
+            parser.error("run: provide experiment names or --all")
+        return _cmd_run(args)
     if args.command == "paper-index":
         return _cmd_paper_index()
     parser.error(f"unknown command {args.command!r}")

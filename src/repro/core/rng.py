@@ -10,7 +10,16 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RngFactory", "default_rng"]
+__all__ = ["RngFactory", "default_rng", "streams_drawn"]
+
+# Process-wide count of streams handed out by RngFactory.stream(), used by
+# repro.runner.instrument to report how much randomness an experiment drew.
+_streams_drawn = 0
+
+
+def streams_drawn() -> int:
+    """Total RngFactory streams drawn by this process so far."""
+    return _streams_drawn
 
 
 class RngFactory:
@@ -39,6 +48,8 @@ class RngFactory:
         Repeated calls with the same name return fresh generators positioned
         at the start of the same underlying stream.
         """
+        global _streams_drawn
+        _streams_drawn += 1
         seq = np.random.SeedSequence([self._seed, _stable_hash(name)])
         return np.random.default_rng(seq)
 

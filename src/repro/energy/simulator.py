@@ -130,7 +130,6 @@ def simulate_dynamic_switch(
         model = nr_model if intensity >= threshold else lte_model
         start = max(transfer.start_s, clock)
         if start > clock:
-            gap_model = current if current is not None else lte_model
             # Gaps are priced on the cheap 4G module once the burst ends
             # (the heuristic drops back below threshold between bursts),
             # unless a high-rate stream merely paused within its

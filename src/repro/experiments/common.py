@@ -16,7 +16,7 @@ from repro.geometry.campus import Campus, build_campus
 from repro.radio.cell import RadioNetwork
 from repro.radio.propagation import Environment
 
-__all__ = ["Testbed", "testbed", "DEFAULT_SEED"]
+__all__ = ["Testbed", "testbed", "warm", "testbed_cache_info", "DEFAULT_SEED"]
 
 DEFAULT_SEED = 7
 
@@ -57,3 +57,18 @@ def testbed(seed: int = DEFAULT_SEED) -> Testbed:
         lte=lte,
         lte_anchors=lte_anchors,
     )
+
+
+def warm(seed: int = DEFAULT_SEED) -> Testbed:
+    """Pre-build the testbed for ``seed`` so later experiments hit the cache.
+
+    Campaign-runner workers call this from their pool initializer: the
+    testbed build dominates the startup cost of cheap experiments, so each
+    worker pays it once up front instead of inside its first task.
+    """
+    return testbed(seed)
+
+
+def testbed_cache_info():
+    """``functools`` cache statistics for the per-process testbed cache."""
+    return testbed.cache_info()

@@ -1,0 +1,197 @@
+"""The experiment catalogue: one entry per paper table/figure.
+
+The CLI (:mod:`repro.cli`), the campaign runner (:mod:`repro.runner`) and
+the benchmark harness all drive experiments through this single registry,
+so adding an experiment here is the only step needed to make it runnable
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.experiments import (
+    ablation_buffer_sizing,
+    ablation_coexistence,
+    ablation_sa_mode,
+    appendix_tables,
+    discussion_cpe_dsl,
+    discussion_edge_computing,
+    fig2_coverage_map,
+    fig3_indoor_outdoor,
+    fig4_handoff_rsrq,
+    fig5_rsrq_gap,
+    fig6_handoff_latency,
+    fig7_throughput,
+    fig8_cwnd,
+    fig9_loss_rate,
+    fig10_retransmissions,
+    fig11_bursty_loss,
+    fig12_ho_throughput,
+    fig13_rtt_scatter,
+    fig14_rtt_hops,
+    fig15_rtt_distance,
+    fig16_plt_sites,
+    fig17_plt_images,
+    fig18_video_throughput,
+    fig19_video_fluctuation,
+    fig20_frame_delay,
+    fig21_power_breakdown,
+    fig22_energy_per_bit,
+    fig23_energy_timeline,
+    sec34_event_mix,
+    tab1_physical_info,
+    tab2_rsrp_distribution,
+    tab3_buffer_size,
+    tab4_energy_models,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "UnknownExperimentError",
+    "resolve_names",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One catalogue entry.
+
+    Iterable as ``(module, description, describe)`` for backwards
+    compatibility with the original ``EXPERIMENTS`` tuple layout.
+    """
+
+    name: str
+    module: ModuleType
+    description: str
+    describe: Callable[[Any], str] | None = None
+
+    def run(self, seed: int) -> Any:
+        """Execute the experiment with its registry defaults."""
+        return self.module.run(seed=seed)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.module, self.description, self.describe))
+
+
+class UnknownExperimentError(KeyError):
+    """Raised when a requested experiment name is not in the catalogue."""
+
+    def __init__(self, names: list[str]) -> None:
+        super().__init__(", ".join(names))
+        self.names = names
+
+    def __str__(self) -> str:
+        return f"unknown experiment(s): {', '.join(self.names)}"
+
+
+def _describe_fig4(r: Any) -> str:
+    return (
+        f"5G-5G hand-off at t={r.handoff_time_s:.1f}s "
+        f"(PCI {r.source_pci} -> {r.target_pci}), {len(r.times_s)} RSRQ samples, "
+        f"serving degrades beforehand: {r.serving_degrades_before_handoff}"
+    )
+
+
+def _describe_fig8(r: Any) -> str:
+    cubic = r.mean_cwnd(r.cubic_trace, 10.0) / 1448
+    bbr = r.mean_cwnd(r.bbr_trace, 10.0) / 1448
+    return (
+        f"mean cwnd after slow-start: cubic {cubic:.0f} segs vs bbr {bbr:.0f} segs; "
+        f"cubic fast-retransmits: {r.cubic_fast_retransmits}"
+    )
+
+
+def _describe_fig11(r: Any) -> str:
+    return (
+        f"loss {r.loss_rate:.2%}; mean run {r.mean_run_length:.1f} pkts "
+        f"(i.i.d. would be {r.expected_random_mean_run:.2f}); "
+        f"burst fraction {r.burst_fraction:.0%}"
+    )
+
+
+def _describe_fig19(r: Any) -> str:
+    return (
+        f"throughput CV static {r.fluctuation(r.static_trace_mbps):.3f} vs "
+        f"dynamic {r.fluctuation(r.dynamic_trace_mbps):.3f}; "
+        f"freezes static {r.static_freezes} / dynamic {r.dynamic_freezes}"
+    )
+
+
+def _describe_fig20(r: Any) -> str:
+    return (
+        f"mean frame delay 5G {r.nr_mean_s * 1000:.0f} ms / 4G {r.lte_mean_s * 1000:.0f} ms; "
+        f"processing {r.processing_s * 1000:.0f} ms vs "
+        f"5G network {r.nr_network_s * 1000:.0f} ms"
+    )
+
+
+def _catalogue() -> dict[str, ExperimentSpec]:
+    entries: list[tuple[str, ModuleType, str, Callable[[Any], str] | None]] = [
+        ("tab1", tab1_physical_info, "basic physical info of both networks", None),
+        ("tab2", tab2_rsrp_distribution, "RSRP distribution and coverage holes", None),
+        ("fig2", fig2_coverage_map, "campus RSRP map + cell-72 bit-rate contour", None),
+        ("fig3", fig3_indoor_outdoor, "indoor/outdoor bit-rate gap", None),
+        ("fig4", fig4_handoff_rsrq, "RSRQ evolution across one hand-off", _describe_fig4),
+        ("fig5", fig5_rsrq_gap, "RSRQ gain across hand-offs", None),
+        ("fig6", fig6_handoff_latency, "hand-off latency by kind", None),
+        ("fig7", fig7_throughput, "UDP baselines + TCP utilization anomaly", None),
+        ("fig8", fig8_cwnd, "Cubic vs BBR cwnd evolution", _describe_fig8),
+        ("fig9", fig9_loss_rate, "UDP loss vs offered load", None),
+        ("fig10", fig10_retransmissions, "HARQ retransmission depth", None),
+        ("fig11", fig11_bursty_loss, "bursty loss pattern", _describe_fig11),
+        ("tab3", tab3_buffer_size, "in-network buffer estimation", None),
+        ("fig12", fig12_ho_throughput, "TCP throughput drop at hand-off", None),
+        ("fig13", fig13_rtt_scatter, "4G vs 5G RTT over 80 paths", None),
+        ("fig14", fig14_rtt_hops, "per-hop RTT decomposition", None),
+        ("fig15", fig15_rtt_distance, "RTT vs path distance", None),
+        ("fig16", fig16_plt_sites, "PLT by website category", None),
+        ("fig17", fig17_plt_images, "PLT vs image size", None),
+        ("fig18", fig18_video_throughput, "video throughput by resolution", None),
+        ("fig19", fig19_video_fluctuation, "5.7K throughput fluctuation", _describe_fig19),
+        ("fig20", fig20_frame_delay, "4K telephony frame delay", _describe_fig20),
+        ("fig21", fig21_power_breakdown, "power breakdown per app", None),
+        ("fig22", fig22_energy_per_bit, "energy per bit, saturated", None),
+        ("fig23", fig23_energy_timeline, "energy-management showcase", None),
+        ("tab4", tab4_energy_models, "energy of the four power models", None),
+        ("ablation-buffers", ablation_buffer_sizing, "wired buffer sizing vs TCP anomaly", None),
+        ("ablation-sa", ablation_sa_mode, "NSA vs projected SA architecture", None),
+        (
+            "ablation-coexistence",
+            ablation_coexistence,
+            "4G/5G flows sharing a wireline path",
+            None,
+        ),
+        ("cpe-dsl", discussion_cpe_dsl, "5G fixed wireless vs DSL", None),
+        ("event-mix", sec34_event_mix, "measurement-event mix along a walk", None),
+        ("appendix", appendix_tables, "appendix tables 5/6/7", None),
+        ("edge", discussion_edge_computing, "mobile edge computing", None),
+    ]
+    return {
+        name: ExperimentSpec(name=name, module=module, description=description, describe=describe)
+        for name, module, description, describe in entries
+    }
+
+
+#: name -> spec, in paper order.
+EXPERIMENTS: dict[str, ExperimentSpec] = _catalogue()
+
+
+def resolve_names(names: Iterable[str], run_all: bool = False) -> list[str]:
+    """Validate and dedupe experiment names, preserving first-seen order.
+
+    With ``run_all`` the whole catalogue is returned (in catalogue order)
+    and ``names`` is ignored.
+
+    Raises:
+        UnknownExperimentError: if any name is not in the catalogue.
+    """
+    if run_all:
+        return list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise UnknownExperimentError(unknown)
+    return list(dict.fromkeys(names))

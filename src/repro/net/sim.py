@@ -5,20 +5,51 @@ Every network and transport component schedules callbacks on one shared
 TCP at hundreds of megabits produces millions of events per simulated
 minute — so events are plain heap entries with a cancellation flag rather
 than process objects.
+
+Each simulator keeps lightweight event counters (scheduled / executed /
+cancelled), and the module aggregates the same counters across every
+instance in the process so campaign instrumentation
+(:mod:`repro.runner.instrument`) can report how much simulation work an
+experiment performed without wrapping individual simulators.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from typing import Any, Callable, NamedTuple
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "SimCounters", "Simulator", "global_counters"]
+
+#: Scheduling slightly in the past happens when callers compute an absolute
+#: timestamp as ``now + dt`` and float rounding pushes the reconstructed
+#: delay a few ULPs negative.  Delays within this tolerance are clamped to
+#: "fire immediately" instead of crashing mid-simulation.
+PAST_TOLERANCE_S = 1e-9
+
+
+class SimCounters(NamedTuple):
+    """A snapshot of event counters (per simulator or process-wide)."""
+
+    scheduled: int
+    executed: int
+    cancelled: int
+
+
+# Process-wide totals across all Simulator instances, for instrumentation.
+_total_scheduled = 0
+_total_executed = 0
+_total_cancelled = 0
+
+
+def global_counters() -> SimCounters:
+    """Snapshot of event counters summed over every simulator in the process."""
+    return SimCounters(_total_scheduled, _total_executed, _total_cancelled)
 
 
 class Event:
     """A scheduled callback; cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(
         self, time: float, seq: int, callback: Callable[..., None], args: tuple[Any, ...]
@@ -28,10 +59,19 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim: "Simulator | None" = None
 
     def cancel(self) -> None:
         """Prevent the callback from firing (O(1); removal is lazy)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            global _total_cancelled
+            sim._pending -= 1
+            sim.events_cancelled += 1
+            _total_cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -55,19 +95,36 @@ class Simulator:
         self.now = 0.0
         self._heap: list[Event] = []
         self._seq = 0
+        self._pending = 0
+        self.events_scheduled = 0
+        self.events_executed = 0
+        self.events_cancelled = 0
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
+        global _total_scheduled
         self._seq += 1
         event = Event(self.now + delay, self._seq, callback, args)
+        event.sim = self
         heapq.heappush(self._heap, event)
+        self._pending += 1
+        self.events_scheduled += 1
+        _total_scheduled += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
-        return self.schedule(time - self.now, callback, *args)
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``.
+
+        ``time`` a few ULPs before ``now`` (|delay| <= ``PAST_TOLERANCE_S``)
+        is treated as "now": float rounding in ``time - now`` must not crash
+        a simulation that computed the timestamp from ``now`` itself.
+        """
+        delay = time - self.now
+        if -PAST_TOLERANCE_S <= delay < 0.0:
+            delay = 0.0
+        return self.schedule(delay, callback, *args)
 
     def run(self, until: float | None = None) -> None:
         """Run events in order until the heap drains or ``until`` is reached.
@@ -75,6 +132,7 @@ class Simulator:
         With ``until`` set, simulation time always advances exactly to
         ``until`` even if the heap drains earlier.
         """
+        global _total_executed
         heap = self._heap
         while heap:
             event = heap[0]
@@ -83,11 +141,20 @@ class Simulator:
             heapq.heappop(heap)
             if event.cancelled:
                 continue
+            # Detach so a late cancel() on a fired event cannot skew counters.
+            event.sim = None
+            self._pending -= 1
+            self.events_executed += 1
+            _total_executed += 1
             self.now = event.time
             event.callback(*event.args)
         if until is not None and self.now < until:
             self.now = until
 
+    def counters(self) -> SimCounters:
+        """Snapshot of this simulator's event counters."""
+        return SimCounters(self.events_scheduled, self.events_executed, self.events_cancelled)
+
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._pending

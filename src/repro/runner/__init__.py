@@ -1,0 +1,34 @@
+"""Campaign runner: cached, parallel execution of the experiment catalogue.
+
+The paper's measurement campaign ran for seven months; reproducing all of
+its ~33 tables and figures is itself a campaign.  This package treats that
+campaign as a first-class subsystem:
+
+* :mod:`repro.runner.cache` — an on-disk result cache under
+  ``.repro_cache/``, keyed by (experiment, seed, source hash) so results
+  survive across processes and invalidate automatically on code change.
+* :mod:`repro.runner.instrument` — per-run provenance: wall time,
+  simulator event counters, RNG streams drawn, peak RSS.
+* :mod:`repro.runner.worker` — the picklable per-experiment entry point
+  executed inside pool workers.
+* :mod:`repro.runner.campaign` — the orchestrator fanning experiments out
+  across a :class:`concurrent.futures.ProcessPoolExecutor`.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, source_hash
+from repro.runner.campaign import CampaignOutcome, campaign_timings, run_campaign
+from repro.runner.instrument import RunRecord, instrumented_call
+from repro.runner.worker import ExperimentFailure, execute_experiment
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CampaignOutcome",
+    "ExperimentFailure",
+    "ResultCache",
+    "RunRecord",
+    "campaign_timings",
+    "execute_experiment",
+    "instrumented_call",
+    "run_campaign",
+    "source_hash",
+]

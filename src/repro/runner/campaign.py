@@ -1,0 +1,112 @@
+"""The campaign orchestrator: fan experiments out, collect provenance.
+
+Serial runs execute in-process (streaming results as they finish, exactly
+like the original CLI loop); parallel runs fan the cache misses out over a
+``ProcessPoolExecutor`` whose workers pre-build the shared testbed in
+their initializer.  Either way every outcome carries a
+:class:`repro.runner.instrument.RunRecord`, and results come back in the
+caller's request order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.registry import resolve_names
+from repro.runner.cache import ResultCache
+from repro.runner.instrument import RunRecord
+from repro.runner.worker import execute_experiment, warm_worker
+
+__all__ = ["CampaignOutcome", "campaign_timings", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """One experiment's result plus its run provenance."""
+
+    name: str
+    result: Any
+    record: RunRecord
+
+
+def run_campaign(
+    names: Iterable[str],
+    seed: int = DEFAULT_SEED,
+    parallel: int = 1,
+    cache: ResultCache | None = None,
+    run_all: bool = False,
+    progress: Callable[[CampaignOutcome], None] | None = None,
+) -> list[CampaignOutcome]:
+    """Run a set of catalogue experiments and return outcomes in request order.
+
+    Args:
+        names: experiment names; validated and deduped (first occurrence
+            wins) so ``run fig7 fig7`` runs — and exports — fig7 once.
+        seed: campaign seed forwarded to every experiment.
+        parallel: worker processes; ``<= 1`` runs serially in-process.
+        cache: on-disk result cache, or None to bypass caching entirely.
+        run_all: run the whole catalogue (``names`` is then ignored).
+        progress: called with each outcome as it completes (completion
+            order, not request order).
+
+    Raises:
+        UnknownExperimentError: for names outside the catalogue.
+        ExperimentFailure: if any experiment raised.
+    """
+    ordered = resolve_names(names, run_all=run_all)
+    if not ordered:
+        return []
+    cache_root = str(cache.root) if cache is not None else None
+
+    outcomes: dict[str, CampaignOutcome] = {}
+
+    def record_outcome(name: str, result: Any, record: RunRecord) -> None:
+        outcome = CampaignOutcome(name=name, result=result, record=record)
+        outcomes[name] = outcome
+        if progress is not None:
+            progress(outcome)
+
+    if parallel <= 1:
+        for name in ordered:
+            record_outcome(name, *execute_experiment(name, seed, cache_root))
+        return [outcomes[name] for name in ordered]
+
+    # Serve warm cache entries from the coordinator; only misses need workers.
+    misses = list(ordered)
+    if cache is not None:
+        misses = []
+        for name in ordered:
+            hit = cache.load(name, seed)
+            if hit is None:
+                misses.append(name)
+            else:
+                record_outcome(name, hit.result, hit.record)
+
+    if misses:
+        with ProcessPoolExecutor(
+            max_workers=min(parallel, len(misses)),
+            initializer=warm_worker,
+            initargs=(seed,),
+        ) as pool:
+            futures = {
+                pool.submit(execute_experiment, name, seed, cache_root): name
+                for name in misses
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result, record = future.result()
+                    record_outcome(futures[future], result, record)
+
+    return [outcomes[name] for name in ordered]
+
+
+def campaign_timings(outcomes: Sequence[CampaignOutcome]) -> list[RunRecord]:
+    """The run records of ``outcomes``, slowest first."""
+    return sorted(
+        (o.record for o in outcomes), key=lambda r: r.wall_time_s, reverse=True
+    )

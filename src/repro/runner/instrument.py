@@ -1,0 +1,100 @@
+"""Per-run instrumentation records.
+
+Every campaign-runner execution carries a :class:`RunRecord` describing
+what the run cost: wall time, how many discrete-event-simulator events it
+scheduled/executed/cancelled (from the process-wide counters in
+:mod:`repro.net.sim`), how many named RNG streams it drew
+(:func:`repro.core.rng.streams_drawn`) and the process peak RSS.  Records
+are plain picklable dataclasses so they travel back from pool workers and
+into the on-disk cache unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.core import rng
+from repro.net import sim
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["RunRecord", "instrumented_call", "peak_rss_kib"]
+
+T = TypeVar("T")
+
+
+def peak_rss_kib() -> int:
+    """Process peak resident set size in KiB (0 where unavailable).
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so within one
+    worker it is monotone across runs; treat it as "heap never exceeded
+    this while the run finished", not as the run's own allocation.
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # macOS reports bytes, Linux reports KiB
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Provenance for one experiment execution."""
+
+    experiment: str
+    seed: int
+    cached: bool
+    wall_time_s: float
+    events_scheduled: int
+    events_executed: int
+    events_cancelled: int
+    rng_streams_drawn: int
+    peak_rss_kib: int
+    worker_pid: int
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form for JSON export."""
+        return dataclasses.asdict(self)
+
+    def as_cached(self) -> "RunRecord":
+        """A copy marked as served from the cache."""
+        return dataclasses.replace(self, cached=True)
+
+
+def instrumented_call(
+    experiment: str, seed: int, fn: Callable[[], T]
+) -> tuple[T, RunRecord]:
+    """Run ``fn`` and capture a :class:`RunRecord` around it.
+
+    Simulator/RNG figures are deltas of the process-wide counters, so the
+    record reflects exactly the work done between entry and exit — including
+    any simulators the experiment created internally.
+    """
+    sim_before = sim.global_counters()
+    rng_before = rng.streams_drawn()
+    started = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - started
+    sim_after = sim.global_counters()
+    record = RunRecord(
+        experiment=experiment,
+        seed=seed,
+        cached=False,
+        wall_time_s=wall,
+        events_scheduled=sim_after.scheduled - sim_before.scheduled,
+        events_executed=sim_after.executed - sim_before.executed,
+        events_cancelled=sim_after.cancelled - sim_before.cancelled,
+        rng_streams_drawn=rng.streams_drawn() - rng_before,
+        peak_rss_kib=peak_rss_kib(),
+        worker_pid=os.getpid(),
+    )
+    return result, record

@@ -1,0 +1,61 @@
+"""The per-experiment execution entry point for campaign workers.
+
+Everything here must stay picklable/top-level: these functions cross the
+``ProcessPoolExecutor`` boundary.  A worker loads from the shared on-disk
+cache, runs the experiment under instrumentation on a miss, stores the
+fresh result, and ships (result, record) back to the coordinator.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro.experiments import common
+from repro.experiments.registry import EXPERIMENTS
+from repro.runner.cache import ResultCache
+from repro.runner.instrument import RunRecord, instrumented_call
+
+__all__ = ["ExperimentFailure", "execute_experiment", "warm_worker"]
+
+
+class ExperimentFailure(RuntimeError):
+    """An experiment raised inside a worker; carries the remote traceback."""
+
+    def __init__(self, name: str, remote_traceback: str) -> None:
+        super().__init__(name, remote_traceback)
+        self.name = name
+        self.remote_traceback = remote_traceback
+
+    def __str__(self) -> str:
+        return f"experiment {self.name!r} failed in worker:\n{self.remote_traceback}"
+
+
+def warm_worker(seed: int) -> None:
+    """Pool initializer: build the testbed once so every task hits its cache."""
+    common.warm(seed)
+
+
+def execute_experiment(
+    name: str, seed: int, cache_root: str | None = None
+) -> tuple[Any, RunRecord]:
+    """Run one catalogue experiment, going through the cache when given.
+
+    Raises:
+        ExperimentFailure: if the experiment itself raised; the original
+            traceback travels along as a string (remote tracebacks do not
+            survive pickling).
+    """
+    spec = EXPERIMENTS[name]
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    if cache is not None:
+        hit = cache.load(name, seed)
+        if hit is not None:
+            return hit.result, hit.record
+    try:
+        result, record = instrumented_call(name, seed, lambda: spec.run(seed))
+    except Exception as exc:
+        raise ExperimentFailure(name, traceback.format_exc()) from exc
+    if cache is not None:
+        cache.store(name, seed, result, record)
+    return result, record

@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+The CLI's ``run`` command caches results under ``.repro_cache/`` by
+default; point it at a per-test temporary directory so the suite never
+writes into the working tree.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))

@@ -1,0 +1,98 @@
+"""Tests for the CLI: JSON export fidelity, dedupe, metadata, flags."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import _to_jsonable, main
+
+
+@dataclasses.dataclass(frozen=True)
+class _NumpyResult:
+    count: np.int64
+    ratio: np.float32
+    flag: np.bool_
+    trace: np.ndarray
+    nested: dict
+
+
+def _numpy_result() -> _NumpyResult:
+    return _NumpyResult(
+        count=np.int64(42),
+        ratio=np.float32(0.5),
+        flag=np.bool_(True),
+        trace=np.array([[1.5, 2.5], [3.5, 4.5]]),
+        nested={"depth": np.int32(7), "values": (np.float64(1.0), np.uint8(3))},
+    )
+
+
+class TestToJsonable:
+    def test_numpy_scalars_become_numbers(self):
+        out = _to_jsonable(_numpy_result())
+        assert out["count"] == 42 and isinstance(out["count"], int)
+        assert out["ratio"] == 0.5 and isinstance(out["ratio"], float)
+        assert out["flag"] is True
+        assert out["nested"]["depth"] == 7
+        assert out["nested"]["values"] == [1.0, 3]
+
+    def test_ndarray_becomes_nested_lists(self):
+        out = _to_jsonable(_numpy_result())
+        assert out["trace"] == [[1.5, 2.5], [3.5, 4.5]]
+
+    def test_round_trips_through_json_without_repr_strings(self):
+        text = json.dumps(_to_jsonable(_numpy_result()))
+        assert "np." in repr(np.int64(42))  # the failure mode being guarded
+        assert "np." not in text
+        assert json.loads(text)["count"] == 42
+
+    def test_plain_python_passthrough(self):
+        value = {"a": [1, 2.5, "x", None, True], "b": (1, 2)}
+        assert _to_jsonable(value) == {"a": [1, 2.5, "x", None, True], "b": [1, 2]}
+
+    def test_opaque_objects_still_fall_back_to_repr(self):
+        assert _to_jsonable(object).startswith("<class")
+
+
+class TestRunCommand:
+    def test_duplicate_names_export_once_with_metadata(self, tmp_path, capsys):
+        out_file = tmp_path / "out.json"
+        assert main(["run", "fig13", "fig13", "--json", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["seed"] == 7
+        assert list(payload["experiments"]) == ["fig13"]
+        entry = payload["experiments"]["fig13"]
+        assert entry["wall_time_s"] > 0
+        assert entry["cached"] is False
+        assert entry["record"]["seed"] == 7
+        # The experiment ran once, not twice.
+        out = capsys.readouterr().out
+        assert out.count("== fig13:") == 1
+
+    def test_second_run_serves_from_cache(self, tmp_path, capsys):
+        assert main(["run", "fig13"]) == 0
+        assert main(["run", "fig13"]) == 0
+        assert "[cache]" in capsys.readouterr().out
+
+    def test_no_cache_flag_bypasses_cache(self, tmp_path, capsys):
+        assert main(["run", "fig13", "--no-cache"]) == 0
+        assert main(["run", "fig13", "--no-cache"]) == 0
+        assert "[cache]" not in capsys.readouterr().out
+
+    def test_timings_table(self, capsys):
+        assert main(["run", "fig13", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign timings" in out
+        assert "rng streams" in out
+
+    def test_run_without_names_or_all_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_seed_flows_into_export(self, tmp_path):
+        out_file = tmp_path / "out.json"
+        assert main(["run", "fig13", "--seed", "11", "--json", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["seed"] == 11
+        assert payload["experiments"]["fig13"]["record"]["seed"] == 11

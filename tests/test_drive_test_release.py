@@ -1,6 +1,5 @@
 """Tests for the drive-test workflow and the dataset release builder."""
 
-import json
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the energy subsystem: DRX machine, models, traces, pwrStrip."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

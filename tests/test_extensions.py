@@ -102,7 +102,9 @@ class TestCli:
         out_file = tmp_path / "results.json"
         assert main(["run", "fig22", "--json", str(out_file)]) == 0
         payload = json.loads(out_file.read_text())
-        assert "fig22" in payload
+        assert "fig22" in payload["experiments"]
+        assert payload["seed"] == 7
+        assert payload["experiments"]["fig22"]["wall_time_s"] >= 0
         out = capsys.readouterr().out
         assert "energy per bit" in out
 

@@ -1,6 +1,5 @@
 """Unit tests for repro.geometry: points, buildings, campus."""
 
-import math
 
 import pytest
 from hypothesis import given

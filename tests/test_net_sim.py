@@ -84,6 +84,81 @@ class TestSimulator:
         sim.run(until=10.0)
         assert sim.now == 10.0
 
+    def test_schedule_at_exactly_now_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule_at(sim.now, fired.append, "x"))
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 1.0
+
+    def test_schedule_at_float_rounded_past_clamped(self):
+        # now + dt computed elsewhere can land a few ULPs below now; that
+        # must fire immediately instead of crashing mid-simulation.
+        sim = Simulator()
+        fired = []
+
+        def at_t():
+            sim.schedule_at(sim.now - 1e-12, fired.append, "x")
+
+        sim.schedule(0.3, at_t)
+        sim.run()
+        assert fired == ["x"]
+
+    def test_schedule_at_genuinely_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_event_counters(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        sim.run()
+        assert sim.events_scheduled == 2
+        assert sim.events_executed == 1
+        assert sim.events_cancelled == 1
+        assert sim.counters() == (2, 1, 1)
+        assert not keep.cancelled
+
+    def test_pending_events_tracks_schedule_cancel_and_run(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events() == 5
+        events[0].cancel()
+        events[0].cancel()  # double-cancel must not double-count
+        assert sim.pending_events() == 4
+        assert sim.events_cancelled == 1
+        sim.run(until=3.0)
+        assert sim.pending_events() == 2
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_cancel_after_fire_does_not_skew_counters(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.pending_events() == 0
+        assert sim.events_cancelled == 0
+
+    def test_global_counters_aggregate_across_simulators(self):
+        from repro.net.sim import global_counters
+
+        before = global_counters()
+        for _ in range(3):
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            sim.schedule(2.0, lambda: None).cancel()
+            sim.run()
+        after = global_counters()
+        assert after.scheduled - before.scheduled == 6
+        assert after.executed - before.executed == 3
+        assert after.cancelled - before.cancelled == 3
+
 
 class TestDropTailQueue:
     def test_fifo(self):

@@ -6,7 +6,6 @@ monotonicity of the radio chain.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

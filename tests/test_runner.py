@@ -1,0 +1,208 @@
+"""Tests for the campaign runner: registry, cache, instrumentation, fan-out.
+
+The end-to-end tests use the cheapest catalogue experiments (fig3,
+fig13) so the suite demonstrates cache hit/miss and parallel-vs-serial
+equivalence without paying for a heavy DES workload.
+"""
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.cli import EXPERIMENTS as CLI_EXPERIMENTS
+from repro.cli import _to_jsonable
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    UnknownExperimentError,
+    resolve_names,
+)
+from repro.runner import (
+    ResultCache,
+    RunRecord,
+    execute_experiment,
+    instrumented_call,
+    run_campaign,
+    source_hash,
+)
+
+CHEAP = ["fig3", "fig13"]
+
+
+def _record(name="fig3", seed=7, **overrides):
+    base = dict(
+        experiment=name,
+        seed=seed,
+        cached=False,
+        wall_time_s=1.0,
+        events_scheduled=10,
+        events_executed=8,
+        events_cancelled=2,
+        rng_streams_drawn=3,
+        peak_rss_kib=1024,
+        worker_pid=1,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestRegistry:
+    def test_cli_and_registry_share_one_catalogue(self):
+        assert CLI_EXPERIMENTS is EXPERIMENTS
+
+    def test_specs_are_complete(self):
+        for name, spec in EXPERIMENTS.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.name == name
+            assert callable(spec.module.run)
+            assert spec.description
+
+    def test_spec_unpacks_like_legacy_tuple(self):
+        module, description, describe = EXPERIMENTS["fig3"]
+        assert module is EXPERIMENTS["fig3"].module
+        assert description == EXPERIMENTS["fig3"].description
+        assert describe is None
+
+    def test_resolve_names_dedupes_preserving_order(self):
+        assert resolve_names(["fig7", "fig3", "fig7", "fig3"]) == ["fig7", "fig3"]
+
+    def test_resolve_names_rejects_unknown(self):
+        with pytest.raises(UnknownExperimentError) as excinfo:
+            resolve_names(["fig3", "fig99"])
+        assert "fig99" in str(excinfo.value)
+
+    def test_resolve_all_returns_catalogue_order(self):
+        assert resolve_names([], run_all=True) == list(EXPERIMENTS)
+        assert resolve_names(["fig7"], run_all=True) == list(EXPERIMENTS)
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("fig3", 7) is None
+        cache.store("fig3", 7, {"answer": 42}, _record())
+        hit = cache.load("fig3", 7)
+        assert hit.result == {"answer": 42}
+        assert hit.record.cached  # served-from-cache copies are marked
+        assert hit.record.wall_time_s == 1.0  # original provenance kept
+
+    def test_keys_separate_by_seed_and_extra(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("fig3", 7, "seven", _record())
+        cache.store("fig3", 8, "eight", _record(seed=8))
+        cache.store("fig3", 7, "kwargs", _record(), extra="num_points=5")
+        assert cache.load("fig3", 7).result == "seven"
+        assert cache.load("fig3", 8).result == "eight"
+        assert cache.load("fig3", 7, extra="num_points=5").result == "kwargs"
+        assert cache.load("fig3", 9) is None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store("fig3", 7, "ok", _record())
+        path.write_bytes(b"not a pickle")
+        assert cache.load("fig3", 7) is None
+        assert not path.exists()
+
+    def test_entries_live_under_source_hash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store("fig3", 7, "ok", _record())
+        assert path.parent.name == source_hash()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("fig3", 7, "a", _record())
+        cache.store("fig13", 7, "b", _record(name="fig13"))
+        assert cache.clear() == 2
+        assert cache.load("fig3", 7) is None
+
+
+class TestInstrumentation:
+    def test_record_captures_deltas(self):
+        from repro.net.sim import Simulator
+
+        def job():
+            sim = Simulator()
+            sim.schedule(1.0, lambda: None)
+            sim.schedule(2.0, lambda: None).cancel()
+            sim.run()
+            return "done"
+
+        result, record = instrumented_call("job", 3, job)
+        assert result == "done"
+        assert record.experiment == "job"
+        assert record.seed == 3
+        assert not record.cached
+        assert record.wall_time_s > 0
+        assert record.events_scheduled == 2
+        assert record.events_executed == 1
+        assert record.events_cancelled == 1
+        assert record.peak_rss_kib > 0
+        assert record.as_cached().cached
+
+    def test_record_is_picklable_and_jsonable(self):
+        record = _record()
+        assert pickle.loads(pickle.dumps(record)) == record
+        assert json.loads(json.dumps(record.as_dict()))["experiment"] == "fig3"
+
+
+class TestExecuteExperiment:
+    def test_cold_run_stores_then_hits(self, tmp_path):
+        result, record = execute_experiment("fig13", 7, str(tmp_path))
+        assert not record.cached
+        assert record.rng_streams_drawn > 0
+        cached_result, cached_record = execute_experiment("fig13", 7, str(tmp_path))
+        assert cached_record.cached
+        assert _to_jsonable(cached_result) == _to_jsonable(result)
+
+    def test_without_cache_root_never_writes(self, tmp_path):
+        execute_experiment("fig13", 7, None)
+        assert not any(tmp_path.iterdir())
+
+
+class TestRunCampaign:
+    def test_serial_parallel_and_cached_results_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        serial = run_campaign(CHEAP, seed=7, parallel=1, cache=None)
+        parallel = run_campaign(CHEAP, seed=7, parallel=2, cache=cache)
+        cached = run_campaign(CHEAP, seed=7, parallel=1, cache=cache)
+        assert [o.name for o in serial] == CHEAP
+        assert [o.name for o in parallel] == CHEAP
+        assert not any(o.record.cached for o in parallel)
+        assert all(o.record.cached for o in cached)
+        for s, p, c in zip(serial, parallel, cached):
+            assert _to_jsonable(s.result) == _to_jsonable(p.result)
+            assert _to_jsonable(s.result) == _to_jsonable(c.result)
+
+    def test_second_invocation_at_least_5x_faster_via_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        started = time.perf_counter()
+        run_campaign(CHEAP, seed=7, cache=cache)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        outcomes = run_campaign(CHEAP, seed=7, cache=cache)
+        warm_s = time.perf_counter() - started
+        assert all(o.record.cached for o in outcomes)
+        assert warm_s < cold_s / 5, f"cache gave only {cold_s / warm_s:.1f}x"
+
+    def test_progress_reports_every_outcome(self, tmp_path):
+        seen = []
+        run_campaign(["fig13"], seed=7, cache=None, progress=seen.append)
+        assert [o.name for o in seen] == ["fig13"]
+        assert seen[0].record.experiment == "fig13"
+
+    def test_duplicate_names_run_once(self):
+        calls = []
+        outcomes = run_campaign(
+            ["fig13", "fig13"], seed=7, cache=None, progress=calls.append
+        )
+        assert [o.name for o in outcomes] == ["fig13"]
+        assert len(calls) == 1
+
+    def test_unknown_name_raises_before_running(self):
+        with pytest.raises(UnknownExperimentError):
+            run_campaign(["nope"], seed=7, cache=None)
+
+    def test_empty_request(self):
+        assert run_campaign([], seed=7, cache=None) == []
