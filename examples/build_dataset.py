@@ -43,7 +43,9 @@ def main(output_dir: str = "dataset") -> None:
     release.add_udp_run("5g_halfload", run_udp(config, capacity * 0.5, duration_s=10.0, seed=7))
 
     print("4/4 energy timeline...")
-    release.add_energy_timeline("web_nsa", simulate_nr_nsa(web_browsing_trace(), WEB_CAPACITIES))
+    release.add_energy_timeline("web_nsa", simulate_nr_nsa(
+        web_browsing_trace(rng=bed.rng_factory.stream("web")), WEB_CAPACITIES
+    ))
 
     root = release.write(output_dir)
     print(f"\nDataset written to {root}/")

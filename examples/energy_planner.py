@@ -9,6 +9,7 @@ Run:
 """
 
 from repro.core import ResultTable
+from repro.core.rng import default_rng
 from repro.energy import (
     FILE_CAPACITIES,
     MODEL_RUNNERS,
@@ -25,7 +26,7 @@ from repro.energy.power_model import SYSTEM_POWER_W
 
 def energy_bill() -> None:
     workloads = {
-        "Web": (web_browsing_trace(), WEB_CAPACITIES),
+        "Web": (web_browsing_trace(rng=default_rng(7)), WEB_CAPACITIES),
         "Video": (video_telephony_trace(), VIDEO_CAPACITIES),
         "File": (file_transfer_trace(), FILE_CAPACITIES),
     }
@@ -44,7 +45,7 @@ def energy_bill() -> None:
 
 def tail_trace() -> None:
     print("\n5G NSA power trace for 3 web loads (100 ms pwrStrip samples):")
-    trace = web_browsing_trace(num_pages=3, think_time_s=3.0)
+    trace = web_browsing_trace(num_pages=3, think_time_s=3.0, rng=default_rng(7))
     result = simulate_nr_nsa(trace, WEB_CAPACITIES)
     samples = sample_timeline(result)
     max_power = max(s.power_w for s in samples)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = ["BufferEstimate", "estimate_buffer_packets", "stanford_buffer_packets"]
 

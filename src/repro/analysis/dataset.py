@@ -10,7 +10,8 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 __all__ = ["write_csv", "read_csv", "write_json", "read_json"]
 

@@ -9,7 +9,7 @@ then query summaries or export the raw rows.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.core.stats import Summary, summarize
 

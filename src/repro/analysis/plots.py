@@ -8,7 +8,7 @@ server or plotting dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.stats import Cdf
 

@@ -8,9 +8,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import RadioProfile
+from repro.core.rng import default_rng
 from repro.net.path import PathConfig, build_cellular_path
 from repro.net.sim import Simulator
 from repro.transport.base import TcpConnection
@@ -50,7 +49,7 @@ def download_file(
         raise ValueError(f"size must be positive, got {size_bytes}")
     config = PathConfig(profile=profile, scale=scale)
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
     cc = make_cc(algorithm, config.mss_bytes, rate_scale=scale)
     scaled = max(int(size_bytes * scale), config.mss_bytes)

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.config import RadioProfile
+from repro.core.rng import default_rng
 from repro.net.packet import DATA, Packet
 from repro.net.path import PathConfig, build_cellular_path
 from repro.net.sim import Simulator
@@ -175,7 +174,7 @@ def run_video_session(
         ) from None
 
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     config = PathConfig(profile=profile, direction="ul", scale=scale)
     path = build_cellular_path(sim, config, rng)
     result = VideoSessionResult(

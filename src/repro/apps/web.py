@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import RadioProfile
 from repro.core.units import MB
+from repro.core.rng import default_rng
 from repro.net.path import PathConfig, build_cellular_path
 from repro.net.sim import Simulator
 from repro.transport.base import TcpConnection
@@ -102,7 +101,7 @@ def measure_plt(
     """
     config = PathConfig(profile=profile, scale=scale)
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
     cc = make_cc(algorithm, config.mss_bytes, rate_scale=scale)
     transfer = max(int(page.size_bytes * scale), config.mss_bytes)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.results import ResultTable
 from repro.experiments.registry import EXPERIMENTS, UnknownExperimentError
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.runner import (
     CampaignOutcome,
     ExperimentFailure,
@@ -34,6 +35,7 @@ from repro.runner import (
     campaign_timings,
     run_campaign,
     source_hash,
+    streams_by_worker,
 )
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -172,6 +174,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.timings and outcomes:
         total = sum(o.record.wall_time_s for o in outcomes if not o.record.cached)
         print(_timings_table(outcomes).render())
+        per_worker = streams_by_worker(o.record for o in outcomes)
+        if len(per_worker) > 1:
+            # A parallel campaign: RNG counters are per-process, so a single
+            # total would be misleading — show each worker's own tally.
+            workers = ", ".join(f"pid {pid}: {n}" for pid, n in per_worker.items())
+            print(f"rng streams by worker: {workers}")
         print(f"total uncached wall time: {total:.2f}s\n")
     if args.json_path is not None:
         _export_json(args.json_path, outcomes, args.seed)
@@ -212,6 +220,11 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--timings", action="store_true",
                             help="print per-experiment instrumentation records")
     sub.add_parser("paper-index", help="map experiments to benchmark files")
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the replint domain linter (determinism, units, simulator API)",
+    )
+    add_lint_arguments(lint_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -222,5 +235,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "paper-index":
         return _cmd_paper_index()
+    if args.command == "lint":
+        return run_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2

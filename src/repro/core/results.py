@@ -8,7 +8,8 @@ free text renderer for that purpose, plus dict export for EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 __all__ = ["ResultTable"]
 

@@ -8,17 +8,59 @@ arrivals, mobility jitter, ...) stay statistically independent of each other.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-__all__ = ["RngFactory", "default_rng", "streams_drawn"]
+__all__ = [
+    "RngFactory",
+    "SANCTIONED_RNG_PROVIDERS",
+    "default_rng",
+    "derive",
+    "is_sanctioned_rng",
+    "streams_drawn",
+]
 
-# Process-wide count of streams handed out by RngFactory.stream(), used by
+#: Modules whose callables are sanctioned randomness constructors.  The
+#: REP001 determinism rule (:mod:`repro.lint.rules.determinism`) consults
+#: this so the linter and the runtime agree on what "going through
+#: repro.core.rng" means; extend it here if a future provider is blessed.
+SANCTIONED_RNG_PROVIDERS: tuple[str, ...] = ("repro.core.rng",)
+
+
+def is_sanctioned_rng(qualified_name: str) -> bool:
+    """Is ``qualified_name`` (e.g. ``repro.core.rng.default_rng``) a
+    sanctioned randomness constructor?"""
+    return any(
+        qualified_name == provider or qualified_name.startswith(provider + ".")
+        for provider in SANCTIONED_RNG_PROVIDERS
+    )
+
+
+# Per-process count of streams handed out by RngFactory.stream(), used by
 # repro.runner.instrument to report how much randomness an experiment drew.
+# The owning PID is tracked because fork-start ProcessPoolExecutor workers
+# inherit the parent's module state: without the guard a worker would start
+# from the coordinator's count and report inflated absolute totals.
 _streams_drawn = 0
+_counter_pid = os.getpid()
+
+
+def _reset_if_forked() -> None:
+    global _streams_drawn, _counter_pid
+    pid = os.getpid()
+    if pid != _counter_pid:
+        _streams_drawn = 0
+        _counter_pid = pid
 
 
 def streams_drawn() -> int:
-    """Total RngFactory streams drawn by this process so far."""
+    """Total RngFactory streams drawn by this process so far.
+
+    The count is strictly per-process: a pool worker forked mid-campaign
+    starts again from zero rather than inheriting the coordinator's tally.
+    """
+    _reset_if_forked()
     return _streams_drawn
 
 
@@ -49,6 +91,7 @@ class RngFactory:
         at the start of the same underlying stream.
         """
         global _streams_drawn
+        _reset_if_forked()
         _streams_drawn += 1
         seq = np.random.SeedSequence([self._seed, _stable_hash(name)])
         return np.random.default_rng(seq)
@@ -59,8 +102,24 @@ class RngFactory:
 
 
 def default_rng(seed: int = 0) -> np.random.Generator:
-    """Shorthand for a standalone seeded generator."""
+    """Shorthand for a standalone seeded generator.
+
+    This is the *sanctioned* way to turn a campaign seed into a root
+    generator: stochastic code must accept an ``np.random.Generator``
+    parameter (or an :class:`RngFactory` stream) rather than calling
+    ``np.random.default_rng`` itself — the REP001 lint rule enforces it.
+    """
     return np.random.default_rng(seed)
+
+
+def derive(rng: np.random.Generator) -> np.random.Generator:
+    """A child generator deterministically derived from ``rng``'s stream.
+
+    Consumes one draw from ``rng``; use it to hand independent
+    sub-streams to components built from a single threaded generator
+    without the components sharing (and racing on) the parent's state.
+    """
+    return np.random.default_rng(int(rng.integers(2**31)))
 
 
 def _stable_hash(name: str) -> int:

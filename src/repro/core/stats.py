@@ -8,7 +8,7 @@ experiments so that "the CDF of X" means the same thing everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -25,6 +25,9 @@ __all__ = [
     "MS",
     "US",
     "thermal_noise_dbm",
+    "UNIT_DIMENSIONS",
+    "LOG_DOMAIN_DIMENSIONS",
+    "unit_suffix",
 ]
 
 BITS_PER_BYTE = 8
@@ -40,6 +43,71 @@ US = 1e-6
 
 #: Thermal noise power spectral density at 290 K, in dBm/Hz.
 _NOISE_PSD_DBM_HZ = -174.0
+
+#: The unit-suffix lattice: every canonical variable-name suffix used in
+#: this codebase, mapped to the physical dimension it denotes.  The REP002
+#: lint rule (:mod:`repro.lint.rules.units`) is derived from this table —
+#: two names may be added/subtracted or passed through a keyword argument
+#: only when their suffixes agree (log-domain quantities are mutually
+#: compatible: ``x_dbm + gain_db`` is the *point* of working in dB).
+#: Multi-token suffixes (``dbm_hz``) take precedence over their tails.
+UNIT_DIMENSIONS: dict[str, str] = {
+    # log-domain (mutually compatible under +/-)
+    "dbm": "log-power",
+    "db": "log-ratio",
+    "dbi": "log-ratio",
+    "dbm_hz": "log-power-density",
+    # linear power
+    "w": "power",
+    "mw": "power",
+    # frequency
+    "hz": "frequency",
+    "khz": "frequency",
+    "mhz": "frequency",
+    "ghz": "frequency",
+    # time
+    "s": "time",
+    "ms": "time",
+    "us": "time",
+    "ns": "time",
+    # distance
+    "m": "distance",
+    "km": "distance",
+    # data rate
+    "bps": "rate",
+    "kbps": "rate",
+    "mbps": "rate",
+    "gbps": "rate",
+    # data volume
+    "bits": "data",
+    "bytes": "data",
+    "pkts": "data",
+    # energy
+    "j": "energy",
+    "mj": "energy",
+}
+
+#: Dimensions whose members may be mixed in additive expressions: adding
+#: a dB ratio to a dBm level (or a dBm/Hz density) is log-domain
+#: arithmetic, not a unit error.
+LOG_DOMAIN_DIMENSIONS: frozenset[str] = frozenset(
+    {"log-power", "log-ratio", "log-power-density"}
+)
+
+
+def unit_suffix(name: str) -> str | None:
+    """The canonical unit suffix carried by identifier ``name``, if any.
+
+    Longest suffix wins so ``noise_psd_dbm_hz`` resolves to ``dbm_hz``,
+    not ``hz``.  Matching is case-insensitive (constants are SHOUTED).
+    """
+    lowered = name.lower()
+    best: str | None = None
+    for suffix in UNIT_DIMENSIONS:
+        if lowered == suffix or lowered.endswith("_" + suffix):
+            if best is None or len(suffix) > len(best):
+                best = suffix
+    return best
 
 
 def dbm_to_mw(dbm: float) -> float:

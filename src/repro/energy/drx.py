@@ -14,7 +14,7 @@ come from replaying Wireshark traces through simulated state machines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = [
     "DrxConfig",

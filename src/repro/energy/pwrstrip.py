@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.core.rng import default_rng
 from repro.energy.drx import EnergyResult
 from repro.energy.power_model import SCREEN_POWER_W, SYSTEM_POWER_W
 
@@ -47,7 +46,7 @@ def sample_timeline(
     """
     if interval_s <= 0:
         raise ValueError(f"interval must be positive, got {interval_s}")
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     baseline = SYSTEM_POWER_W + SCREEN_POWER_W if include_device else 0.0
     samples = []
     t = 0.0

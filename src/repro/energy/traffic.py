@@ -19,7 +19,8 @@ def web_browsing_trace(
     num_pages: int = 10,
     think_time_s: float = 10.0,
     page_bytes: int = int(2.5 * MB),
-    rng: np.random.Generator | None = None,
+    *,
+    rng: np.random.Generator,
 ) -> list[Transfer]:
     """Short web loads separated by think time (the Fig. 23 showcase).
 
@@ -27,10 +28,13 @@ def web_browsing_trace(
     returns to RRC_IDLE between loads (both tails exceed the gap), so the
     trace exercises the DRX and tail states that dominate 5G's
     web-browsing energy.
+
+    ``rng`` (which jitters the page sizes) is required: the old seed-0
+    fallback silently produced the *same* page sequence for every
+    repetition, biasing confidence intervals built across runs.
     """
     if num_pages < 1:
         raise ValueError(f"need at least one page, got {num_pages}")
-    rng = rng if rng is not None else np.random.default_rng(0)
     transfers = []
     t = 0.0
     for _ in range(num_pages):

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import percent
+from repro.core.rng import default_rng
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.path import PathConfig, build_cellular_path
@@ -58,7 +57,7 @@ def _run_with_buffer(
     """One 5G TCP run with the wired buffer scaled by ``multiplier``."""
     config = PathConfig(profile=NR_PROFILE, scale=scale)
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
     extra = int(path.wired_link.queue.capacity_packets * (multiplier - 1.0))
     path.wired_link.queue.capacity_packets += extra

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
+from repro.core.rng import default_rng
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.packet import Packet
@@ -91,7 +92,7 @@ def _build_shared_paths(
     the 5G path's wired link, with a flow-id demultiplexer deciding which
     core segment each serialized packet continues into.
     """
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path5 = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=scale), rng)
     path4 = build_cellular_path(
         sim,
@@ -118,29 +119,37 @@ def _build_shared_paths(
     return path5, path4
 
 
+def _run_point(
+    seed: int, duration_s: float, scale: float, multiplier: float
+) -> CoexistencePoint:
+    """One coexistence repetition on its own freshly built simulator."""
+    sim = Simulator()
+    path5, path4 = _build_shared_paths(sim, scale, seed, multiplier)
+    conn5 = TcpConnection.establish(
+        sim, path5, make_cc("bbr", path5.config.mss_bytes, scale), flow_id=_NR_FLOW
+    )
+    conn4 = TcpConnection.establish(
+        sim, path4, make_cc("cubic", path4.config.mss_bytes, scale), flow_id=_LTE_FLOW
+    )
+    conn5.start()
+    conn4.start()
+    sim.run(until=duration_s)
+    rtts = [rtt for _, rtt in conn4.sender.stats.rtt_samples]
+    return CoexistencePoint(
+        nr_retransmissions=conn5.sender.stats.retransmissions,
+        nr_throughput_bps=conn5.sender.stats.throughput_bps(duration_s),
+        lte_mean_rtt_s=float(np.mean(rtts)) if rtts else 0.0,
+        lte_p95_rtt_s=float(np.percentile(rtts, 95)) if rtts else 0.0,
+        lte_throughput_bps=conn4.sender.stats.throughput_bps(duration_s),
+    )
+
+
 def run(
     seed: int = DEFAULT_SEED, duration_s: float = 20.0, scale: float = SIM_SCALE
 ) -> CoexistenceResult:
     """Run a 5G BBR bulk flow next to a 4G Cubic flow per buffer size."""
-    points: dict[float, CoexistencePoint] = {}
-    for multiplier in BUFFER_MULTIPLIERS:
-        sim = Simulator()
-        path5, path4 = _build_shared_paths(sim, scale, seed, multiplier)
-        conn5 = TcpConnection.establish(
-            sim, path5, make_cc("bbr", path5.config.mss_bytes, scale), flow_id=_NR_FLOW
-        )
-        conn4 = TcpConnection.establish(
-            sim, path4, make_cc("cubic", path4.config.mss_bytes, scale), flow_id=_LTE_FLOW
-        )
-        conn5.start()
-        conn4.start()
-        sim.run(until=duration_s)
-        rtts = [rtt for _, rtt in conn4.sender.stats.rtt_samples]
-        points[multiplier] = CoexistencePoint(
-            nr_retransmissions=conn5.sender.stats.retransmissions,
-            nr_throughput_bps=conn5.sender.stats.throughput_bps(duration_s),
-            lte_mean_rtt_s=float(np.mean(rtts)) if rtts else 0.0,
-            lte_p95_rtt_s=float(np.percentile(rtts, 95)) if rtts else 0.0,
-            lte_throughput_bps=conn4.sender.stats.throughput_bps(duration_s),
-        )
+    points = {
+        multiplier: _run_point(seed, duration_s, scale, multiplier)
+        for multiplier in BUFFER_MULTIPLIERS
+    }
     return CoexistenceResult(points=points)

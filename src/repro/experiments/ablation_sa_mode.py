@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.results import ResultTable
+from repro.core.rng import default_rng
 from repro.energy.drx import NR_NSA_DRX_CONFIG, NR_POWER, RadioEnergyModel
 from repro.energy.power_model import SYSTEM_POWER_W
 from repro.energy.traffic import web_browsing_trace
@@ -75,7 +76,7 @@ class SaAblationResult:
 
 def run(seed: int = DEFAULT_SEED, samples: int = 200) -> SaAblationResult:
     """Draw hand-off latencies and replay the web workload on both machines."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     nsa_ms = float(
         np.mean(
             [
@@ -96,7 +97,7 @@ def run(seed: int = DEFAULT_SEED, samples: int = 200) -> SaAblationResult:
         * 1000
     )
 
-    trace = web_browsing_trace(rng=np.random.default_rng(seed))
+    trace = web_browsing_trace(rng=default_rng(seed))
     capacity = 880e6
     nsa = RadioEnergyModel(NR_POWER, NR_NSA_DRX_CONFIG, capacity).replay(trace)
     sa = RadioEnergyModel(NR_POWER, NR_SA_DRX_CONFIG, capacity).replay(trace)

@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import NR_PROFILE
 from repro.core.results import ResultTable
+from repro.core.rng import default_rng
 from repro.apps.web import WEB_PAGE_CATALOG
 from repro.experiments.common import DEFAULT_SEED
 from repro.net.path import PathConfig, build_cellular_path
@@ -69,7 +68,7 @@ def _path_rtt_ms(distance_km: float, wired_hops: int) -> float:
         wired_hops=wired_hops,
         with_scheduling_stalls=False,
     )
-    path = build_cellular_path(Simulator(), config, np.random.default_rng(0))
+    path = build_cellular_path(Simulator(), config, default_rng(0))
     return path.base_rtt_s * 1000
 
 
@@ -103,7 +102,7 @@ def _plt_at_distance(page, distance_km: float, hops: int, seed: int) -> float:
         scale=scale,
     )
     sim = Simulator()
-    path = build_cellular_path(sim, config, np.random.default_rng(seed))
+    path = build_cellular_path(sim, config, default_rng(seed))
     cc = make_cc("bbr", config.mss_bytes, rate_scale=scale)
     transfer = max(int(page.size_bytes * scale), config.mss_bytes)
     conn = TcpConnection.establish(sim, path, cc, transfer_bytes=transfer)

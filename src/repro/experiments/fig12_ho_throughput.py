@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import percent
+from repro.core.rng import default_rng
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.mobility.handoff import HandoffKind, HandoffProcedure
@@ -67,7 +68,7 @@ def _measure_drop(
         with_scheduling_stalls=False,
     )
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
     conn = TcpConnection.establish(sim, path, make_cc("bbr", config.mss_bytes, scale))
 

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.config import LTE_PROFILE, NR_PROFILE, RadioProfile
 from repro.core.results import ResultTable
+from repro.core.rng import default_rng
 from repro.analysis.buffer_est import estimate_buffer_packets
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.fig7_throughput import SIM_SCALE
@@ -75,7 +74,7 @@ def _measure(profile: RadioProfile, seed: int, scale: float, duration_s: float):
     """Saturate one path while sampling per-segment queue occupancy."""
     config = PathConfig(profile=profile, scale=scale)
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
     sender = UdpSender(sim, path, config.access_rate_bps() * scale * 1.1)
     UdpSink(path)

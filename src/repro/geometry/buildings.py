@@ -10,7 +10,7 @@ brick-and-concrete blocks — and count wall crossings along a propagation ray.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.geometry.points import Point
 

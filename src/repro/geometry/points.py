@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = ["Point", "Segment", "GeoPoint", "haversine_km"]
 

@@ -1,0 +1,44 @@
+"""replint: the repro domain linter.
+
+An AST-based static-analysis pass enforcing the invariants generic
+linters cannot see:
+
+* **REP001 determinism** — all randomness flows through
+  :mod:`repro.core.rng` (named streams / threaded generators).
+* **REP002 unit consistency** — identifier unit suffixes
+  (``_dbm``, ``_hz``, ``_s``, ...) are never mixed across additive
+  expressions or keyword-argument boundaries.
+* **REP003 simulator API** — no negative literal delays, no discarded
+  cancellable timer handles, no ``Simulator()`` construction inside
+  experiment sweep loops.
+* **REP004 hidden state** — no mutable default arguments; no mutable
+  module-level globals in experiment modules.
+
+See ``EXPERIMENTS.md`` ("Determinism and unit conventions") for the
+conventions themselves, the pragma syntax and baseline workflow.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (
+    FileContext,
+    LintResult,
+    Rule,
+    Violation,
+    all_rules,
+    lint_paths,
+    rule,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule",
+]

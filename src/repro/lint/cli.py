@@ -1,0 +1,97 @@
+"""The ``repro lint`` subcommand.
+
+Usage::
+
+    python -m repro lint src/                      # gate: exit 1 on new violations
+    python -m repro lint src/ --format json        # machine-readable report
+    python -m repro lint src/ --write-baseline     # grandfather the current state
+    python -m repro lint src/ --no-baseline        # report everything, baseline or not
+
+The baseline defaults to ``lint-baseline.json`` in the working
+directory; a missing file is simply an empty baseline, so a clean tree
+needs no baseline at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        metavar="PATH",
+        help=f"baseline file of grandfathered violations "
+        f"(default: {DEFAULT_BASELINE_NAME}; missing file = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every violation",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current violations to the baseline file and exit 0",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint run; returns the process exit code."""
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        result = lint_paths(paths)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        Baseline.from_violations(result.violations).save(baseline_path)
+        print(
+            f"wrote {len(result.violations)} grandfathered violation(s) "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    if not args.no_baseline:
+        try:
+            result = Baseline.load(baseline_path).apply(result)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    exit_code = 1 if result.violations else 0
+    if args.output_format == "json":
+        print(render_json(result, exit_code))
+    else:
+        print(render_text(result))
+    return exit_code

@@ -1,0 +1,310 @@
+"""The replint rule engine: contexts, registry, pragmas and the runner.
+
+replint is a domain linter: its rules encode invariants of *this*
+codebase (sanctioned randomness, unit-suffix discipline, simulator API
+contracts) that generic linters cannot know about.  Each rule lives in
+one module under :mod:`repro.lint.rules` and registers itself with the
+:func:`rule` decorator; the engine parses every target file once and
+hands the same :class:`FileContext` to every rule.
+
+Suppression happens at two levels:
+
+* a ``# replint: ignore[REP001]`` pragma on the reported line silences
+  named rules (bare ``# replint: ignore`` silences them all), and
+* a committed baseline file grandfathers existing violations so the
+  gate only fails on *new* ones (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "rule",
+]
+
+#: Matches ``# replint: ignore`` and ``# replint: ignore[REP001,REP003]``.
+_PRAGMA_RE = re.compile(r"#\s*replint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".repro_cache"}
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule finding, anchored to a source line.
+
+    ``fingerprint`` (the stripped source text of the reported line) is
+    what the baseline matches on, so grandfathered entries survive the
+    line-number drift of unrelated edits.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    snippet: str
+
+    @property
+    def fingerprint(self) -> str:
+        return self.snippet
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for the JSON report."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class Rule:
+    """Base class for replint rules.
+
+    Subclasses set ``id``/``name``/``severity`` and implement
+    :meth:`check`, yielding violations via ``ctx.violation(...)``.
+    Registration is explicit through the :func:`rule` decorator so a
+    rule module is exactly one import away from being active.
+    """
+
+    id: str = "REP000"
+    name: str = "unnamed"
+    severity: str = "error"
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Violation:
+        """A violation of this rule anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            path=ctx.display_path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            snippet=ctx.source_line(line).strip(),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator registering a rule instance under its ``id``."""
+    instance = cls()
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id (imports the rule modules)."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+class ImportTable:
+    """Maps local aliases to fully qualified import paths for one module.
+
+    The table is flat (function-level imports are folded in with
+    module-level ones); replint resolves *names*, not scopes, which is
+    the right precision for spotting calls into banned modules.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self._aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports are never to banned modules
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The fully qualified dotted name of ``node``, if import-rooted.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        attribute chains rooted in local variables resolve to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        qualified = self._aliases.get(node.id)
+        if qualified is None:
+            return None
+        parts.append(qualified)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """One parsed file plus the helpers rules need."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    imports: ImportTable
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, display_path: str) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            display_path=display_path,
+            source=source,
+            tree=tree,
+            imports=ImportTable(tree),
+            lines=source.splitlines(),
+        )
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    @property
+    def path_parts(self) -> tuple[str, ...]:
+        return tuple(part.lower() for part in Path(self.display_path).parts)
+
+    def in_package_dir(self, name: str) -> bool:
+        """Is this file under a directory called ``name`` (e.g. 'experiments')?"""
+        return name.lower() in self.path_parts[:-1]
+
+    def is_module(self, *suffixes: str) -> bool:
+        """Does the file path end with any of ``suffixes`` (posix style)?"""
+        posix = Path(self.display_path).as_posix()
+        return any(posix.endswith(suffix) for suffix in suffixes)
+
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        """Is ``rule_id`` pragma-silenced on ``lineno``?"""
+        match = _PRAGMA_RE.search(self.source_line(lineno))
+        if match is None:
+            return False
+        named = match.group("rules")
+        if named is None:
+            return True
+        return rule_id in {part.strip() for part in named.split(",")}
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: list[Violation]
+    baselined: list[Violation]
+    files_scanned: int
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """New-violation counts per rule id."""
+        totals: dict[str, int] = {}
+        for violation in self.violations:
+            totals[violation.rule] = totals.get(violation.rule, 0) + 1
+        return dict(sorted(totals.items()))
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """All ``*.py`` files under ``paths`` (files pass through verbatim)."""
+    for path in paths:
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not _SKIP_DIR_NAMES.intersection(candidate.parts):
+                yield candidate
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, display_path: str, rules: Iterable[Rule]
+) -> list[Violation]:
+    """All non-pragma-suppressed violations in one file."""
+    try:
+        ctx = FileContext.parse(path, display_path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=display_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="REP000",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    violations: list[Violation] = []
+    for active in rules:
+        for violation in active.check(ctx):
+            if not ctx.suppressed(violation.line, violation.rule):
+                violations.append(violation)
+    return sorted(violations)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Iterable[Rule] | None = None,
+    root: Path | None = None,
+) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    Args:
+        paths: Files or directories to scan.
+        rules: Rule instances to run (default: the full registry).
+        root: Directory violation paths are reported relative to
+            (default: the current working directory), which is also the
+            frame of reference baseline entries are stored in.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    base = root if root is not None else Path.cwd()
+    violations: list[Violation] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        scanned += 1
+        violations.extend(lint_file(path, _display_path(path, base), active))
+    return LintResult(
+        violations=sorted(violations), baselined=[], files_scanned=scanned
+    )

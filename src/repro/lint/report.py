@@ -1,0 +1,64 @@
+"""Render lint results as terminal text or machine-readable JSON.
+
+The JSON layout is a stable contract (``schema_version`` guards it) so
+CI and editor integrations can parse it::
+
+    {
+      "schema_version": 1,
+      "tool": "replint",
+      "files_scanned": 102,
+      "counts": {"REP001": 2},
+      "violations": [
+        {"rule": "REP001", "severity": "error", "path": "src/...",
+         "line": 10, "col": 4, "message": "...", "snippet": "..."}
+      ],
+      "baselined_count": 0,
+      "exit_code": 1
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["REPORT_SCHEMA_VERSION", "render_json", "render_text"]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report, one line per violation plus a summary."""
+    out: list[str] = []
+    for violation in result.violations:
+        out.append(
+            f"{violation.path}:{violation.line}:{violation.col + 1}: "
+            f"{violation.rule} [{violation.severity}] {violation.message}"
+        )
+        if violation.snippet:
+            out.append(f"    {violation.snippet}")
+    summary = (
+        f"replint: {len(result.violations)} new violation(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.files_scanned} file(s) scanned"
+    )
+    if result.violations:
+        per_rule = ", ".join(f"{k}: {v}" for k, v in result.counts.items())
+        summary += f" [{per_rule}]"
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(result: LintResult, exit_code: int) -> str:
+    """The documented machine-readable report."""
+    payload = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": "replint",
+        "files_scanned": result.files_scanned,
+        "counts": result.counts,
+        "violations": [violation.as_dict() for violation in result.violations],
+        "baselined_count": len(result.baselined),
+        "exit_code": exit_code,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,9 @@
+"""Rule modules register themselves on import; one file per rule family.
+
+Adding a rule in a future PR means adding one module here and importing
+it below — the engine, CLI, baseline and report layers need no changes.
+"""
+
+from repro.lint.rules import determinism, simapi, state, units
+
+__all__ = ["determinism", "simapi", "state", "units"]

@@ -1,0 +1,81 @@
+"""REP001: all randomness must flow through ``repro.core.rng``.
+
+The campaign cache keys results by (experiment, seed, source hash); a
+stochastic draw that bypasses the seeded ``RngFactory``/``Generator``
+plumbing either freezes randomness across repetitions (hard-coded
+seeds) or varies between runs (wall clock, process entropy) — both
+silently poison cached figures.  This rule flags every call into the
+banned constructors outside ``core/rng.py`` itself; fixes are to accept
+an ``np.random.Generator`` parameter, draw a named ``RngFactory``
+stream, or use the sanctioned helpers in :mod:`repro.core.rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.core.rng import is_sanctioned_rng
+from repro.lint.engine import FileContext, Rule, Violation, rule
+
+#: Any call into these namespaces is nondeterministic or bypasses the
+#: seeded-stream discipline.
+_BANNED_PREFIXES: tuple[str, ...] = ("numpy.random.", "random.")
+
+_BANNED_EXACT: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+    }
+)
+
+#: The one module allowed to touch ``numpy.random`` directly.
+_EXEMPT_MODULES: tuple[str, ...] = ("core/rng.py",)
+
+
+def _message(qualified: str) -> str:
+    if qualified.startswith("numpy.random."):
+        return (
+            f"direct call to {qualified}; take an np.random.Generator "
+            "parameter or draw a named RngFactory stream "
+            "(repro.core.rng) so campaign seeds stay reproducible"
+        )
+    if qualified.startswith("random."):
+        return (
+            f"stdlib {qualified} uses hidden global state; use a seeded "
+            "np.random.Generator from repro.core.rng instead"
+        )
+    return (
+        f"{qualified} is nondeterministic across runs; results keyed by "
+        "seed must not depend on wall clock or process entropy"
+    )
+
+
+@rule
+class DeterminismRule(Rule):
+    """Flag randomness and wall-clock calls outside the sanctioned module."""
+
+    id = "REP001"
+    name = "determinism"
+    severity = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_module(*_EXEMPT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.imports.resolve(node.func)
+            if qualified is None or is_sanctioned_rng(qualified):
+                continue
+            if qualified in _BANNED_EXACT or qualified.startswith(_BANNED_PREFIXES):
+                yield self.violation(ctx, node, _message(qualified))

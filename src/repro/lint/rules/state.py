@@ -1,0 +1,104 @@
+"""REP004: hidden mutable state that couples runs to each other.
+
+Two patterns:
+
+* **mutable default arguments** (anywhere) — the default binds once at
+  import, so one call's mutation leaks into the next call and, under
+  the campaign runner, into the next *experiment*.
+* **module-level mutable globals in ``experiments/``** — an experiment
+  module accumulating into a lowercase module-level list/dict/set keeps
+  state across repetitions within one worker process while fresh
+  workers start clean, so serial and ``--parallel`` campaigns diverge.
+  SHOUTED names are exempt: the codebase convention is that all-caps
+  module-level containers are frozen-by-convention lookup tables.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation, rule
+
+_CONSTANT_NAME_RE = re.compile(r"_{0,2}[A-Z][A-Z0-9_]*")
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"})
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        if name is None and isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+@rule
+class HiddenStateRule(Rule):
+    """Flag mutable defaults and experiment-module mutable globals."""
+
+    id = "REP004"
+    name = "hidden-state"
+    severity = "warning"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._mutable_defaults(ctx)
+        if ctx.in_package_dir("experiments"):
+            yield from self._module_globals(ctx)
+
+    def _mutable_defaults(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_value(default):
+                    yield self.violation(
+                        ctx,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and construct inside the function",
+                    )
+
+    def _module_globals(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not _is_mutable_value(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _CONSTANT_NAME_RE.fullmatch(target.id):
+                    continue  # SHOUTED constants: frozen by convention
+                if target.id.startswith("__") and target.id.endswith("__"):
+                    continue  # dunders (__all__) are interpreter contracts
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"module-level mutable global {target.id!r} in an "
+                    "experiment module persists across repetitions within "
+                    "a worker; pass state explicitly or make it a "
+                    "SHOUTED frozen constant",
+                )

@@ -1,0 +1,150 @@
+"""REP002: unit-suffix consistency, derived from the ``core.units`` lattice.
+
+Physical quantities in this codebase carry their unit in the identifier
+suffix (``rsrp_dbm``, ``bandwidth_hz``, ``delay_s`` — see
+``repro.core.units.UNIT_DIMENSIONS``).  This rule checks the two places
+a wrong unit silently corrupts a figure:
+
+* **additive expressions** — ``x_dbm + y_hz`` (different dimensions) or
+  ``t_s + gap_ms`` (same dimension, mismatched scale).  Log-domain
+  suffixes (``_dbm``/``_db``/``_dbm_hz``) are mutually additive because
+  level + ratio arithmetic is the point of working in dB.
+* **keyword arguments** — passing ``x_ms`` to a ``bandwidth_hz=``
+  parameter, or any suffixed name to a parameter with a different
+  suffix.
+
+Multiplication and division change dimensions legitimately, so the rule
+treats them as opaque; unsuffixed operands resolve to "unknown" and
+never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.core.units import LOG_DOMAIN_DIMENSIONS, UNIT_DIMENSIONS, unit_suffix
+from repro.lint.engine import FileContext, Rule, Violation, rule
+
+#: (suffix, dimension) — resolved unit of a subexpression.
+_Unit = tuple[str, str]
+
+
+def _name_unit(node: ast.AST) -> _Unit | None:
+    if isinstance(node, ast.Name):
+        suffix = unit_suffix(node.id)
+    elif isinstance(node, ast.Attribute):
+        suffix = unit_suffix(node.attr)
+    else:
+        return None
+    if suffix is None:
+        return None
+    return suffix, UNIT_DIMENSIONS[suffix]
+
+
+def _additive_compatible(left: _Unit, right: _Unit) -> bool:
+    if left[0] == right[0]:
+        return True
+    return left[1] in LOG_DOMAIN_DIMENSIONS and right[1] in LOG_DOMAIN_DIMENSIONS
+
+
+def _describe(unit: _Unit) -> str:
+    return f"_{unit[0]} ({unit[1]})"
+
+
+@rule
+class UnitConsistencyRule(Rule):
+    """Flag additive and keyword-passing mixes of incompatible suffixes."""
+
+    id = "REP002"
+    name = "unit-consistency"
+    severity = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        found: list[Violation] = []
+        additive_children: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                for child in (node.left, node.right):
+                    if isinstance(child, ast.BinOp) and isinstance(
+                        child.op, (ast.Add, ast.Sub)
+                    ):
+                        additive_children.add(id(child))
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Add, ast.Sub))
+                and id(node) not in additive_children
+            ):
+                self._resolve(ctx, node, found)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                target = _name_unit(node.target)
+                value = self._resolve(ctx, node.value, found)
+                if target and value and not _additive_compatible(target, value):
+                    found.append(self._mix_violation(ctx, node, target, value))
+            elif isinstance(node, ast.Call):
+                found.extend(self._check_keywords(ctx, node))
+        yield from found
+
+    def _resolve(
+        self, ctx: FileContext, node: ast.AST, found: list[Violation]
+    ) -> _Unit | None:
+        """Unit of an expression; records a violation on incompatible adds.
+
+        Only additive structure is traversed — any other operator yields
+        "unknown" so dimension-changing arithmetic never misfires.  When
+        one operand is unknown the other's unit propagates, keeping
+        chains like ``noise_dbm + 10 * log10(bw) + nf_db`` checkable.
+        """
+        if isinstance(node, ast.UnaryOp):
+            return self._resolve(ctx, node.operand, found)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self._resolve(ctx, node.left, found)
+            right = self._resolve(ctx, node.right, found)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            if not _additive_compatible(left, right):
+                found.append(self._mix_violation(ctx, node, left, right))
+                return None
+            if left[1] in LOG_DOMAIN_DIMENSIONS and left[1] != right[1]:
+                # level +/- ratio keeps the level's (absolute) unit
+                return left if left[1] != "log-ratio" else right
+            return left
+        return _name_unit(node)
+
+    def _mix_violation(
+        self, ctx: FileContext, node: ast.AST, left: _Unit, right: _Unit
+    ) -> Violation:
+        if left[1] == right[1]:
+            message = (
+                f"adding {_describe(left)} to {_describe(right)}: same "
+                "dimension but mismatched scales — convert explicitly"
+            )
+        else:
+            message = (
+                f"adding {_describe(left)} to {_describe(right)}: "
+                "incompatible unit dimensions"
+            )
+        return self.violation(ctx, node, message)
+
+    def _check_keywords(self, ctx: FileContext, node: ast.Call) -> Iterator[Violation]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            param = unit_suffix(keyword.arg)
+            if param is None:
+                continue
+            value = _name_unit(keyword.value)
+            if value is None or value[0] == param:
+                continue
+            expected = (param, UNIT_DIMENSIONS[param])
+            yield self.violation(
+                ctx,
+                keyword.value,
+                f"passing {_describe(value)} value to keyword "
+                f"{keyword.arg}= which expects {_describe(expected)}",
+            )

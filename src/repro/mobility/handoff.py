@@ -16,7 +16,7 @@ Implements the paper's Sec. 3.4 / Appendix A machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ paper's Fig. 11 loss pattern.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import RadioProfile
+from repro.core.rng import derive
 from repro.net.link import CrossTraffic, DelayProcess, Link
 from repro.net.packet import Packet
 from repro.net.sim import Simulator
@@ -114,7 +115,10 @@ class PathConfig:
     def _mean_prb_fraction(self) -> float:
         from repro.radio.phy import PrbAllocator
 
-        allocator = PrbAllocator(self.profile, np.random.default_rng(0))
+        # The mean PRB share is deterministic: no generator needed (the
+        # old seed-0 generator here silently froze nothing — but it read
+        # as a randomness source and masked real seeding bugs).
+        allocator = PrbAllocator(self.profile)
         return allocator.mean_fraction(self.time_of_day)
 
 
@@ -267,15 +271,19 @@ class _StallProcess:
 def build_cellular_path(
     sim: Simulator,
     config: PathConfig,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator,
 ) -> NetworkPath:
     """Construct the full UE-to-server path for one measurement flow.
 
     The data direction runs: wired hops (server side) -> core segment ->
     radio access -> UE for downlink, and the mirror image for uplink.
     Acknowledgements flow the other way over lightly-loaded links.
+
+    ``rng`` drives cross-traffic bursts and radio scheduling stalls; it
+    is required (no hidden seed-0 fallback) so every path built in a
+    campaign inherits the campaign seed — thread one in from
+    :func:`repro.core.rng.default_rng` or an ``RngFactory`` stream.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
     generation = config.profile.generation
     scale = config.scale
 
@@ -322,13 +330,13 @@ def build_cellular_path(
         _RAN_DELAY_S[generation],
         queue_capacity_packets=ran_buffer,
         name="radio-access",
-        delay_process=DelayProcess(np.random.default_rng(rng.integers(2**31)))
+        delay_process=DelayProcess(derive(rng))
         if config.with_scheduling_stalls
         else None,
     )
 
     if config.with_scheduling_stalls:
-        _StallProcess(sim, access, np.random.default_rng(rng.integers(2**31)))
+        _StallProcess(sim, access, derive(rng))
 
     if config.direction == "dl":
         forward = [wired, core, access]

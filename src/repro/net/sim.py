@@ -16,7 +16,8 @@ experiment performed without wrapping individual simulators.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, NamedTuple
+from collections.abc import Callable
+from typing import Any, NamedTuple
 
 __all__ = ["Event", "SimCounters", "Simulator", "global_counters"]
 

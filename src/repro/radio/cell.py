@@ -10,7 +10,7 @@ and what bit-rate does link adaptation deliver there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.config import RadioProfile
 from repro.geometry.campus import Campus, SiteSpec

@@ -5,7 +5,7 @@ coverage radius and the indoor/outdoor gap (Sec. 3.1-3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -128,7 +128,9 @@ class PrbAllocator:
         (4, "night"): (95, 100),
     }
 
-    def __init__(self, profile: RadioProfile, rng: np.random.Generator) -> None:
+    def __init__(
+        self, profile: RadioProfile, rng: np.random.Generator | None = None
+    ) -> None:
         self._profile = profile
         self._rng = rng
 
@@ -137,7 +139,16 @@ class PrbAllocator:
 
         Args:
             time_of_day: ``"day"`` or ``"night"``.
+
+        Raises:
+            ValueError: if the allocator was built without a generator —
+                only the deterministic :meth:`mean_fraction` works then.
         """
+        if self._rng is None:
+            raise ValueError(
+                "PrbAllocator needs an np.random.Generator to draw grants; "
+                "pass one at construction (mean_fraction() needs none)"
+            )
         if time_of_day not in ("day", "night"):
             raise ValueError(f"time_of_day must be 'day' or 'night', got {time_of_day!r}")
         lo, hi = self._RANGES[(self._profile.generation, time_of_day)]

@@ -17,7 +17,7 @@ campaign as a first-class subsystem:
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, source_hash
 from repro.runner.campaign import CampaignOutcome, campaign_timings, run_campaign
-from repro.runner.instrument import RunRecord, instrumented_call
+from repro.runner.instrument import RunRecord, instrumented_call, streams_by_worker
 from repro.runner.worker import ExperimentFailure, execute_experiment
 
 __all__ = [
@@ -31,4 +31,5 @@ __all__ = [
     "instrumented_call",
     "run_campaign",
     "source_hash",
+    "streams_by_worker",
 ]

@@ -7,6 +7,12 @@ scheduled/executed/cancelled (from the process-wide counters in
 (:func:`repro.core.rng.streams_drawn`) and the process peak RSS.  Records
 are plain picklable dataclasses so they travel back from pool workers and
 into the on-disk cache unchanged.
+
+RNG stream counts are strictly **per-process**: each record's figure is a
+delta of its own worker's counter (which resets on fork), tagged with the
+worker PID.  Summing deltas across records from different workers as if
+they shared one counter is only valid per PID — use
+:func:`streams_by_worker` to aggregate a parallel campaign correctly.
 """
 
 from __future__ import annotations
@@ -15,8 +21,9 @@ import dataclasses
 import os
 import sys
 import time
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Any, Callable, TypeVar
+from typing import Any, TypeVar
 
 from repro.core import rng
 from repro.net import sim
@@ -26,7 +33,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     resource = None  # type: ignore[assignment]
 
-__all__ = ["RunRecord", "instrumented_call", "peak_rss_kib"]
+__all__ = ["RunRecord", "instrumented_call", "peak_rss_kib", "streams_by_worker"]
 
 T = TypeVar("T")
 
@@ -68,6 +75,24 @@ class RunRecord:
     def as_cached(self) -> "RunRecord":
         """A copy marked as served from the cache."""
         return dataclasses.replace(self, cached=True)
+
+
+def streams_by_worker(records: Iterable[RunRecord]) -> dict[int, int]:
+    """Total RNG streams drawn per worker process across ``records``.
+
+    Cached records are excluded: a cache hit replays a figure measured by
+    whichever process originally ran the experiment, so attributing it to
+    the serving worker would double-count streams that were never drawn
+    in this campaign.
+    """
+    totals: dict[int, int] = {}
+    for record in records:
+        if record.cached:
+            continue
+        totals[record.worker_pid] = (
+            totals.get(record.worker_pid, 0) + record.rng_streams_drawn
+        )
+    return dict(sorted(totals.items()))
 
 
 def instrumented_call(

@@ -9,8 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.core.rng import default_rng
 from repro.net.path import PathConfig, build_cellular_path
 from repro.net.sim import Simulator
 from repro.transport.base import CongestionControl, TcpConnection
@@ -93,7 +92,7 @@ def run_udp(
 ) -> UdpRunResult:
     """Send CBR UDP at ``offered_bps`` and measure delivery."""
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
     sender = UdpSender(sim, path, offered_bps, packet_bytes=packet_bytes)
     sink = UdpSink(path)
@@ -142,7 +141,7 @@ def run_tcp(
     if baseline_bps is None:
         baseline_bps = run_udp_baseline(config, duration_s=min(duration_s, 15.0), seed=seed)
     sim = Simulator()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
     cc = make_cc(algorithm, config.mss_bytes, rate_scale=config.scale)
     conn = TcpConnection.establish(sim, path, cc)

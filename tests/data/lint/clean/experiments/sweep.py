@@ -1,0 +1,47 @@
+"""Clean twin of the dirty fixture: every replint invariant honoured.
+
+Randomness is parameterised or drawn via repro.core.rng, units agree in
+every additive expression and keyword, timers keep their handles, the
+simulator is built per repetition and no mutable state hides at module
+or default-argument level.
+"""
+
+from repro.core.rng import default_rng
+from repro.net.sim import Simulator
+
+HISTORY: tuple = ()
+
+
+def jitter(window_ms, delay_ms, rng):
+    noise_ms = float(rng.uniform(0.0, 1.0))
+    total_ms = window_ms + delay_ms + noise_ms
+    center_hz = 3.5e9
+    configure(bandwidth_hz=center_hz)
+    return total_ms
+
+
+def schedule_well(sim, on_retransmit_timeout):
+    sim.schedule(1.0, tick)
+    timer = sim.schedule(5.0, on_retransmit_timeout)
+    return timer
+
+
+def _run_point(seed):
+    sim = Simulator()
+    rng = default_rng(seed)
+    return sim, float(rng.uniform(0.0, 1.0))
+
+
+def sweep(seeds, out=None):
+    if out is None:
+        out = []
+    out.extend(_run_point(seed) for seed in seeds)
+    return out
+
+
+def tick():
+    pass
+
+
+def configure(bandwidth_hz):
+    return bandwidth_hz

@@ -1,0 +1,46 @@
+"""Deliberately dirty fixture exercising every replint rule.
+
+Never imported at runtime: the linter only parses it.  Line numbers are
+asserted by tests/test_lint.py — renumber there after editing here.
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.net.sim import Simulator
+
+history = []
+
+
+def jitter(window_ms, delay_s):
+    rng = np.random.default_rng(0)
+    noise = random.random() + time.time()
+    total_ms = window_ms + delay_s
+    configure(bandwidth_hz=window_ms)
+    return rng, noise, total_ms
+
+
+def schedule_badly(sim, on_retransmit_timeout):
+    sim.schedule(-1.0, tick)
+    sim.schedule(5.0, on_retransmit_timeout)
+
+
+def sweep(seeds, out=[]):
+    for seed in seeds:
+        sim = Simulator()
+        out.append((seed, sim))
+    return out
+
+
+def suppressed():
+    return np.random.default_rng(1)  # replint: ignore[REP001]
+
+
+def tick():
+    pass
+
+
+def configure(bandwidth_hz):
+    return bandwidth_hz

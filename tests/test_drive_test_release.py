@@ -63,7 +63,7 @@ class TestDatasetRelease:
         release.add_tcp_run("tcp", run_tcp(config, "cubic", duration_s=3.0, seed=1,
                                            baseline_bps=capacity))
         release.add_udp_run("udp", run_udp(config, capacity * 0.5, duration_s=2.0, seed=1))
-        release.add_energy_timeline("web", simulate_lte(web_browsing_trace(num_pages=2),
+        release.add_energy_timeline("web", simulate_lte(web_browsing_trace(num_pages=2, rng=bed.rng_factory.stream("web")),
                                                         WEB_CAPACITIES))
 
         root = release.write(tmp_path)

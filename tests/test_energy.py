@@ -27,6 +27,7 @@ from repro.energy import (
     video_telephony_trace,
     web_browsing_trace,
 )
+from repro.core.rng import default_rng
 from repro.energy.power_model import APP_CATALOG
 
 
@@ -98,7 +99,7 @@ class TestRadioEnergyModel:
         )
 
     def test_timeline_contiguous(self, model):
-        result = model.replay(web_browsing_trace(num_pages=4))
+        result = model.replay(web_browsing_trace(num_pages=4, rng=default_rng(0)))
         for a, b in zip(result.segments, result.segments[1:]):
             assert b.start_s == pytest.approx(a.end_s)
 
@@ -136,14 +137,14 @@ class TestRadioEnergyModel:
     @settings(max_examples=10, deadline=None)
     def test_more_transfers_more_energy(self, n):
         model = RadioEnergyModel(LTE_POWER, LTE_DRX_CONFIG, 100e6)
-        small = model.replay(web_browsing_trace(num_pages=n))
-        big = model.replay(web_browsing_trace(num_pages=n + 1))
+        small = model.replay(web_browsing_trace(num_pages=n, rng=default_rng(0)))
+        big = model.replay(web_browsing_trace(num_pages=n + 1, rng=default_rng(0)))
         assert big.total_energy_j > small.total_energy_j
 
 
 class TestModels:
     def test_tab4_web_shape(self):
-        trace = web_browsing_trace()
+        trace = web_browsing_trace(rng=default_rng(0))
         lte = simulate_lte(trace, WEB_CAPACITIES).total_energy_j
         nsa = simulate_nr_nsa(trace, WEB_CAPACITIES).total_energy_j
         dyn = simulate_dynamic_switch(trace, WEB_CAPACITIES).total_energy_j
@@ -168,7 +169,7 @@ class TestModels:
 
     def test_oracle_is_lower_bound_on_nr(self):
         for trace, caps in (
-            (web_browsing_trace(), WEB_CAPACITIES),
+            (web_browsing_trace(rng=default_rng(0)), WEB_CAPACITIES),
             (file_transfer_trace(num_files=3), FILE_CAPACITIES),
         ):
             oracle = simulate_nr_oracle(trace, caps).total_energy_j
@@ -182,7 +183,7 @@ class TestModels:
 
 class TestTraces:
     def test_web_trace_spacing(self):
-        trace = web_browsing_trace(num_pages=5, think_time_s=7.0)
+        trace = web_browsing_trace(num_pages=5, think_time_s=7.0, rng=default_rng(0))
         starts = [t.start_s for t in trace]
         assert starts == pytest.approx([0.0, 7.0, 14.0, 21.0, 28.0])
 
@@ -198,7 +199,7 @@ class TestTraces:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            web_browsing_trace(num_pages=0)
+            web_browsing_trace(num_pages=0, rng=default_rng(0))
         with pytest.raises(ValueError):
             video_telephony_trace(duration_s=0.0)
         with pytest.raises(ValueError):
@@ -226,7 +227,7 @@ class TestPowerModelAndPwrstrip:
             energy_per_bit(5, 0.0)
 
     def test_pwrstrip_sampling(self):
-        result = simulate_lte(web_browsing_trace(num_pages=2), WEB_CAPACITIES)
+        result = simulate_lte(web_browsing_trace(num_pages=2, rng=default_rng(0)), WEB_CAPACITIES)
         samples = sample_timeline(result)
         assert len(samples) == pytest.approx(result.end_s / 0.1, abs=2)
         times = [s.time_s for s in samples]
@@ -234,12 +235,12 @@ class TestPowerModelAndPwrstrip:
         assert all(s.power_w >= 0 for s in samples)
 
     def test_pwrstrip_device_baseline(self):
-        result = simulate_lte(web_browsing_trace(num_pages=2), WEB_CAPACITIES)
+        result = simulate_lte(web_browsing_trace(num_pages=2, rng=default_rng(0)), WEB_CAPACITIES)
         bare = sample_timeline(result)
         with_device = sample_timeline(result, include_device=True)
         assert with_device[0].power_w > bare[0].power_w
 
     def test_pwrstrip_interval_validation(self):
-        result = simulate_lte(web_browsing_trace(num_pages=1), WEB_CAPACITIES)
+        result = simulate_lte(web_browsing_trace(num_pages=1, rng=default_rng(0)), WEB_CAPACITIES)
         with pytest.raises(ValueError):
             sample_timeline(result, interval_s=0.0)

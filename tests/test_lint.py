@@ -1,0 +1,211 @@
+"""Tests for replint: the rule engine, rules, pragmas, baseline and CLI.
+
+The fixture packages under ``tests/data/lint/`` are the contract: the
+dirty package seeds exactly one violation per misuse pattern at known
+line numbers, and its clean twin shows the sanctioned spelling of the
+same code.  The meta-test at the bottom self-hosts the linter over
+``src/`` so the gate in CI can never silently rot.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Baseline, all_rules, lint_paths
+from repro.lint.baseline import BASELINE_SCHEMA_VERSION
+from repro.lint.report import REPORT_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DIRTY = REPO_ROOT / "tests" / "data" / "lint" / "dirty"
+CLEAN = REPO_ROOT / "tests" / "data" / "lint" / "clean"
+
+#: (rule, line) of every seeded violation in the dirty fixture.
+EXPECTED_DIRTY = [
+    ("REP001", 18),  # np.random.default_rng(0)
+    ("REP001", 19),  # random.random()
+    ("REP001", 19),  # time.time()
+    ("REP002", 20),  # window_ms + delay_s
+    ("REP002", 21),  # bandwidth_hz=window_ms
+    ("REP003", 26),  # sim.schedule(-1.0, ...)
+    ("REP003", 27),  # discarded retransmit-timeout handle
+    ("REP003", 32),  # Simulator() inside the sweep loop
+    ("REP004", 14),  # module-level mutable global
+    ("REP004", 30),  # mutable default argument
+]
+
+
+class TestRegistry:
+    def test_all_four_rule_families_registered(self):
+        assert [r.id for r in all_rules()] == ["REP001", "REP002", "REP003", "REP004"]
+
+    def test_severities(self):
+        by_id = {r.id: r.severity for r in all_rules()}
+        assert by_id["REP004"] == "warning"
+        assert all(by_id[i] == "error" for i in ("REP001", "REP002", "REP003"))
+
+
+class TestFixtures:
+    def test_dirty_fixture_exact_rules_and_lines(self):
+        result = lint_paths([DIRTY], root=REPO_ROOT)
+        assert result.files_scanned == 1
+        found = sorted((v.rule, v.line) for v in result.violations)
+        assert found == sorted(EXPECTED_DIRTY)
+
+    def test_dirty_fixture_counts(self):
+        result = lint_paths([DIRTY], root=REPO_ROOT)
+        assert result.counts == {"REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2}
+
+    def test_clean_fixture_is_clean(self):
+        result = lint_paths([CLEAN], root=REPO_ROOT)
+        assert result.files_scanned == 1
+        assert result.violations == []
+
+    def test_violations_carry_snippets_and_display_paths(self):
+        result = lint_paths([DIRTY], root=REPO_ROOT)
+        first = result.violations[0]
+        assert first.path == "tests/data/lint/dirty/experiments/sweep.py"
+        assert first.snippet == "history = []"
+
+
+class TestPragmas:
+    def test_named_pragma_suppresses_in_fixture(self):
+        source = (DIRTY / "experiments" / "sweep.py").read_text()
+        assert "default_rng(1)  # replint: ignore[REP001]" in source
+        result = lint_paths([DIRTY], root=REPO_ROOT)
+        assert not any(v.line == 38 for v in result.violations)
+
+    def test_bare_pragma_suppresses_everything(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import time\n"
+            "t = time.time()  # replint: ignore\n"
+        )
+        assert lint_paths([target], root=tmp_path).violations == []
+
+    def test_named_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import time\n"
+            "t = time.time()  # replint: ignore[REP002]\n"
+        )
+        violations = lint_paths([target], root=tmp_path).violations
+        assert [(v.rule, v.line) for v in violations] == [("REP001", 2)]
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_every_violation(self, tmp_path):
+        result = lint_paths([DIRTY], root=REPO_ROOT)
+        path = tmp_path / "baseline.json"
+        Baseline.from_violations(result.violations).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == Baseline.from_violations(result.violations).entries
+        applied = loaded.apply(result)
+        assert applied.violations == []
+        assert len(applied.baselined) == len(EXPECTED_DIRTY)
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == Counter()
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema_version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported baseline schema"):
+            Baseline.load(path)
+
+    def test_entries_are_consumed_not_reused(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import time\n"
+            "t = time.time()\n"
+            "t = time.time()\n"
+        )
+        result = lint_paths([target], root=tmp_path)
+        assert len(result.violations) == 2
+        one = Baseline(
+            entries=Counter({("REP001", "mod.py", "t = time.time()"): 1})
+        )
+        applied = one.apply(result)
+        assert len(applied.baselined) == 1
+        assert len(applied.violations) == 1
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nt = time.time()\n")
+        baseline = Baseline.from_violations(
+            lint_paths([target], root=tmp_path).violations
+        )
+        target.write_text("import time\n\n\n# a comment\nt = time.time()\n")
+        drifted = lint_paths([target], root=tmp_path)
+        assert drifted.violations[0].line == 5
+        assert baseline.apply(drifted).violations == []
+
+
+class TestCli:
+    def test_dirty_fixture_fails_the_gate(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "replint: 10 new violation(s)" in out
+
+    def test_clean_fixture_passes(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(CLEAN), "--no-baseline"]) == 0
+        assert "0 new violation(s)" in capsys.readouterr().out
+
+    def test_json_report_matches_documented_schema(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(DIRTY), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["tool"] == "replint"
+        assert payload["files_scanned"] == 1
+        assert payload["counts"] == {
+            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2
+        }
+        assert payload["baselined_count"] == 0
+        assert payload["exit_code"] == 1
+        assert len(payload["violations"]) == len(EXPECTED_DIRTY)
+        for entry in payload["violations"]:
+            assert set(entry) == {
+                "rule", "severity", "path", "line", "col", "message", "snippet"
+            }
+            assert isinstance(entry["line"], int)
+            assert isinstance(entry["col"], int)
+            assert entry["severity"] in ("error", "warning")
+
+    def test_write_baseline_then_gate_passes(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        baseline_path = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
+        ) == 0
+        assert "wrote 10 grandfathered violation(s)" in capsys.readouterr().out
+        written = json.loads(baseline_path.read_text())
+        assert written["schema_version"] == BASELINE_SCHEMA_VERSION
+        assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
+        assert "10 baselined" in capsys.readouterr().out
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_syntax_error_reported_as_rep000(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP000" in out
+        assert "does not parse" in out
+
+
+class TestSelfHosting:
+    def test_src_tree_has_zero_non_baselined_violations(self, capsys, monkeypatch):
+        """The linter gates its own codebase: ``repro lint src/`` is clean."""
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["lint", "src"])
+        out = capsys.readouterr().out
+        assert code == 0, f"replint found new violations in src/:\n{out}"
+        assert "0 new violation(s)" in out

@@ -294,23 +294,25 @@ class TestBuiltPath:
     def test_base_rtt_5g_lower_than_4g(self):
         cfg5 = PathConfig(profile=NR_PROFILE, scale=0.05)
         cfg4 = PathConfig(profile=LTE_PROFILE, scale=0.05)
-        p5 = build_cellular_path(Simulator(), cfg5)
-        p4 = build_cellular_path(Simulator(), cfg4)
+        p5 = build_cellular_path(Simulator(), cfg5, np.random.default_rng(0))
+        p4 = build_cellular_path(Simulator(), cfg4, np.random.default_rng(0))
         # The 4G EPC detour adds ~20 ms RTT (Fig. 14).
         assert p4.base_rtt_s - p5.base_rtt_s == pytest.approx(0.020, abs=0.004)
 
     def test_rtt_grows_with_distance(self):
         near = build_cellular_path(
-            Simulator(), PathConfig(profile=NR_PROFILE, server_distance_km=10)
+            Simulator(), PathConfig(profile=NR_PROFILE, server_distance_km=10),
+            np.random.default_rng(0),
         )
         far = build_cellular_path(
-            Simulator(), PathConfig(profile=NR_PROFILE, server_distance_km=2500)
+            Simulator(), PathConfig(profile=NR_PROFILE, server_distance_km=2500),
+            np.random.default_rng(0),
         )
         assert far.base_rtt_s > near.base_rtt_s + 0.030
 
     def test_forward_delivery(self):
         sim = Simulator()
-        path = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=0.05))
+        path = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=0.05), np.random.default_rng(0))
         got = []
         path.on_forward_delivery(got.append)
         path.send_forward(Packet(1, "data", 1500))
@@ -319,7 +321,7 @@ class TestBuiltPath:
 
     def test_reverse_delivery(self):
         sim = Simulator()
-        path = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=0.05))
+        path = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=0.05), np.random.default_rng(0))
         got = []
         path.on_reverse_delivery(got.append)
         path.send_reverse(Packet(1, "ack", 60))
@@ -329,7 +331,9 @@ class TestBuiltPath:
     def test_outage_blocks_access(self):
         sim = Simulator()
         path = build_cellular_path(
-            sim, PathConfig(profile=NR_PROFILE, scale=0.05, with_scheduling_stalls=False)
+            sim,
+            PathConfig(profile=NR_PROFILE, scale=0.05, with_scheduling_stalls=False),
+            np.random.default_rng(0),
         )
         arrivals = []
         path.on_forward_delivery(lambda p: arrivals.append(sim.now))
@@ -342,14 +346,20 @@ class TestBuiltPath:
         assert arrivals[0] >= 0.5
 
     def test_hop_rtts_monotone(self):
-        path = build_cellular_path(Simulator(), PathConfig(profile=NR_PROFILE))
+        path = build_cellular_path(
+            Simulator(), PathConfig(profile=NR_PROFILE), np.random.default_rng(0)
+        )
         rtts = path.hop_rtts_s(np.random.default_rng(0))
         assert len(rtts) == 3
         assert rtts == sorted(rtts)
 
     def test_wired_buffer_ratio_matches_tab3(self):
         # 5G paths hold ~2.5x the wired buffer of 4G paths (Tab. 3).
-        p5 = build_cellular_path(Simulator(), PathConfig(profile=NR_PROFILE))
-        p4 = build_cellular_path(Simulator(), PathConfig(profile=LTE_PROFILE))
+        p5 = build_cellular_path(
+            Simulator(), PathConfig(profile=NR_PROFILE), np.random.default_rng(0)
+        )
+        p4 = build_cellular_path(
+            Simulator(), PathConfig(profile=LTE_PROFILE), np.random.default_rng(0)
+        )
         ratio = p5.wired_link.queue.capacity_packets / p4.wired_link.queue.capacity_packets
         assert 2.0 <= ratio <= 3.0

@@ -26,6 +26,7 @@ from repro.runner import (
     instrumented_call,
     run_campaign,
     source_hash,
+    streams_by_worker,
 )
 
 CHEAP = ["fig3", "fig13"]
@@ -146,6 +147,22 @@ class TestInstrumentation:
         assert pickle.loads(pickle.dumps(record)) == record
         assert json.loads(json.dumps(record.as_dict()))["experiment"] == "fig3"
 
+    def test_streams_by_worker_sums_per_pid(self):
+        records = [
+            _record(rng_streams_drawn=3, worker_pid=100),
+            _record(name="fig13", rng_streams_drawn=4, worker_pid=200),
+            _record(name="fig6", rng_streams_drawn=5, worker_pid=100),
+        ]
+        assert streams_by_worker(records) == {100: 8, 200: 4}
+
+    def test_streams_by_worker_skips_cached_records(self):
+        records = [
+            _record(rng_streams_drawn=3, worker_pid=100),
+            _record(name="fig13", rng_streams_drawn=9, worker_pid=100, cached=True),
+        ]
+        assert streams_by_worker(records) == {100: 3}
+        assert streams_by_worker([]) == {}
+
 
 class TestExecuteExperiment:
     def test_cold_run_stores_then_hits(self, tmp_path):
@@ -174,6 +191,16 @@ class TestRunCampaign:
         for s, p, c in zip(serial, parallel, cached):
             assert _to_jsonable(s.result) == _to_jsonable(p.result)
             assert _to_jsonable(s.result) == _to_jsonable(c.result)
+
+    def test_serial_and_parallel_cached_results_byte_identical(self, tmp_path):
+        """Same seed, serial vs --parallel 2: the cached payloads match byte
+        for byte, not merely structurally."""
+        serial_cache = ResultCache(tmp_path / "serial")
+        parallel_cache = ResultCache(tmp_path / "parallel")
+        serial = run_campaign(CHEAP, seed=7, parallel=1, cache=serial_cache)
+        parallel = run_campaign(CHEAP, seed=7, parallel=2, cache=parallel_cache)
+        for s, p in zip(serial, parallel):
+            assert pickle.dumps(s.result) == pickle.dumps(p.result)
 
     def test_second_invocation_at_least_5x_faster_via_cache(self, tmp_path):
         cache = ResultCache(tmp_path)

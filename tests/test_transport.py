@@ -164,7 +164,7 @@ class TestTcpEndToEnd:
     def test_fixed_transfer_completes(self):
         cfg = quiet_config()
         sim = Simulator()
-        path = build_cellular_path(sim, cfg)
+        path = build_cellular_path(sim, cfg, np.random.default_rng(0))
         conn = TcpConnection.establish(sim, path, make_cc("cubic", MSS), transfer_bytes=200_000)
         conn.start()
         sim.run(until=30.0)
@@ -190,7 +190,7 @@ class TestTcpEndToEnd:
     def test_receiver_reassembles_in_order(self):
         cfg = quiet_config()
         sim = Simulator()
-        path = build_cellular_path(sim, cfg)
+        path = build_cellular_path(sim, cfg, np.random.default_rng(0))
         conn = TcpConnection.establish(sim, path, make_cc("reno", MSS), transfer_bytes=100_000)
         conn.start()
         sim.run(until=20.0)
@@ -200,7 +200,7 @@ class TestTcpEndToEnd:
     def test_rtt_samples_close_to_base(self):
         cfg = quiet_config()
         sim = Simulator()
-        path = build_cellular_path(sim, cfg)
+        path = build_cellular_path(sim, cfg, np.random.default_rng(0))
         conn = TcpConnection.establish(sim, path, make_cc("vegas", MSS), transfer_bytes=50_000)
         conn.start()
         sim.run(until=20.0)
@@ -235,7 +235,7 @@ class TestUdp:
     def test_sink_seq_accounting(self):
         sim = Simulator()
         cfg = quiet_config()
-        path = build_cellular_path(sim, cfg)
+        path = build_cellular_path(sim, cfg, np.random.default_rng(0))
         sender = UdpSender(sim, path, 1e6)
         sink = UdpSink(path)
         sender.start()
@@ -247,7 +247,7 @@ class TestUdp:
 
     def test_invalid_rate(self):
         sim = Simulator()
-        path = build_cellular_path(sim, quiet_config())
+        path = build_cellular_path(sim, quiet_config(), np.random.default_rng(0))
         with pytest.raises(ValueError):
             UdpSender(sim, path, 0.0)
 
