@@ -25,9 +25,11 @@ from typing import Any
 
 import numpy as np
 
+from repro import trace
 from repro.core.results import ResultTable
 from repro.experiments.registry import EXPERIMENTS, UnknownExperimentError
 from repro.lint.cli import add_lint_arguments, run_lint
+from repro.trace.cli import add_trace_arguments, run_trace
 from repro.runner import (
     CampaignOutcome,
     ExperimentFailure,
@@ -93,7 +95,8 @@ def _cmd_list() -> int:
 def _timings_table(outcomes: list[CampaignOutcome]) -> ResultTable:
     table = ResultTable(
         "Campaign timings (slowest first)",
-        ["experiment", "wall (s)", "cached", "events run", "rng streams", "peak RSS (MiB)"],
+        ["experiment", "wall (s)", "cached", "events run", "rng streams",
+         "peak RSS (MiB)", "RSS growth (MiB)"],
     )
     for record in campaign_timings(outcomes):
         table.add_row(
@@ -104,6 +107,7 @@ def _timings_table(outcomes: list[CampaignOutcome]) -> ResultTable:
                 record.events_executed,
                 record.rng_streams_drawn,
                 f"{record.peak_rss_kib / 1024:.0f}",
+                f"{record.rss_growth_kib / 1024:.0f}",
             ]
         )
     return table
@@ -132,8 +136,26 @@ def _export_json(
     print(f"wrote {path}")
 
 
+def _write_trace(path: str, tracer: trace.Tracer, args: argparse.Namespace) -> None:
+    meta = {"experiments": sorted(args.names), "seed": args.seed, "all": args.run_all}
+    if path.endswith(".jsonl"):
+        count = trace.write_jsonl(tracer, path, meta=meta)
+    else:
+        count = trace.write_chrome(tracer, path, meta=meta)
+    stats = tracer.stats()
+    dropped = f", {stats.dropped} dropped" if stats.dropped else ""
+    print(f"wrote trace {path} ({count} record(s){dropped})")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.trace_path is not None:
+        # The tracer lives in this process: tracing forces a serial,
+        # cache-bypassing campaign so every record is actually emitted here.
+        if args.parallel > 1:
+            print("tracing is in-process; ignoring --parallel", file=sys.stderr)
+            args.parallel = 1
+        cache = None
     serial = args.parallel <= 1
 
     def progress(outcome: CampaignOutcome) -> None:
@@ -147,15 +169,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(f"   done {outcome.name} [{origin}]")
 
+    tracer = trace.Tracer() if args.trace_path is not None else None
     try:
-        outcomes = run_campaign(
-            args.names,
-            seed=args.seed,
-            parallel=args.parallel,
-            cache=cache,
-            run_all=args.run_all,
-            progress=progress,
-        )
+        if tracer is not None:
+            trace.install(tracer)
+        try:
+            outcomes = run_campaign(
+                args.names,
+                seed=args.seed,
+                parallel=args.parallel,
+                cache=cache,
+                run_all=args.run_all,
+                progress=progress,
+            )
+        finally:
+            if tracer is not None:
+                trace.uninstall(tracer)
     except UnknownExperimentError as exc:
         print(str(exc), file=sys.stderr)
         print("use `python -m repro list` to see the catalogue", file=sys.stderr)
@@ -181,6 +210,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers = ", ".join(f"pid {pid}: {n}" for pid, n in per_worker.items())
             print(f"rng streams by worker: {workers}")
         print(f"total uncached wall time: {total:.2f}s\n")
+    if tracer is not None:
+        _write_trace(args.trace_path, tracer, args)
     if args.json_path is not None:
         _export_json(args.json_path, outcomes, args.seed)
     return 0
@@ -219,12 +250,21 @@ def main(argv: list[str] | None = None) -> int:
                                  "or $REPRO_CACHE_DIR)")
     run_parser.add_argument("--timings", action="store_true",
                             help="print per-experiment instrumentation records")
+    run_parser.add_argument("--trace", dest="trace_path", default=None, metavar="PATH",
+                            help="record a simulation trace (.jsonl = JSON lines, "
+                                 "anything else = Chrome trace_event JSON); forces "
+                                 "serial, uncached execution")
     sub.add_parser("paper-index", help="map experiments to benchmark files")
     lint_parser = sub.add_parser(
         "lint",
         help="run the replint domain linter (determinism, units, simulator API)",
     )
     add_lint_arguments(lint_parser)
+    trace_parser = sub.add_parser(
+        "trace",
+        help="inspect trace files from `run --trace` (summary, export, diff)",
+    )
+    add_trace_arguments(trace_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -237,5 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_paper_index()
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "trace":
+        return run_trace(args)
     parser.error(f"unknown command {args.command!r}")
     return 2

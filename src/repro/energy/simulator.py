@@ -17,6 +17,7 @@ from repro.energy.drx import (
     TimelineSegment,
     Transfer,
 )
+from repro.trace.core import current as _current_tracer
 
 __all__ = [
     "WorkloadCapacities",
@@ -33,6 +34,21 @@ __all__ = [
 
 #: The dynamic-switch heuristic: traffic denser than 4G capacity goes 5G.
 DYNAMIC_SWITCH_THRESHOLD_BPS = 100e6
+
+
+def _trace_segments(model_name: str, result: EnergyResult) -> EnergyResult:
+    """Emit one radio-state span per timeline segment (no-op when untraced)."""
+    tracer = _current_tracer()
+    if tracer.enabled:
+        for seg in result.segments:
+            tracer.complete(
+                f"energy.{seg.state}",
+                seg.start_s,
+                seg.end_s,
+                model=model_name,
+                power_w=seg.power_w,
+            )
+    return result
 
 
 @dataclass(frozen=True)
@@ -62,13 +78,13 @@ FILE_CAPACITIES = WorkloadCapacities(lte_bps=125e6, nr_bps=880e6)
 def simulate_lte(trace: Sequence[Transfer], capacities: WorkloadCapacities) -> EnergyResult:
     """All traffic over the 4G module."""
     model = RadioEnergyModel(LTE_POWER, LTE_DRX_CONFIG, capacities.lte_bps)
-    return model.replay(trace)
+    return _trace_segments("LTE", model.replay(trace))
 
 
 def simulate_nr_nsa(trace: Sequence[Transfer], capacities: WorkloadCapacities) -> EnergyResult:
     """All traffic over the 5G NSA module (current deployments)."""
     model = RadioEnergyModel(NR_POWER, NR_NSA_DRX_CONFIG, capacities.nr_bps)
-    return model.replay(trace)
+    return _trace_segments("NR NSA", model.replay(trace))
 
 
 def simulate_nr_oracle(
@@ -100,7 +116,7 @@ def simulate_nr_oracle(
             TimelineSegment(clock, clock + duration, "active", NR_POWER.active_w(rate))
         )
         clock += duration
-    return result
+    return _trace_segments("NR Oracle", result)
 
 
 def simulate_dynamic_switch(
@@ -178,7 +194,7 @@ def simulate_dynamic_switch(
             lte_model.power.drx_average_w(lte_model.drx),
         )
     )
-    return result
+    return _trace_segments("Dyn. switch", result)
 
 
 def _intensity_bps(transfer: Transfer, capacities: WorkloadCapacities) -> float:

@@ -24,6 +24,7 @@ from repro.core.config import DEFAULT_HANDOFF_CONFIG, HandoffConfig
 from repro.mobility.walker import TrajectoryPoint
 from repro.radio.cell import RadioNetwork
 from repro.radio.signal import MIN_SERVICE_RSRP_DBM
+from repro.trace import core as trace
 
 __all__ = [
     "HandoffKind",
@@ -227,6 +228,7 @@ class HandoffEngine:
         self.nr_reentry_margin_db = nr_reentry_margin_db
         self.measurement_noise_db = measurement_noise_db
         self._rng = rng
+        self._tracer = trace.current()
 
     def _measured(self, rsrq_db: float) -> float:
         """Apply report-level measurement noise."""
@@ -330,6 +332,7 @@ class HandoffEngine:
                             after_net=self.nr,
                             after_rsrps=nr_rsrps,
                             after_pci=best_nr,
+                            triggered_at_s=nr_good_since,
                         )
                         nr_pci = best_nr
                         nr_good_since = None
@@ -357,6 +360,7 @@ class HandoffEngine:
                             after_net=serving_net,
                             after_rsrps=serving_rsrps,
                             after_pci=best_pci,
+                            triggered_at_s=a3_since[leg],
                         )
                         if on_nr:
                             nr_pci = best_pci
@@ -391,6 +395,7 @@ class HandoffEngine:
                             after_net=self.lte,
                             after_rsrps=lte_rsrps,
                             after_pci=best_anchor,
+                            triggered_at_s=a3_since["lte"],
                         )
                         lte_pci = best_anchor
                         a3_since["lte"] = None
@@ -413,11 +418,38 @@ class HandoffEngine:
         after_net: RadioNetwork,
         after_rsrps: dict[int, float],
         after_pci: int,
+        triggered_at_s: float | None = None,
     ) -> float:
         """Record one hand-off; returns the time the UE is busy until."""
         procedure = HandoffProcedure.draw(kind, self._rng)
         latency = procedure.total_latency_s
         rsrq_after = after_net.sample_from_rsrps(after_rsrps, after_pci).rsrq_db
+        tracer = self._tracer
+        if tracer.enabled:
+            # The full measurement-to-completion interval (A3 trigger start
+            # through the last signaling step), then the Appendix A phases
+            # laid back-to-back inside the procedure span.
+            if triggered_at_s is not None:
+                tracer.complete(
+                    "ho.a3_to_complete", triggered_at_s, t + latency, kind=kind
+                )
+            tracer.instant(
+                "ho.trigger", t, kind=kind, source_pci=source_pci, target_pci=target_pci
+            )
+            tracer.complete(
+                f"handoff:{kind}",
+                t,
+                t + latency,
+                source_pci=source_pci,
+                target_pci=target_pci,
+            )
+            cursor_s = t
+            for step_name, step_latency_s in procedure.step_latencies_s:
+                tracer.complete(
+                    f"ho.phase:{step_name}", cursor_s, cursor_s + step_latency_s, kind=kind
+                )
+                cursor_s += step_latency_s
+            tracer.instant("ho.complete", t + latency, kind=kind, target_pci=target_pci)
         campaign.events.append(
             HandoffEvent(
                 time_s=t,

@@ -19,6 +19,8 @@ import heapq
 from collections.abc import Callable
 from typing import Any, NamedTuple
 
+from repro.trace import core as trace
+
 __all__ = ["Event", "SimCounters", "Simulator", "global_counters"]
 
 #: Scheduling slightly in the past happens when callers compute an absolute
@@ -100,6 +102,9 @@ class Simulator:
         self.events_scheduled = 0
         self.events_executed = 0
         self.events_cancelled = 0
+        # Captured once at construction: with no tracer installed this is the
+        # module-level null tracer and run() takes the untraced loop.
+        self.tracer = trace.current()
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -132,7 +137,14 @@ class Simulator:
 
         With ``until`` set, simulation time always advances exactly to
         ``until`` even if the heap drains earlier.
+
+        The loop is duplicated rather than branching per event: tracing is
+        decided once per ``run()`` call, so with tracing disabled the hot
+        path is identical to the uninstrumented loop.
         """
+        if self.tracer.enabled:
+            self._run_traced(until)
+            return
         global _total_executed
         heap = self._heap
         while heap:
@@ -149,6 +161,33 @@ class Simulator:
             _total_executed += 1
             self.now = event.time
             event.callback(*event.args)
+        if until is not None and self.now < until:
+            self.now = until
+
+    def _run_traced(self, until: float | None) -> None:
+        """The ``run`` loop with dispatch spans and a queue-depth counter."""
+        global _total_executed
+        heap = self._heap
+        tracer = self.tracer
+        while heap:
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            event.sim = None
+            self._pending -= 1
+            self.events_executed += 1
+            _total_executed += 1
+            self.now = event.time
+            callback = event.callback
+            callback(*event.args)
+            # __qualname__ keeps the label deterministic; repr() of a bound
+            # method or partial would embed a memory address.
+            label = getattr(callback, "__qualname__", None) or type(callback).__name__
+            tracer.complete("sim.dispatch", event.time, self.now, callback=label)
+            tracer.counter("sim.queue_depth", self.now, float(self._pending))
         if until is not None and self.now < until:
             self.now = until
 

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.trace import core as trace
+
 __all__ = ["HarqProcess", "HarqStats", "RETRANSMISSION_THRESHOLD"]
 
 #: Maximum retransmissions before the MAC gives up, identified from the
@@ -80,6 +82,7 @@ class HarqProcess:
         self.combining_gain = combining_gain
         self.threshold = threshold
         self._rng = rng
+        self._tracer = trace.current()
 
     @classmethod
     def for_generation(
@@ -109,8 +112,15 @@ class HarqProcess:
             raise ValueError(f"transport_blocks must be positive, got {transport_blocks}")
         counts: Counter[int] = Counter()
         residual = 0
+        tracer = self._tracer
+        traced = tracer.enabled  # one branch per block on the hot path
         for _ in range(transport_blocks):
             attempts = self.transmit_block()
+            if traced:
+                # HARQ has no virtual clock; samples are indexed per block.
+                tracer.counter("harq.retx", None, float(attempts))
+                if attempts:
+                    tracer.bump("harq.nack", None, float(attempts))
             if attempts >= self.threshold:
                 residual += 1
             else:

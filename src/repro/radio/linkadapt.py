@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.trace import core as trace
+
 __all__ = [
     "CQI_TABLE",
     "MAX_SPECTRAL_EFFICIENCY",
@@ -104,7 +106,9 @@ class LinkAdaptation:
     def for_sinr(cls, sinr_db: float) -> "LinkAdaptation":
         """Adapt to ``sinr_db``; CQI 0 maps to an unusable link."""
         cqi = cqi_from_sinr(sinr_db)
+        tracer = trace.current()
         if cqi == 0:
+            tracer.counter("radio.mcs", None, -1.0)
             return cls(
                 sinr_db=sinr_db,
                 cqi=0,
@@ -117,6 +121,7 @@ class LinkAdaptation:
         # The 28-entry MCS table spans the 15 CQI levels roughly linearly;
         # CQI 15 corresponds to the MCS 27 the paper observes near the cell.
         mcs = min(27, round(entry.cqi * 27 / 15))
+        tracer.counter("radio.mcs", None, float(mcs))
         return cls(
             sinr_db=sinr_db,
             cqi=cqi,

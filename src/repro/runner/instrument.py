@@ -27,6 +27,8 @@ from typing import Any, TypeVar
 
 from repro.core import rng
 from repro.net import sim
+from repro.trace import core as trace
+from repro.trace.analysis import summarize
 
 try:
     import resource
@@ -44,6 +46,9 @@ def peak_rss_kib() -> int:
     ``ru_maxrss`` is a process-lifetime high-water mark, so within one
     worker it is monotone across runs; treat it as "heap never exceeded
     this while the run finished", not as the run's own allocation.
+    :func:`instrumented_call` samples it before and after a run so a
+    record can also report how much the ceiling *grew* during the run
+    (``rss_growth_kib``) — the only per-run figure ``ru_maxrss`` supports.
     """
     if resource is None:
         return 0
@@ -55,7 +60,15 @@ def peak_rss_kib() -> int:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Provenance for one experiment execution."""
+    """Provenance for one experiment execution.
+
+    ``peak_rss_kib`` is the process-lifetime high-water mark at the end of
+    the run (monotone within a worker); ``rss_growth_kib`` is how much that
+    mark grew *during* the run — 0 when the run fit inside memory the
+    worker had already touched.  ``trace_summary`` carries the tracer's
+    emission-count delta when the run executed under an installed tracer,
+    else ``None``.
+    """
 
     experiment: str
     seed: int
@@ -67,6 +80,8 @@ class RunRecord:
     rng_streams_drawn: int
     peak_rss_kib: int
     worker_pid: int
+    rss_growth_kib: int = 0
+    trace_summary: dict[str, int] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON export."""
@@ -106,10 +121,18 @@ def instrumented_call(
     """
     sim_before = sim.global_counters()
     rng_before = rng.streams_drawn()
+    rss_before = peak_rss_kib()
+    tracer = trace.current()
+    trace_before = summarize(tracer) if tracer.enabled else None
     started = time.perf_counter()
     result = fn()
     wall = time.perf_counter() - started
     sim_after = sim.global_counters()
+    rss_after = peak_rss_kib()
+    trace_summary = None
+    if trace_before is not None:
+        trace_after = summarize(tracer)
+        trace_summary = {key: trace_after[key] - trace_before[key] for key in trace_after}
     record = RunRecord(
         experiment=experiment,
         seed=seed,
@@ -119,7 +142,9 @@ def instrumented_call(
         events_executed=sim_after.executed - sim_before.executed,
         events_cancelled=sim_after.cancelled - sim_before.cancelled,
         rng_streams_drawn=rng.streams_drawn() - rng_before,
-        peak_rss_kib=peak_rss_kib(),
+        peak_rss_kib=rss_after,
         worker_pid=os.getpid(),
+        rss_growth_kib=max(rss_after - rss_before, 0),
+        trace_summary=trace_summary,
     )
     return result, record

@@ -1,0 +1,59 @@
+"""Deterministic tracing for the simulator stack (spans/instants/counters).
+
+Quick start::
+
+    from repro import trace
+
+    with trace.tracing() as tracer:
+        result = fig6.run(seed=7)
+    handoffs = tracer.spans(prefix="handoff:")
+    trace.write_chrome(tracer, "fig6.trace.json")
+
+See :mod:`repro.trace.core` for the recording model and
+:mod:`repro.trace.export` for the on-disk formats.
+"""
+
+from repro.trace.analysis import diff_traces, summarize, summary_dict, summary_table
+from repro.trace.core import (
+    NULL_TRACER,
+    CounterRecord,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    TraceStats,
+    Tracer,
+    current,
+    install,
+    tracing,
+    uninstall,
+)
+from repro.trace.export import (
+    load_trace,
+    to_chrome,
+    to_jsonl_lines,
+    write_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "CounterRecord",
+    "InstantRecord",
+    "NullTracer",
+    "SpanRecord",
+    "TraceStats",
+    "Tracer",
+    "current",
+    "diff_traces",
+    "install",
+    "load_trace",
+    "summarize",
+    "summary_dict",
+    "summary_table",
+    "to_chrome",
+    "to_jsonl_lines",
+    "tracing",
+    "uninstall",
+    "write_chrome",
+    "write_jsonl",
+]

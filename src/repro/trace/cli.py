@@ -1,0 +1,77 @@
+"""The ``repro trace`` subcommand.
+
+Usage::
+
+    python -m repro trace summary fig6.trace.jsonl        # per-name aggregates
+    python -m repro trace export fig6.trace.jsonl out.json  # Chrome trace_event
+    python -m repro trace diff a.trace.jsonl b.trace.jsonl  # exit 1 on drift
+
+Trace files come from ``repro run <name> --trace PATH``; ``summary`` and
+``diff`` accept either the JSONL or the Chrome format.  ``diff`` compares
+span counts/durations, instant counts and final counter values — for a
+deterministic experiment two same-seed runs must diff clean, so it doubles
+as a regression gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.trace.analysis import diff_traces, summary_table
+from repro.trace.export import load_trace, write_chrome
+
+__all__ = ["add_trace_arguments", "run_trace"]
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the trace sub-subcommands to a (sub)parser."""
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+    summary = sub.add_parser("summary", help="aggregate a trace file per record name")
+    summary.add_argument("trace_file", help="trace file (.jsonl or Chrome .json)")
+    export = sub.add_parser(
+        "export", help="convert a trace to Chrome trace_event JSON (Perfetto)"
+    )
+    export.add_argument("trace_file", help="input trace file")
+    export.add_argument("output", help="output path for the trace_event JSON")
+    diff = sub.add_parser("diff", help="compare two traces; exit 1 if they differ")
+    diff.add_argument("trace_a", help="first trace file")
+    diff.add_argument("trace_b", help="second trace file")
+
+
+def _load(path: str):
+    if not Path(path).exists():
+        print(f"repro trace: no such file: {path}", file=sys.stderr)
+        return None
+    try:
+        return load_trace(path)
+    except ValueError as exc:
+        print(f"repro trace: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def run_trace(args: argparse.Namespace) -> int:
+    """Execute a trace subcommand; returns the process exit code."""
+    if args.trace_command == "summary":
+        tracer = _load(args.trace_file)
+        if tracer is None:
+            return 2
+        print(summary_table(tracer).render())
+        return 0
+    if args.trace_command == "export":
+        tracer = _load(args.trace_file)
+        if tracer is None:
+            return 2
+        count = write_chrome(tracer, args.output)
+        print(f"wrote {count} trace event(s) to {args.output}")
+        return 0
+    if args.trace_command == "diff":
+        tracer_a = _load(args.trace_a)
+        tracer_b = _load(args.trace_b)
+        if tracer_a is None or tracer_b is None:
+            return 2
+        diff = diff_traces(tracer_a, tracer_b)
+        print(diff.table().render())
+        return 0 if diff.identical else 1
+    raise AssertionError(f"unknown trace command {args.trace_command!r}")

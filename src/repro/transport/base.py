@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.net.packet import ACK, DATA, Packet
 from repro.net.path import NetworkPath
 from repro.net.sim import Event, Simulator
+from repro.trace import core as trace
 
 __all__ = ["CongestionControl", "TcpSender", "TcpReceiver", "TcpConnection", "FlowStats"]
 
@@ -47,6 +48,7 @@ class CongestionControl(ABC):
         self.rate_scale = rate_scale
         self.cwnd_bytes: float = _INITIAL_CWND_SEGMENTS * mss_bytes
         self.ssthresh_bytes: float = float("inf")
+        self.tracer = trace.current()
 
     @property
     def pacing_rate_bps(self) -> float | None:
@@ -198,6 +200,7 @@ class TcpSender:
         self._send_log: dict[int, tuple[float, int]] = {}  # seq -> (time, delivered)
 
         self.stats = FlowStats()
+        self._tracer = trace.current()
         path.on_reverse_delivery(self._on_ack)
 
     # -- public API ----------------------------------------------------
@@ -274,6 +277,7 @@ class TcpSender:
         self.stats.packets_sent += 1
         if retx:
             self.stats.retransmissions += 1
+            self._tracer.bump("tcp.retransmissions", self.sim.now)
         else:
             # Delivery-rate bookkeeping counts SACKed bytes as delivered
             # (as real BBR does); otherwise a cumulative-ACK jump after
@@ -325,6 +329,11 @@ class TcpSender:
             else:
                 self.cc.on_ack(newly_acked, self.srtt or 0.0, now)
             self.stats.cwnd_trace.append((now, self.cc.cwnd_bytes))
+            tracer = self._tracer
+            if tracer.enabled:  # one branch on the per-ACK hot path
+                tracer.counter("tcp.cwnd_bytes", now, self.cc.cwnd_bytes)
+                if rtt is not None:
+                    tracer.counter("tcp.rtt_ms", now, rtt * 1e3)
             self._arm_rto()
             if self.done:
                 if self.completed_at is None:
@@ -338,6 +347,7 @@ class TcpSender:
                 self.cc.on_loss(now)
                 self.stats.fast_retransmits += 1
                 self.stats.cwnd_trace.append((now, self.cc.cwnd_bytes))
+                self._tracer.bump("tcp.fast_retransmits", now)
                 self._retransmit_hole(self.cum_ack)
         # SACK-style repair: refill every hole the receiver reports, at
         # most once per smoothed RTT each (Linux TCP behaviour; NewReno's
@@ -419,6 +429,8 @@ class TcpSender:
         self.stats.timeouts += 1
         self.cc.on_timeout(self.sim.now)
         self.stats.cwnd_trace.append((self.sim.now, self.cc.cwnd_bytes))
+        self._tracer.bump("tcp.timeouts", self.sim.now)
+        self._tracer.instant("tcp.rto", self.sim.now, rto_s=self.rto_s)
         self.recover_seq = None
         self.dup_acks = 0
         self._retx_times.clear()

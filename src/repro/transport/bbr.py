@@ -109,6 +109,10 @@ class Bbr(CongestionControl):
 
     # -- state machine ----------------------------------------------------
 
+    def _enter_state(self, state: str, now: float) -> None:
+        self.state = state
+        self.tracer.instant("bbr.state", now, state=state)
+
     def _advance_state(self, now: float) -> None:
         if self.state == "STARTUP":
             bw = self.bottleneck_bw_bps
@@ -118,19 +122,19 @@ class Bbr(CongestionControl):
             else:
                 self._full_bw_rounds += 1
                 if self._full_bw_rounds >= _STARTUP_FULL_BW_ROUNDS:
-                    self.state = "DRAIN"
+                    self._enter_state("DRAIN", now)
                     self._pacing_gain = _DRAIN_GAIN
                     self._cwnd_gain = _STARTUP_GAIN
         elif self.state == "DRAIN":
             # Drained once in-flight is near one BDP; approximated by time.
-            self.state = "PROBE_BW"
+            self._enter_state("PROBE_BW", now)
             self._cycle_index = 0
             self._cycle_stamp = now
             self._pacing_gain = _PROBE_GAINS[0]
             self._cwnd_gain = 2.0
         elif self.state == "PROBE_BW":
             if now - self._min_rtt_stamp > _MIN_RTT_WINDOW_S:
-                self.state = "PROBE_RTT"
+                self._enter_state("PROBE_RTT", now)
                 self._probe_rtt_done_at = now + _PROBE_RTT_DURATION_S
                 self._pacing_gain = 1.0
             elif now - self._cycle_stamp > self.min_rtt_s:
@@ -141,7 +145,7 @@ class Bbr(CongestionControl):
             assert self._probe_rtt_done_at is not None
             if now >= self._probe_rtt_done_at:
                 self._min_rtt_stamp = now
-                self.state = "PROBE_BW"
+                self._enter_state("PROBE_BW", now)
                 self._cycle_stamp = now
                 self._pacing_gain = _PROBE_GAINS[self._cycle_index]
 

@@ -71,6 +71,7 @@ class Cubic(CongestionControl):
         self.cwnd_bytes = max(self.cwnd_bytes * _BETA, 2.0 * self.mss)
         self.ssthresh_bytes = self.cwnd_bytes
         self._epoch_start = None
+        self.tracer.counter("cubic.w_max_segments", now, self._w_max_segments)
 
     def on_timeout(self, now):
         """Collapse the window and reset the cubic epoch."""

@@ -1,0 +1,15 @@
+"""Clean twin of the dirty tracing fixture: sanctioned span usage.
+
+Spans either close their handle in the same function or use the
+self-closing context-manager form.
+"""
+
+
+def paired(tracer, t0_s, t1_s):
+    span = tracer.begin("attach", t0_s)
+    span.end(t1_s)
+
+
+def managed(tracer, clock):
+    with tracer.span("walk", clock):
+        pass

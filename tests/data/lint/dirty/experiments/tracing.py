@@ -1,0 +1,15 @@
+"""Deliberately dirty fixture exercising the REP005 span-hygiene rule.
+
+Never imported at runtime: the linter only parses it.  Line numbers are
+asserted by tests/test_lint.py — renumber there after editing here.
+"""
+
+
+def leak_discarded(tracer, t_s):
+    tracer.begin("attach", t_s)
+    return t_s
+
+
+def leak_unended(tracer, t0_s):
+    span = tracer.begin("walk", t0_s)
+    return span is not None

@@ -96,3 +96,95 @@ class TestRunCommand:
         payload = json.loads(out_file.read_text())
         assert payload["seed"] == 11
         assert payload["experiments"]["fig13"]["record"]["seed"] == 11
+
+
+class TestTraceFlag:
+    # fig23 drives the energy simulator directly (no in-process result
+    # caching), so every traced run actually emits records.
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        trace_file = tmp_path / "fig23.trace.jsonl"
+        assert main(["run", "fig23", "--trace", str(trace_file), "--no-cache"]) == 0
+        assert "wrote trace" in capsys.readouterr().out
+        lines = trace_file.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["meta"]["experiments"] == ["fig23"]
+        assert header["meta"]["seed"] == 7
+        assert len(lines) > 1  # energy.* spans made it to disk
+
+    def test_trace_writes_chrome_json(self, tmp_path):
+        trace_file = tmp_path / "fig23.trace.json"
+        assert main(["run", "fig23", "--trace", str(trace_file), "--no-cache"]) == 0
+        document = json.loads(trace_file.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+        assert document["otherData"]["experiments"] == ["fig23"]
+
+    def test_trace_forces_serial(self, tmp_path, capsys):
+        trace_file = tmp_path / "fig23.trace.jsonl"
+        assert main(
+            ["run", "fig23", "--trace", str(trace_file), "--parallel", "4"]
+        ) == 0
+        assert "ignoring --parallel" in capsys.readouterr().err
+
+    def test_traced_run_matches_untraced_export(self, tmp_path):
+        plain_file = tmp_path / "plain.json"
+        traced_file = tmp_path / "traced.json"
+        trace_file = tmp_path / "t.jsonl"
+        assert main(["run", "fig23", "--no-cache", "--json", str(plain_file)]) == 0
+        assert main(
+            ["run", "fig23", "--no-cache", "--json", str(traced_file),
+             "--trace", str(trace_file)]
+        ) == 0
+        plain = json.loads(plain_file.read_text())["experiments"]["fig23"]["result"]
+        traced = json.loads(traced_file.read_text())["experiments"]["fig23"]["result"]
+        assert json.dumps(plain, sort_keys=True) == json.dumps(traced, sort_keys=True)
+
+
+class TestTraceCommand:
+    def _write_trace(self, path):
+        from repro.trace import Tracer, write_jsonl
+
+        tracer = Tracer()
+        tracer.complete("ho.phase:rrc", 1.0, 1.5, kind="5G-5G")
+        tracer.counter("sim.queue_depth", 1.0, 3.0)
+        write_jsonl(tracer, str(path))
+
+    def test_summary(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        self._write_trace(trace_file)
+        assert main(["trace", "summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "ho.phase:rrc" in out
+        assert "sim.queue_depth" in out
+
+    def test_export_to_chrome(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.jsonl"
+        out_file = tmp_path / "t.json"
+        self._write_trace(trace_file)
+        assert main(["trace", "export", str(trace_file), str(out_file)]) == 0
+        assert "trace event(s)" in capsys.readouterr().out
+        assert isinstance(json.loads(out_file.read_text())["traceEvents"], list)
+
+    def test_diff_identical_exits_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_trace(a)
+        self._write_trace(b)
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "(identical)" in capsys.readouterr().out
+
+    def test_diff_divergent_exits_one(self, tmp_path, capsys):
+        from repro.trace import Tracer, write_jsonl
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_trace(a)
+        other = Tracer()
+        other.complete("ho.phase:rrc", 1.0, 1.9, kind="5G-5G")
+        write_jsonl(other, str(b))
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        assert "span total (ms)" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such file" in capsys.readouterr().err

@@ -22,45 +22,54 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DIRTY = REPO_ROOT / "tests" / "data" / "lint" / "dirty"
 CLEAN = REPO_ROOT / "tests" / "data" / "lint" / "clean"
 
-#: (rule, line) of every seeded violation in the dirty fixture.
+#: (rule, fixture file, line) of every seeded violation in the dirty fixtures.
 EXPECTED_DIRTY = [
-    ("REP001", 18),  # np.random.default_rng(0)
-    ("REP001", 19),  # random.random()
-    ("REP001", 19),  # time.time()
-    ("REP002", 20),  # window_ms + delay_s
-    ("REP002", 21),  # bandwidth_hz=window_ms
-    ("REP003", 26),  # sim.schedule(-1.0, ...)
-    ("REP003", 27),  # discarded retransmit-timeout handle
-    ("REP003", 32),  # Simulator() inside the sweep loop
-    ("REP004", 14),  # module-level mutable global
-    ("REP004", 30),  # mutable default argument
+    ("REP001", "sweep.py", 18),  # np.random.default_rng(0)
+    ("REP001", "sweep.py", 19),  # random.random()
+    ("REP001", "sweep.py", 19),  # time.time()
+    ("REP002", "sweep.py", 20),  # window_ms + delay_s
+    ("REP002", "sweep.py", 21),  # bandwidth_hz=window_ms
+    ("REP003", "sweep.py", 26),  # sim.schedule(-1.0, ...)
+    ("REP003", "sweep.py", 27),  # discarded retransmit-timeout handle
+    ("REP003", "sweep.py", 32),  # Simulator() inside the sweep loop
+    ("REP004", "sweep.py", 14),  # module-level mutable global
+    ("REP004", "sweep.py", 30),  # mutable default argument
+    ("REP005", "tracing.py", 9),  # discarded Tracer.begin() handle
+    ("REP005", "tracing.py", 14),  # span handle never ended
 ]
+
+#: Number of python files in each fixture package.
+FIXTURE_FILES = 2
 
 
 class TestRegistry:
-    def test_all_four_rule_families_registered(self):
-        assert [r.id for r in all_rules()] == ["REP001", "REP002", "REP003", "REP004"]
+    def test_all_five_rule_families_registered(self):
+        assert [r.id for r in all_rules()] == [
+            "REP001", "REP002", "REP003", "REP004", "REP005"
+        ]
 
     def test_severities(self):
         by_id = {r.id: r.severity for r in all_rules()}
         assert by_id["REP004"] == "warning"
-        assert all(by_id[i] == "error" for i in ("REP001", "REP002", "REP003"))
+        assert all(by_id[i] == "error" for i in ("REP001", "REP002", "REP003", "REP005"))
 
 
 class TestFixtures:
     def test_dirty_fixture_exact_rules_and_lines(self):
         result = lint_paths([DIRTY], root=REPO_ROOT)
-        assert result.files_scanned == 1
-        found = sorted((v.rule, v.line) for v in result.violations)
+        assert result.files_scanned == FIXTURE_FILES
+        found = sorted((v.rule, Path(v.path).name, v.line) for v in result.violations)
         assert found == sorted(EXPECTED_DIRTY)
 
     def test_dirty_fixture_counts(self):
         result = lint_paths([DIRTY], root=REPO_ROOT)
-        assert result.counts == {"REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2}
+        assert result.counts == {
+            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2
+        }
 
     def test_clean_fixture_is_clean(self):
         result = lint_paths([CLEAN], root=REPO_ROOT)
-        assert result.files_scanned == 1
+        assert result.files_scanned == FIXTURE_FILES
         assert result.violations == []
 
     def test_violations_carry_snippets_and_display_paths(self):
@@ -68,6 +77,67 @@ class TestFixtures:
         first = result.violations[0]
         assert first.path == "tests/data/lint/dirty/experiments/sweep.py"
         assert first.snippet == "history = []"
+
+
+class TestSpanHygiene:
+    """REP005 edge cases beyond the fixture package."""
+
+    def _lint(self, tmp_path, source, name="mod.py"):
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return [
+            (v.rule, v.line)
+            for v in lint_paths([tmp_path], root=tmp_path).violations
+        ]
+
+    def test_paired_begin_end_is_clean(self, tmp_path):
+        assert self._lint(
+            tmp_path,
+            "def f(tracer, t0_s, t1_s):\n"
+            "    span = tracer.begin('x', t0_s)\n"
+            "    span.end(t1_s)\n",
+        ) == []
+
+    def test_handle_flowing_elsewhere_is_not_flagged(self, tmp_path):
+        # Returned handles are out of static reach; the rule stays quiet.
+        assert self._lint(
+            tmp_path,
+            "def f(tracer, t_s):\n"
+            "    return tracer.begin('x', t_s)\n",
+        ) == []
+
+    def test_end_in_nested_function_does_not_count(self, tmp_path):
+        assert self._lint(
+            tmp_path,
+            "def f(tracer, t0_s, t1_s):\n"
+            "    span = tracer.begin('x', t0_s)\n"
+            "    def later():\n"
+            "        span.end(t1_s)\n"
+            "    return later\n",
+        ) == [("REP005", 2)]
+
+    def test_non_tracer_receivers_are_ignored(self, tmp_path):
+        assert self._lint(
+            tmp_path,
+            "def f(transaction, t_s):\n"
+            "    transaction.begin('x', t_s)\n",
+        ) == []
+
+    def test_trace_package_itself_is_exempt(self, tmp_path):
+        assert self._lint(
+            tmp_path,
+            "def f(tracer, t_s):\n"
+            "    tracer.begin('x', t_s)\n",
+            name="trace/core.py",
+        ) == []
+
+    def test_pragma_silences_rep005(self, tmp_path):
+        assert self._lint(
+            tmp_path,
+            "def f(tracer, t_s):\n"
+            "    tracer.begin('x', t_s)  # replint: ignore[REP005]\n",
+        ) == []
 
 
 class TestPragmas:
@@ -148,7 +218,7 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "replint: 10 new violation(s)" in out
+        assert "replint: 12 new violation(s)" in out
 
     def test_clean_fixture_passes(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -161,9 +231,9 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema_version"] == REPORT_SCHEMA_VERSION
         assert payload["tool"] == "replint"
-        assert payload["files_scanned"] == 1
+        assert payload["files_scanned"] == FIXTURE_FILES
         assert payload["counts"] == {
-            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2
+            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2
         }
         assert payload["baselined_count"] == 0
         assert payload["exit_code"] == 1
@@ -182,11 +252,11 @@ class TestCli:
         assert main(
             ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
         ) == 0
-        assert "wrote 10 grandfathered violation(s)" in capsys.readouterr().out
+        assert "wrote 12 grandfathered violation(s)" in capsys.readouterr().out
         written = json.loads(baseline_path.read_text())
         assert written["schema_version"] == BASELINE_SCHEMA_VERSION
         assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
-        assert "10 baselined" in capsys.readouterr().out
+        assert "12 baselined" in capsys.readouterr().out
 
     def test_missing_path_exits_2(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

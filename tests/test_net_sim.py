@@ -159,6 +159,104 @@ class TestSimulator:
         assert after.executed - before.executed == 3
         assert after.cancelled - before.cancelled == 3
 
+    def test_cancel_during_dispatch_skips_pending_event(self):
+        # A callback may cancel an event that is still in the heap; the
+        # loop must drop it without executing and keep counters honest.
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, fired.append, "victim")
+        sim.schedule(1.0, victim.cancel)
+        sim.run()
+        assert fired == []
+        assert sim.counters() == (2, 1, 1)
+        assert sim.pending_events() == 0
+
+    def test_cancel_during_dispatch_same_timestamp(self):
+        # FIFO ties mean the canceller runs first even at equal times,
+        # exercising the popped-but-cancelled continue path.
+        sim = Simulator()
+        fired = []
+        canceller_holder = []
+        sim.schedule(1.0, lambda: canceller_holder[0].cancel())
+        canceller_holder.append(sim.schedule(1.0, fired.append, "x"))
+        sim.run()
+        assert fired == []
+        assert sim.counters() == (2, 1, 1)
+        assert sim.now == 1.0
+
+    def test_event_exactly_at_until_fires(self):
+        # run(until=t) is inclusive: an event at exactly t executes and
+        # the clock rests at t with nothing left over.
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "edge")
+        sim.schedule(2.0 + 1e-9, fired.append, "past")
+        sim.run(until=2.0)
+        assert fired == ["edge"]
+        assert sim.now == 2.0
+        assert sim.pending_events() == 1
+        sim.run()
+        assert fired == ["edge", "past"]
+
+    def test_counters_consistent_after_early_heap_drain(self):
+        # The heap empties long before `until`; the clock must still
+        # jump to `until` and the simulator stays usable afterwards.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "only")
+        sim.run(until=10.0)
+        assert fired == ["only"]
+        assert sim.now == 10.0
+        assert sim.pending_events() == 0
+        assert sim.counters() == (1, 1, 0)
+        sim.schedule(5.0, fired.append, "later")
+        sim.run()
+        assert fired == ["only", "later"]
+        assert sim.now == 15.0
+        assert sim.counters() == (2, 2, 0)
+
+
+class TestSimulatorTracing:
+    def test_default_tracer_is_null(self):
+        from repro.trace import NULL_TRACER
+
+        assert Simulator().tracer is NULL_TRACER
+        assert not Simulator().tracer.enabled
+
+    def test_traced_run_records_dispatch_spans_and_queue_depth(self):
+        from repro.trace import Tracer, tracing
+
+        with tracing(Tracer()) as tracer:
+            sim = Simulator()
+            order = []
+            sim.schedule(1.0, order.append, "a")
+            sim.schedule(2.0, order.append, "b")
+            sim.run()
+        assert order == ["a", "b"]
+        spans = tracer.spans(name="sim.dispatch")
+        assert [s.begin_s for s in spans] == [1.0, 2.0]
+        assert all(dict(s.args)["callback"] == "list.append" for s in spans)
+        depths = tracer.counter_series("sim.queue_depth")
+        assert depths == [(1.0, 1.0), (2.0, 0.0)]
+
+    def test_traced_and_untraced_runs_agree(self):
+        from repro.trace import Tracer, tracing
+
+        def drive(sim):
+            out = []
+            sim.schedule(1.0, out.append, "x")
+            sim.schedule(2.0, out.append, "y")
+            sim.schedule(3.0, out.append, "z")
+            sim.schedule(1.5, out.append, "w")
+            sim.run(until=2.5)
+            sim.run()
+            return out, sim.now, sim.counters()
+
+        plain = drive(Simulator())
+        with tracing(Tracer()):
+            traced = drive(Simulator())
+        assert plain == traced
+
 
 class TestDropTailQueue:
     def test_fifo(self):

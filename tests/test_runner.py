@@ -142,10 +142,41 @@ class TestInstrumentation:
         assert record.peak_rss_kib > 0
         assert record.as_cached().cached
 
+    def test_record_rss_semantics(self):
+        # peak_rss_kib is the process high-water mark *after* the run;
+        # rss_growth_kib is the delta across the run and never negative.
+        _, record = instrumented_call("job", 3, lambda: None)
+        assert record.peak_rss_kib > 0
+        assert 0 <= record.rss_growth_kib <= record.peak_rss_kib
+
+    def test_trace_summary_absent_without_tracer(self):
+        _, record = instrumented_call("job", 3, lambda: None)
+        assert record.trace_summary is None
+
+    def test_trace_summary_is_a_delta_under_installed_tracer(self):
+        from repro.trace import Tracer, tracing
+
+        with tracing(Tracer()) as tracer:
+            tracer.instant("pre.existing", 0.0)  # must not leak into the delta
+
+            def job():
+                tracer.complete("job.work", 0.0, 1.0)
+                tracer.counter("job.metric", 0.5, 1.0)
+                return "done"
+
+            result, record = instrumented_call("job", 3, job)
+        assert result == "done"
+        assert record.trace_summary == {
+            "spans": 1, "instants": 0, "counter_samples": 1, "dropped": 0
+        }
+
     def test_record_is_picklable_and_jsonable(self):
         record = _record()
         assert pickle.loads(pickle.dumps(record)) == record
-        assert json.loads(json.dumps(record.as_dict()))["experiment"] == "fig3"
+        payload = json.loads(json.dumps(record.as_dict()))
+        assert payload["experiment"] == "fig3"
+        assert payload["rss_growth_kib"] == 0
+        assert payload["trace_summary"] is None
 
     def test_streams_by_worker_sums_per_pid(self):
         records = [
