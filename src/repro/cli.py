@@ -13,6 +13,12 @@ source hash), so repeating an invocation returns instantly until the code
 changes.  ``--no-cache`` bypasses the cache, ``--parallel N`` fans cache
 misses out over N worker processes, and ``--timings`` prints per-run
 provenance (wall time, simulator events, RNG streams, peak RSS).
+
+Observability companions: ``run --metrics PATH`` exports the campaign's
+merged KPI registry (``repro metrics show|export|diff`` inspects it),
+``run --profile PATH`` wraps each run in cProfile and dumps a combined
+pstats file, and ``repro bench`` records BENCH_<date>.json performance
+trajectory points gated against ``benchmarks/bench-baseline.json``.
 """
 
 from __future__ import annotations
@@ -29,16 +35,22 @@ from repro import trace
 from repro.core.results import ResultTable
 from repro.experiments.registry import EXPERIMENTS, UnknownExperimentError
 from repro.lint.cli import add_lint_arguments, run_lint
+from repro.metrics.cli import add_metrics_arguments, run_metrics
+from repro.metrics.export import write_jsonl
 from repro.trace.cli import add_trace_arguments, run_trace
 from repro.runner import (
     CampaignOutcome,
     ExperimentFailure,
+    ProfileCollector,
     ResultCache,
     campaign_timings,
+    merged_metrics,
     run_campaign,
     source_hash,
     streams_by_worker,
 )
+from repro.runner import profiling
+from repro.runner.bench import add_bench_arguments, run_bench
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -156,6 +168,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print("tracing is in-process; ignoring --parallel", file=sys.stderr)
             args.parallel = 1
         cache = None
+    if args.profile_path is not None:
+        # cProfile state is per-process and a cache hit profiles nothing,
+        # so profiling forces a serial, cache-bypassing campaign too.
+        if args.parallel > 1:
+            print("profiling is in-process; ignoring --parallel", file=sys.stderr)
+            args.parallel = 1
+        cache = None
     serial = args.parallel <= 1
 
     def progress(outcome: CampaignOutcome) -> None:
@@ -170,9 +189,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"   done {outcome.name} [{origin}]")
 
     tracer = trace.Tracer() if args.trace_path is not None else None
+    collector = (
+        ProfileCollector() if args.profile_path is not None else None
+    )
     try:
         if tracer is not None:
             trace.install(tracer)
+        if collector is not None:
+            profiling.install(collector)
         try:
             outcomes = run_campaign(
                 args.names,
@@ -183,6 +207,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 progress=progress,
             )
         finally:
+            if collector is not None:
+                profiling.uninstall(collector)
             if tracer is not None:
                 trace.uninstall(tracer)
     except UnknownExperimentError as exc:
@@ -212,6 +238,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"total uncached wall time: {total:.2f}s\n")
     if tracer is not None:
         _write_trace(args.trace_path, tracer, args)
+    if collector is not None:
+        if collector.empty:
+            print("no profiled runs; nothing written", file=sys.stderr)
+        else:
+            collector.dump(args.profile_path)
+            print(collector.top_table().render())
+            print(f"wrote profile {args.profile_path} "
+                  f"(load with `python -m pstats {args.profile_path}`)")
+    if args.metrics_path is not None:
+        snapshot = merged_metrics(outcomes)
+        meta = {"experiments": sorted(o.name for o in outcomes), "seed": args.seed}
+        count = write_jsonl(snapshot, args.metrics_path, meta=meta)
+        print(f"wrote metrics {args.metrics_path} ({count} metric(s))")
     if args.json_path is not None:
         _export_json(args.json_path, outcomes, args.seed)
     return 0
@@ -254,6 +293,15 @@ def main(argv: list[str] | None = None) -> int:
                             help="record a simulation trace (.jsonl = JSON lines, "
                                  "anything else = Chrome trace_event JSON); forces "
                                  "serial, uncached execution")
+    run_parser.add_argument("--metrics", dest="metrics_path", default=None,
+                            metavar="PATH",
+                            help="write the campaign's merged KPI registry as "
+                                 "metrics JSONL (inspect with `repro metrics`)")
+    run_parser.add_argument("--profile", dest="profile_path", default=None,
+                            metavar="PATH",
+                            help="profile each run under cProfile and dump a "
+                                 "combined pstats file; forces serial, uncached "
+                                 "execution")
     sub.add_parser("paper-index", help="map experiments to benchmark files")
     lint_parser = sub.add_parser(
         "lint",
@@ -265,6 +313,17 @@ def main(argv: list[str] | None = None) -> int:
         help="inspect trace files from `run --trace` (summary, export, diff)",
     )
     add_trace_arguments(trace_parser)
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="inspect metrics files from `run --metrics` (show, export, diff)",
+    )
+    add_metrics_arguments(metrics_parser)
+    bench_parser = sub.add_parser(
+        "bench",
+        help="write a BENCH_<date>.json trajectory point and gate it against "
+             "the committed baseline",
+    )
+    add_bench_arguments(bench_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -279,5 +338,9 @@ def main(argv: list[str] | None = None) -> int:
         return run_lint(args)
     if args.command == "trace":
         return run_trace(args)
+    if args.command == "metrics":
+        return run_metrics(args)
+    if args.command == "bench":
+        return run_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2

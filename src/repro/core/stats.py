@@ -34,11 +34,14 @@ def summarize(values: Iterable[float]) -> Summary:
     """Compute a :class:`Summary` over ``values``.
 
     Raises:
-        ValueError: if ``values`` is empty.
+        ValueError: ``"empty sample"`` if ``values`` is empty — the same
+            message every empty-input statistic in this codebase raises
+            (:class:`Cdf`, the :mod:`repro.metrics.sketches` estimators),
+            so callers can handle the condition uniformly.
     """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
-        raise ValueError("cannot summarize an empty sample")
+        raise ValueError("empty sample")
     return Summary(
         count=int(arr.size),
         mean=float(arr.mean()),
@@ -63,7 +66,7 @@ class Cdf:
     def __init__(self, values: Iterable[float]) -> None:
         arr = np.sort(np.asarray(list(values), dtype=float))
         if arr.size == 0:
-            raise ValueError("cannot build a CDF from an empty sample")
+            raise ValueError("empty sample")
         self._values = arr
 
     def __len__(self) -> int:

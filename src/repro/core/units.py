@@ -82,9 +82,12 @@ UNIT_DIMENSIONS: dict[str, str] = {
     "bits": "data",
     "bytes": "data",
     "pkts": "data",
-    # energy
+    # energy (uj/nj show up in per-bit figures: ~µJ/bit on 4G, nJ-scale
+    # per-bit energy at 5G line rates)
     "j": "energy",
     "mj": "energy",
+    "uj": "energy",
+    "nj": "energy",
 }
 
 #: Dimensions whose members may be mixed in additive expressions: adding

@@ -3,20 +3,41 @@
 Every experiment builds on the same campus, propagation environment and
 radio networks; this module constructs them once per (seed) and caches
 the result, mirroring how the measurement campaign reused one testbed.
+
+It also hosts the KPI helpers (:func:`record_kpi`,
+:func:`record_kpi_samples`, :func:`bump_kpi`): thin wrappers over the
+ambient :mod:`repro.metrics` registry that experiments call to publish
+headline numbers — throughput, hand-off latency, energy per bit — under
+stable dotted names.  Names follow ``<experiment>.<quantity>.<variant>``
+and end in a unit suffix from :data:`repro.core.units.UNIT_DIMENSIONS`
+(or ``_count``/``_ratio``), which the REP006 lint rule enforces.  Outside
+an instrumented run the ambient registry is a no-op, so experiments pay
+nothing when invoked directly from tests or notebooks.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.rng import RngFactory
 from repro.geometry.campus import Campus, build_campus
+from repro.metrics import core as metrics
 from repro.radio.cell import RadioNetwork
 from repro.radio.propagation import Environment
 
-__all__ = ["Testbed", "testbed", "warm", "testbed_cache_info", "DEFAULT_SEED"]
+__all__ = [
+    "Testbed",
+    "testbed",
+    "warm",
+    "testbed_cache_info",
+    "DEFAULT_SEED",
+    "bump_kpi",
+    "record_kpi",
+    "record_kpi_samples",
+]
 
 DEFAULT_SEED = 7
 
@@ -72,3 +93,31 @@ def warm(seed: int = DEFAULT_SEED) -> Testbed:
 def testbed_cache_info():
     """``functools`` cache statistics for the per-process testbed cache."""
     return testbed.cache_info()
+
+
+def record_kpi(name: str, value: float) -> None:
+    """Publish a headline scalar (gauge) under the ambient registry.
+
+    Use for single derived numbers: a mean throughput, a coverage
+    fraction, an energy-per-bit figure.  Last write wins on re-entry
+    within a run; across runs each run's value is kept per origin.
+    """
+    metrics.current().gauge(name).set(float(value))
+
+
+def record_kpi_samples(name: str, samples: Iterable[float]) -> None:
+    """Publish a sample population into a mergeable quantile sketch.
+
+    Use for distributions the paper reports as CDFs/percentiles —
+    hand-off latencies, per-path RTTs.  The sketch keeps an exact mean
+    and a bottom-k reservoir for quantiles, and merges deterministically
+    across workers.
+    """
+    sketch = metrics.current().quantile(name)
+    for sample in samples:
+        sketch.observe(float(sample))
+
+
+def bump_kpi(name: str, delta: int = 1) -> None:
+    """Increment a monotone event counter under the ambient registry."""
+    metrics.current().counter(name).inc(delta)

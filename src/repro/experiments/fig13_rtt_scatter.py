@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.results import ResultTable
 from repro.core.rng import RngFactory
-from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.common import DEFAULT_SEED, record_kpi, record_kpi_samples
 from repro.net.path import segment_delays_s
 from repro.net.servers import SPEEDTEST_SERVERS
 
@@ -96,4 +96,9 @@ def run(
             ]
             lte_means.append(float(np.mean(lte)) * 1000)
             nr_means.append(float(np.mean(nr)) * 1000)
-    return Fig13Result(lte_rtts_ms=tuple(lte_means), nr_rtts_ms=tuple(nr_means))
+    result = Fig13Result(lte_rtts_ms=tuple(lte_means), nr_rtts_ms=tuple(nr_means))
+    record_kpi_samples("fig13.rtt.5g.paths_ms", nr_means)
+    record_kpi_samples("fig13.rtt.4g.paths_ms", lte_means)
+    record_kpi("fig13.rtt_gap.mean_ms", result.mean_gap_ms)
+    record_kpi("fig13.latency.5g.mean_ms", result.mean_nr_latency_ms)
+    return result

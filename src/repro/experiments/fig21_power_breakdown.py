@@ -13,7 +13,7 @@ import numpy as np
 from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.energy.power_model import APP_CATALOG, PowerBreakdown, app_power_breakdown
-from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.common import DEFAULT_SEED, record_kpi
 
 __all__ = ["Fig21Result", "run"]
 
@@ -84,4 +84,10 @@ def run(seed: int = DEFAULT_SEED) -> Fig21Result:
         for app in APP_CATALOG
         for generation in (4, 5)
     }
-    return Fig21Result(breakdowns=breakdowns)
+    result = Fig21Result(breakdowns=breakdowns)
+    for generation in (4, 5):
+        record_kpi(
+            f"fig21.radio_share.{generation}g.mean_ratio",
+            result.mean_radio_fraction(generation),
+        )
+    return result

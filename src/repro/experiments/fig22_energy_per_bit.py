@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.core.results import ResultTable
 from repro.energy.power_model import energy_per_bit
-from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.common import DEFAULT_SEED, record_kpi
 
 __all__ = ["Fig22Result", "TRANSFER_TIMES_S", "run"]
 
@@ -61,4 +61,12 @@ def run(seed: int = DEFAULT_SEED) -> Fig22Result:
         for generation in (4, 5)
         for t in TRANSFER_TIMES_S
     }
-    return Fig22Result(efficiency=efficiency)
+    result = Fig22Result(efficiency=efficiency)
+    shortest = TRANSFER_TIMES_S[0]
+    for generation in (4, 5):
+        record_kpi(
+            f"fig22.energy_per_bit.{generation}g.t{shortest:.0f}_nj",
+            efficiency[(generation, shortest)] * 1e9,
+        )
+    record_kpi(f"fig22.energy_ratio.t{shortest:.0f}_ratio", result.ratio_at(shortest))
+    return result

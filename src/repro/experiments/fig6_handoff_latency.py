@@ -11,7 +11,11 @@ from dataclasses import dataclass
 
 from repro.core.results import ResultTable
 from repro.core.stats import Cdf
-from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    record_kpi,
+    record_kpi_samples,
+)
 from repro.experiments.ho_campaign import DEFAULT_DURATION_S, campaign
 from repro.mobility.handoff import HandoffKind
 
@@ -57,4 +61,8 @@ def run(seed: int = DEFAULT_SEED, duration_s: float = DEFAULT_DURATION_S) -> Fig
             latencies[kind] = tuple(e.latency_s * 1000 for e in events)
     if HandoffKind.NR_TO_NR not in latencies or HandoffKind.LTE_TO_LTE not in latencies:
         raise RuntimeError("campaign lacks 5G-5G or 4G-4G events; extend duration_s")
+    for kind, samples in latencies.items():
+        variant = kind.lower().replace("-", "_")
+        record_kpi(f"fig6.ho_latency.{variant}.mean_ms", sum(samples) / len(samples))
+        record_kpi_samples(f"fig6.ho_latency.{variant}.samples_ms", samples)
     return Fig6Result(latencies_ms=latencies)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import percent
-from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.common import DEFAULT_SEED, record_kpi
 from repro.net.path import PathConfig
 from repro.transport.iperf import CC_ALGORITHMS, run_tcp, run_udp_baseline
 
@@ -84,4 +84,9 @@ def run(
                 for i in range(repeats)
             ]
             utilization[(network, alg)] = sum(r.utilization for r in runs) / repeats
+    for network in ("4G", "5G"):
+        tag = network.lower()
+        record_kpi(f"fig7.udp_baseline.{tag}.day_bps", baselines[(network, "day")])
+        if "bbr" in algorithms:
+            record_kpi(f"fig7.utilization.{tag}.bbr_ratio", utilization[(network, "bbr")])
     return Fig7Result(udp_baselines_bps=baselines, utilization=utilization)

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.core.results import ResultTable
 from repro.core.stats import percent
-from repro.experiments.common import DEFAULT_SEED, testbed
+from repro.experiments.common import DEFAULT_SEED, bump_kpi, record_kpi, testbed
 from repro.radio.coverage import (
     coverage_hole_fraction,
     road_locations,
@@ -65,6 +65,9 @@ def run(seed: int = DEFAULT_SEED, num_points: int = 1200) -> Tab2Result:
 
     # Present descending (strongest bin first), like the paper's table.
     bins = tuple(edges for edges, _, _ in reversed(nr_hist))
+    bump_kpi("tab2.survey.points_count", len(locations))
+    record_kpi("tab2.coverage_holes.5g_ratio", coverage_hole_fraction(nr_points))
+    record_kpi("tab2.coverage_holes.4g_ratio", coverage_hole_fraction(lte_points))
     return Tab2Result(
         bins=bins,
         lte_fractions=tuple(frac for _, _, frac in reversed(lte_hist)),

@@ -1,0 +1,59 @@
+"""Mergeable KPI registry, streaming sketches and exporters.
+
+The paper reports statistical aggregates — RSRP distributions, hand-off
+latency CDFs, energy-per-bit curves — and this package is where the
+reproduction records its own: experiments register headline KPIs under
+stable dotted names, the campaign runner snapshots one registry per run,
+and per-worker snapshots merge deterministically into a campaign-level
+view (byte-identical serial vs parallel).  See :mod:`repro.metrics.core`
+for the merge model, :mod:`repro.metrics.sketches` for the sketch
+algebra, and :mod:`repro.metrics.export` for JSONL/Prometheus output.
+"""
+
+from repro.metrics.core import (
+    MetricRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    collecting,
+    current,
+    install,
+    merge_snapshots,
+    summarize_entry,
+    uninstall,
+)
+from repro.metrics.export import (
+    diff_snapshots,
+    load_snapshot,
+    to_jsonl_lines,
+    to_prometheus_lines,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.metrics.sketches import (
+    FixedHistogram,
+    P2Quantile,
+    ReservoirQuantile,
+    Welford,
+)
+
+__all__ = [
+    "FixedHistogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "P2Quantile",
+    "ReservoirQuantile",
+    "Welford",
+    "collecting",
+    "current",
+    "diff_snapshots",
+    "install",
+    "load_snapshot",
+    "merge_snapshots",
+    "summarize_entry",
+    "to_jsonl_lines",
+    "to_prometheus_lines",
+    "uninstall",
+    "write_jsonl",
+    "write_prometheus",
+]

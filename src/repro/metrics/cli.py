@@ -1,0 +1,120 @@
+"""The ``repro metrics`` subcommand.
+
+Usage::
+
+    python -m repro metrics show campaign.metrics.jsonl
+    python -m repro metrics export campaign.metrics.jsonl out.prom
+    python -m repro metrics diff a.metrics.jsonl b.metrics.jsonl --tolerance 0.02
+
+Metrics files come from ``repro run ... --metrics PATH`` (the merged
+campaign snapshot) or ``repro bench``.  ``diff`` compares the derived
+summary scalars of every metric and exits 1 when any relative difference
+exceeds the tolerance — with tolerance 0 it doubles as a determinism
+gate, since same-seed campaigns must produce identical snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.results import ResultTable
+from repro.metrics.export import (
+    MetricDelta,
+    diff_snapshots,
+    load_snapshot,
+    summary_table,
+    write_jsonl,
+    write_prometheus,
+)
+
+__all__ = ["add_metrics_arguments", "run_metrics"]
+
+
+def add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the metrics sub-subcommands to a (sub)parser."""
+    sub = parser.add_subparsers(dest="metrics_command", required=True)
+    show = sub.add_parser("show", help="render a metrics snapshot as a table")
+    show.add_argument("metrics_file", help="metrics JSONL file")
+    export = sub.add_parser(
+        "export", help="convert a metrics snapshot (jsonl or Prometheus text)"
+    )
+    export.add_argument("metrics_file", help="input metrics JSONL file")
+    export.add_argument("output", help="output path")
+    export.add_argument(
+        "--format",
+        choices=("prom", "jsonl"),
+        default="prom",
+        help="output format (default: prom, the Prometheus text exposition)",
+    )
+    diff = sub.add_parser(
+        "diff", help="compare two snapshots; exit 1 beyond --tolerance"
+    )
+    diff.add_argument("metrics_a", help="first metrics JSONL file")
+    diff.add_argument("metrics_b", help="second metrics JSONL file")
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="REL",
+        help="maximum tolerated relative difference per summary field "
+        "(default: 0, exact)",
+    )
+
+
+def _load(path: str) -> dict | None:
+    try:
+        return load_snapshot(path)
+    except FileNotFoundError:
+        print(f"repro metrics: no such file: {path}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"repro metrics: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _diff_table(deltas: list[MetricDelta]) -> ResultTable:
+    table = ResultTable("Metrics diff", ["metric", "field", "a", "b", "rel diff"])
+    for delta in deltas:
+        table.add_row(
+            [
+                delta.name,
+                delta.field,
+                "absent" if delta.value_a is None else f"{delta.value_a:g}",
+                "absent" if delta.value_b is None else f"{delta.value_b:g}",
+                "-" if delta.missing else f"{delta.relative:.2%}",
+            ]
+        )
+    if not deltas:
+        table.add_row(["(identical within tolerance)", "", "", "", ""])
+    return table
+
+
+def run_metrics(args: argparse.Namespace) -> int:
+    """Execute a metrics subcommand; returns the process exit code."""
+    if args.metrics_command == "show":
+        snapshot = _load(args.metrics_file)
+        if snapshot is None:
+            return 1
+        print(summary_table(snapshot).render())
+        return 0
+    if args.metrics_command == "export":
+        snapshot = _load(args.metrics_file)
+        if snapshot is None:
+            return 1
+        if args.format == "jsonl":
+            count = write_jsonl(snapshot, args.output)
+            print(f"wrote {count} metric(s) to {args.output}")
+        else:
+            count = write_prometheus(snapshot, args.output)
+            print(f"wrote {count} exposition line(s) to {args.output}")
+        return 0
+    if args.metrics_command == "diff":
+        snapshot_a = _load(args.metrics_a)
+        snapshot_b = _load(args.metrics_b)
+        if snapshot_a is None or snapshot_b is None:
+            return 1
+        deltas = diff_snapshots(snapshot_a, snapshot_b, tolerance=args.tolerance)
+        print(_diff_table(deltas).render())
+        return 1 if deltas else 0
+    raise AssertionError(f"unknown metrics command {args.metrics_command!r}")

@@ -1,0 +1,443 @@
+"""The metric registry: named KPIs with deterministic merge semantics.
+
+A :class:`MetricRegistry` collects five metric kinds under stable dotted
+names (``fig6.ho_latency.5g_5g.mean_ms``):
+
+* **counter** — monotone accumulator (``inc``);
+* **gauge** — last-set scalar, the natural shape for headline KPIs;
+* **welford** — streaming mean/variance (:class:`~repro.metrics.sketches.Welford`);
+* **quantile** — mergeable bottom-k reservoir
+  (:class:`~repro.metrics.sketches.ReservoirQuantile`);
+* **histogram** — exact counts over fixed bucket edges.
+
+Every registry carries an ``origin`` tag (the campaign runner uses
+``"<experiment>:<seed>"``) and its :meth:`~MetricRegistry.snapshot` keeps
+per-origin *parts* rather than pre-folded values.  That is what makes
+:func:`merge_snapshots` order-independent down to the byte: a merge is a
+set union of parts keyed by origin, and every query folds parts in sorted
+origin order — so N per-worker registries from a parallel campaign merge
+into exactly the snapshot a serial campaign produces, regardless of
+completion order.  Duplicate origins must carry identical parts (the same
+run observed twice); conflicting duplicates raise.
+
+Experiments record through the module-level stack (mirroring
+``repro.trace``): :func:`install` / :func:`uninstall` / :func:`current` /
+:func:`collecting`.  When nothing is installed, :data:`NULL_REGISTRY`
+absorbs all recording at the cost of one no-op call.
+
+Metric names must match ``[a-z0-9_.]+`` — the REP006 lint rule further
+requires a unit suffix from ``repro.core.units.UNIT_DIMENSIONS`` (or
+``_count``/``_ratio``) on names registered from source code.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.metrics.sketches import (
+    DEFAULT_RESERVOIR_K,
+    FixedHistogram,
+    ReservoirQuantile,
+    Welford,
+    combine_moments,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "collecting",
+    "current",
+    "install",
+    "merge_snapshots",
+    "summarize_entry",
+    "uninstall",
+]
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+_NAME_RE = re.compile(r"^[a-z0-9_.]+$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: must match [a-z0-9_.]+ "
+            "(lowercase dotted, unit-suffixed — see REP006)"
+        )
+    return name
+
+
+class Counter:
+    """A monotone accumulator."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        """Add ``delta`` (must be non-negative — counters only go up)."""
+        if delta < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (delta={delta})")
+        self.value += float(delta)
+
+
+class Gauge:
+    """A last-set scalar; ``seq`` counts sets so merges pick the last write."""
+
+    __slots__ = ("name", "value", "seq")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.seq = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the KPI."""
+        self.value = float(value)
+        self.seq += 1
+
+
+class MetricRegistry:
+    """One origin's worth of metrics; see the module docstring."""
+
+    def __init__(self, origin: str = "") -> None:
+        self.origin = origin
+        self._metrics: dict[str, Any] = {}
+        self._kinds: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        """Sorted names of all registered metrics."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Any:
+        """The live metric object registered under ``name`` (KeyError if absent)."""
+        return self._metrics[name]
+
+    def _register(self, name: str, kind: str, factory) -> Any:
+        existing = self._kinds.get(name)
+        if existing is not None:
+            if existing != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing}, not {kind}"
+                )
+            return self._metrics[name]
+        _check_name(name)
+        metric = factory()
+        self._metrics[name] = metric
+        self._kinds[name] = kind
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._register(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._register(name, "gauge", lambda: Gauge(name))
+
+    def welford(self, name: str) -> Welford:
+        """Get or create the mean/variance accumulator ``name``."""
+        return self._register(name, "welford", Welford)
+
+    def quantile(self, name: str, k: int = DEFAULT_RESERVOIR_K) -> ReservoirQuantile:
+        """Get or create the reservoir quantile sketch ``name``.
+
+        The sketch's priority tag is ``"<origin>|<name>"`` so each series
+        draws an independent, reproducible retention pattern.
+        """
+        return self._register(
+            name, "quantile", lambda: ReservoirQuantile(k=k, tag=f"{self.origin}|{name}")
+        )
+
+    def histogram(self, name: str, edges) -> FixedHistogram:
+        """Get or create the fixed-bucket histogram ``name``."""
+        metric = self._register(name, "histogram", lambda: FixedHistogram(edges))
+        if tuple(float(e) for e in edges) != metric.edges:
+            raise ValueError(
+                f"histogram {name!r} already registered with edges {list(metric.edges)}"
+            )
+        return metric
+
+    # ------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able, mergeable state of every metric (sorted by name).
+
+        Metrics that were registered but never observed are omitted: an
+        empty sketch carries no information and would drag non-finite
+        min/max sentinels into the export.
+        """
+        metrics: dict[str, Any] = {}
+        for name in self.names():
+            entry = self._entry(name)
+            if entry is not None:
+                metrics[name] = entry
+        return {"schema_version": SNAPSHOT_SCHEMA_VERSION, "metrics": metrics}
+
+    def _entry(self, name: str) -> dict[str, Any] | None:
+        metric = self._metrics[name]
+        kind = self._kinds[name]
+        origin = self.origin
+        if kind == "counter":
+            return {"kind": kind, "parts": {origin: metric.value}}
+        if kind == "gauge":
+            if metric.seq == 0:
+                return None
+            return {"kind": kind, "parts": {origin: [metric.seq, metric.value]}}
+        if kind == "welford":
+            if metric.count == 0:
+                return None
+            return {"kind": kind, "parts": {origin: metric.state()}}
+        if kind == "quantile":
+            if metric.count == 0:
+                return None
+            return {
+                "kind": kind,
+                "k": metric.k,
+                "parts": {
+                    origin: [metric.count, metric.total, metric.minimum, metric.maximum]
+                },
+                "items": metric.items(),
+            }
+        if kind == "histogram":
+            return {
+                "kind": kind,
+                "edges": list(metric.edges),
+                "parts": {
+                    origin: {
+                        "counts": list(metric.counts),
+                        "below": metric.below,
+                        "above": metric.above,
+                        "total": metric.total,
+                    }
+                },
+            }
+        raise AssertionError(f"unknown metric kind {kind!r}")
+
+
+def merge_snapshots(snapshots) -> dict[str, Any]:
+    """Merge registry snapshots into one campaign-level snapshot.
+
+    Order-independent and associative: parts are unioned by origin,
+    reservoir items are unioned then truncated to the k smallest
+    priorities, and all output collections are sorted.  Merging the same
+    origin twice is a no-op when the parts agree and an error when they
+    conflict (two different runs claiming one origin).
+
+    Raises:
+        ValueError: on kind/shape mismatches or conflicting duplicate
+            origins.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        for name, entry in snapshot.get("metrics", {}).items():
+            target = merged.get(name)
+            if target is None:
+                merged[name] = _copy_entry(entry)
+                continue
+            _merge_entry(name, target, entry)
+    for name, entry in merged.items():
+        entry["parts"] = {origin: entry["parts"][origin] for origin in sorted(entry["parts"])}
+        if entry["kind"] == "quantile":
+            entry["items"] = sorted(
+                (list(item) for item in {(k, v) for k, v in entry["items"]}),
+            )[: entry["k"]]
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "metrics": {name: merged[name] for name in sorted(merged)},
+    }
+
+
+def _copy_entry(entry: dict[str, Any]) -> dict[str, Any]:
+    copy = {key: value for key, value in entry.items() if key not in ("parts", "items")}
+    copy["parts"] = dict(entry["parts"])
+    if entry["kind"] == "quantile":
+        copy["items"] = [tuple(item) for item in entry["items"]]
+    return copy
+
+
+def _merge_entry(name: str, target: dict[str, Any], entry: dict[str, Any]) -> None:
+    if target["kind"] != entry["kind"]:
+        raise ValueError(
+            f"metric {name!r}: cannot merge kind {entry['kind']} into {target['kind']}"
+        )
+    kind = entry["kind"]
+    if kind == "quantile" and target["k"] != entry["k"]:
+        raise ValueError(f"metric {name!r}: reservoir sizes differ ({target['k']} vs {entry['k']})")
+    if kind == "histogram" and target["edges"] != entry["edges"]:
+        raise ValueError(f"metric {name!r}: histogram edges differ")
+    for origin, part in entry["parts"].items():
+        existing = target["parts"].get(origin)
+        if existing is None:
+            target["parts"][origin] = part
+        elif existing != part:
+            raise ValueError(
+                f"metric {name!r}: conflicting parts for origin {origin!r}"
+            )
+    if kind == "quantile":
+        target["items"].extend(tuple(item) for item in entry["items"])
+
+
+def summarize_entry(entry: dict[str, Any]) -> dict[str, float]:
+    """Representative scalars of one snapshot entry.
+
+    Parts fold in sorted-origin order, so the same snapshot always
+    summarizes to the same floats.  Gauges resolve to the part with the
+    lexicographically greatest origin (KPI gauges are namespaced per
+    experiment, so cross-origin conflicts indicate a naming bug rather
+    than a meaningful "last write").
+    """
+    kind = entry["kind"]
+    parts = [entry["parts"][origin] for origin in sorted(entry["parts"])]
+    if kind == "counter":
+        return {"value": float(sum(parts))}
+    if kind == "gauge":
+        return {"value": float(parts[-1][1])}
+    if kind == "welford":
+        count, mean, m2, minimum, maximum = combine_moments(parts)
+        variance = m2 / count if count >= 2 else 0.0
+        return {
+            "count": count,
+            "mean": mean,
+            "std": variance**0.5,
+            "min": minimum,
+            "max": maximum,
+        }
+    if kind == "quantile":
+        count = sum(int(part[0]) for part in parts)
+        total = sum(part[1] for part in parts)
+        minimum = min(part[2] for part in parts)
+        maximum = max(part[3] for part in parts)
+        values = sorted(value for _, value in entry["items"])
+        return {
+            "count": float(count),
+            "mean": total / count,
+            "p50": _interpolate(values, 50.0),
+            "p90": _interpolate(values, 90.0),
+            "p99": _interpolate(values, 99.0),
+            "min": minimum,
+            "max": maximum,
+        }
+    if kind == "histogram":
+        count = sum(sum(p["counts"]) + p["below"] + p["above"] for p in parts)
+        total = sum(p["total"] for p in parts)
+        return {"count": float(count), "mean": total / count if count else 0.0}
+    raise ValueError(f"unknown metric kind {kind!r}")
+
+
+def _interpolate(values: list[float], pct: float) -> float:
+    if not values:
+        raise ValueError("empty sample")
+    if len(values) == 1:
+        return values[0]
+    position = (pct / 100.0) * (len(values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(values) - 1)
+    fraction = position - lower
+    return values[lower] * (1.0 - fraction) + values[upper] * fraction
+
+
+class _NullMetric:
+    """Absorbs recording when no registry is installed."""
+
+    __slots__ = ()
+
+    def inc(self, delta: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled registry: every accessor returns a no-op metric."""
+
+    origin = ""
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def names(self) -> list[str]:
+        return []
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def welford(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def quantile(self, name: str, k: int = DEFAULT_RESERVOIR_K) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, edges) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"schema_version": SNAPSHOT_SCHEMA_VERSION, "metrics": {}}
+
+
+NULL_REGISTRY = NullRegistry()
+
+# Stack of installed registries; the top is what `current()` returns.
+_installed: list[Any] = [NULL_REGISTRY]
+
+
+def current() -> MetricRegistry | NullRegistry:
+    """The active registry (:data:`NULL_REGISTRY` when none is installed)."""
+    return _installed[-1]
+
+
+def install(registry: MetricRegistry) -> MetricRegistry:
+    """Make ``registry`` the active recording target until :func:`uninstall`."""
+    _installed.append(registry)
+    return registry
+
+
+def uninstall(registry: MetricRegistry | None = None) -> None:
+    """Pop the active registry (validating it is ``registry`` when given)."""
+    if len(_installed) == 1:
+        raise RuntimeError("no metric registry installed")
+    if registry is not None and _installed[-1] is not registry:
+        raise RuntimeError("uninstall out of order: a different registry is active")
+    _installed.pop()
+
+
+class collecting:
+    """Context manager installing a registry for the duration of a block.
+
+    Example:
+        >>> with collecting(origin="test") as registry:
+        ...     current() is registry
+        True
+    """
+
+    def __init__(self, registry: MetricRegistry | None = None, origin: str = "") -> None:
+        self._registry = registry if registry is not None else MetricRegistry(origin=origin)
+
+    def __enter__(self) -> MetricRegistry:
+        return install(self._registry)
+
+    def __exit__(self, *exc: Any) -> None:
+        uninstall(self._registry)

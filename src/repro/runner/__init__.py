@@ -13,22 +13,37 @@ campaign as a first-class subsystem:
   executed inside pool workers.
 * :mod:`repro.runner.campaign` — the orchestrator fanning experiments out
   across a :class:`concurrent.futures.ProcessPoolExecutor`.
+* :mod:`repro.runner.profiling` — cProfile collection for
+  ``repro run --profile`` (per-run top-N plus a combined pstats dump).
+* :mod:`repro.runner.bench` — ``repro bench``: BENCH_<date>.json
+  trajectory points and the wall-time/KPI regression gate.
 """
 
+from repro.runner.bench import bench_payload, compare_payloads
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, source_hash
-from repro.runner.campaign import CampaignOutcome, campaign_timings, run_campaign
+from repro.runner.campaign import (
+    CampaignOutcome,
+    campaign_timings,
+    merged_metrics,
+    run_campaign,
+)
 from repro.runner.instrument import RunRecord, instrumented_call, streams_by_worker
+from repro.runner.profiling import ProfileCollector
 from repro.runner.worker import ExperimentFailure, execute_experiment
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "CampaignOutcome",
     "ExperimentFailure",
+    "ProfileCollector",
     "ResultCache",
     "RunRecord",
+    "bench_payload",
     "campaign_timings",
+    "compare_payloads",
     "execute_experiment",
     "instrumented_call",
+    "merged_metrics",
     "run_campaign",
     "source_hash",
     "streams_by_worker",

@@ -17,11 +17,12 @@ from typing import Any
 
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.registry import resolve_names
+from repro.metrics.core import merge_snapshots
 from repro.runner.cache import ResultCache
 from repro.runner.instrument import RunRecord
 from repro.runner.worker import execute_experiment, warm_worker
 
-__all__ = ["CampaignOutcome", "campaign_timings", "run_campaign"]
+__all__ = ["CampaignOutcome", "campaign_timings", "merged_metrics", "run_campaign"]
 
 
 @dataclass(frozen=True)
@@ -111,3 +112,14 @@ def campaign_timings(outcomes: Sequence[CampaignOutcome]) -> list[RunRecord]:
     return sorted(
         (o.record for o in outcomes), key=lambda r: r.wall_time_s, reverse=True
     )
+
+
+def merged_metrics(outcomes: Sequence[CampaignOutcome]) -> dict[str, Any]:
+    """The campaign-level KPI snapshot: every run's registry, merged.
+
+    Each run records into its own per-origin registry (serial runs and
+    pool workers alike), so the campaign view is *always* a merge of
+    per-run snapshots — which is what makes serial and parallel campaigns
+    over the same experiment set byte-identical on export.
+    """
+    return merge_snapshots(o.record.metrics for o in outcomes)

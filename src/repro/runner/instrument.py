@@ -26,7 +26,9 @@ from dataclasses import dataclass
 from typing import Any, TypeVar
 
 from repro.core import rng
+from repro.metrics import core as metrics
 from repro.net import sim
+from repro.runner import profiling
 from repro.trace import core as trace
 from repro.trace.analysis import summarize
 
@@ -67,7 +69,12 @@ class RunRecord:
     mark grew *during* the run — 0 when the run fit inside memory the
     worker had already touched.  ``trace_summary`` carries the tracer's
     emission-count delta when the run executed under an installed tracer,
-    else ``None``.
+    else ``None``.  ``metrics`` is the run's KPI-registry snapshot
+    (:meth:`repro.metrics.MetricRegistry.snapshot`) when the experiment
+    registered any metrics; snapshots are mergeable across runs and
+    workers (see :func:`repro.metrics.merge_snapshots`).  ``profile_top``
+    carries the run's hottest functions when a
+    :class:`~repro.runner.profiling.ProfileCollector` was installed.
     """
 
     experiment: str
@@ -82,6 +89,8 @@ class RunRecord:
     worker_pid: int
     rss_growth_kib: int = 0
     trace_summary: dict[str, int] | None = None
+    metrics: dict[str, Any] | None = None
+    profile_top: list[dict[str, Any]] | None = None
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON export."""
@@ -124,9 +133,20 @@ def instrumented_call(
     rss_before = peak_rss_kib()
     tracer = trace.current()
     trace_before = summarize(tracer) if tracer.enabled else None
+    registry = metrics.install(metrics.MetricRegistry(origin=f"{experiment}:{seed}"))
+    collector = profiling.active()
     started = time.perf_counter()
-    result = fn()
-    wall = time.perf_counter() - started
+    try:
+        if collector is not None:
+            result, profile_top = profiling.profiled_call(experiment, collector, fn)
+        else:
+            result = fn()
+            profile_top = None
+    finally:
+        wall = time.perf_counter() - started
+        metrics.uninstall(registry)
+    snapshot = registry.snapshot()
+    metrics_snapshot = snapshot if snapshot["metrics"] else None
     sim_after = sim.global_counters()
     rss_after = peak_rss_kib()
     trace_summary = None
@@ -146,5 +166,7 @@ def instrumented_call(
         worker_pid=os.getpid(),
         rss_growth_kib=max(rss_after - rss_before, 0),
         trace_summary=trace_summary,
+        metrics=metrics_snapshot,
+        profile_top=profile_top,
     )
     return result, record

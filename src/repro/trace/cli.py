@@ -11,6 +11,9 @@ Trace files come from ``repro run <name> --trace PATH``; ``summary`` and
 span counts/durations, instant counts and final counter values — for a
 deterministic experiment two same-seed runs must diff clean, so it doubles
 as a regression gate in CI.
+
+Missing, empty or truncated trace files fail fast: a clear one-line
+message on stderr and exit code 1, never a stack trace.
 """
 
 from __future__ import annotations
@@ -56,13 +59,13 @@ def run_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "summary":
         tracer = _load(args.trace_file)
         if tracer is None:
-            return 2
+            return 1
         print(summary_table(tracer).render())
         return 0
     if args.trace_command == "export":
         tracer = _load(args.trace_file)
         if tracer is None:
-            return 2
+            return 1
         count = write_chrome(tracer, args.output)
         print(f"wrote {count} trace event(s) to {args.output}")
         return 0
@@ -70,7 +73,7 @@ def run_trace(args: argparse.Namespace) -> int:
         tracer_a = _load(args.trace_a)
         tracer_b = _load(args.trace_b)
         if tracer_a is None or tracer_b is None:
-            return 2
+            return 1
         diff = diff_traces(tracer_a, tracer_b)
         print(diff.table().render())
         return 0 if diff.identical else 1

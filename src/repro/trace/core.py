@@ -163,6 +163,37 @@ class Tracer:
         self._counter_samples_emitted = 0
         self._counter_index: dict[str, int] = {}
         self._counter_totals: dict[str, float] = {}
+        self._metrics_sink: Any = None
+        self._metric_prefix = "trace"
+        self._metric_names: dict[str, str] = {}
+
+    def feed_metrics(self, registry: Any, prefix: str = "trace") -> None:
+        """Mirror counter samples into a metric registry's quantile sketches.
+
+        ``registry`` is duck-typed: anything whose ``quantile(name)``
+        returns an object with ``observe(value)`` works — a
+        :class:`repro.metrics.MetricRegistry`, the null registry, or a
+        test double.  Unlike the bounded ring buffer, the sketches never
+        evict, so long counter series keep their full distribution.
+        Counter names are mapped to ``<prefix>.<name>`` with characters
+        outside ``[a-z0-9_.]`` folded to ``_``.  Pass ``None`` to detach.
+        """
+        self._metrics_sink = registry
+        self._metric_names.clear()
+        if registry is not None:
+            self._metric_prefix = prefix
+
+    def _metric_name(self, name: str) -> str:
+        cached = self._metric_names.get(name)
+        if cached is None:
+            folded = "".join(
+                ch if (ch.isascii() and (ch.islower() or ch.isdigit() or ch in "._"))
+                else "_"
+                for ch in name.lower()
+            )
+            cached = f"{self._metric_prefix}.{folded}"
+            self._metric_names[name] = cached
+        return cached
 
     # ------------------------------------------------------------------ emit
     def _append(self, record: Any) -> None:
@@ -209,6 +240,9 @@ class Tracer:
             time_s = float(index)
         self._counter_samples_emitted += 1
         self._append(CounterRecord(name, time_s, float(value)))
+        sink = self._metrics_sink
+        if sink is not None:
+            sink.quantile(self._metric_name(name)).observe(float(value))
 
     def bump(self, name: str, time_s: float | None, delta: float = 1.0) -> None:
         """Increment a monotone counter by ``delta`` and sample the new total."""
@@ -289,6 +323,9 @@ class NullTracer:
     enabled = False
 
     __slots__ = ()
+
+    def feed_metrics(self, registry: Any, prefix: str = "trace") -> None:
+        pass
 
     def complete(self, name: str, begin_s: float, end_s: float, **args: Any) -> None:
         pass

@@ -183,18 +183,28 @@ def write_chrome(tracer: Tracer, path: str, meta: dict[str, Any] | None = None) 
 
 
 def _load_jsonl(text: str) -> Tracer:
-    records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    try:
+        records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"truncated or malformed trace JSONL: {exc}") from exc
     tracer = Tracer(capacity=max(len(records), 1))
     for obj in records:
+        if not isinstance(obj, dict):
+            raise ValueError(f"truncated or malformed trace record: {obj!r}")
         kind = obj.get("kind")
-        if kind == "span":
-            tracer.complete(obj["name"], obj["begin_s"], obj["end_s"], **obj.get("args", {}))
-        elif kind == "instant":
-            tracer.instant(obj["name"], obj["time_s"], **obj.get("args", {}))
-        elif kind == "counter":
-            tracer.counter(obj["name"], obj["time_s"], obj["value"])
-        elif kind != "header":
-            raise ValueError(f"unknown trace record kind: {kind!r}")
+        try:
+            if kind == "span":
+                tracer.complete(obj["name"], obj["begin_s"], obj["end_s"], **obj.get("args", {}))
+            elif kind == "instant":
+                tracer.instant(obj["name"], obj["time_s"], **obj.get("args", {}))
+            elif kind == "counter":
+                tracer.counter(obj["name"], obj["time_s"], obj["value"])
+            elif kind != "header":
+                raise ValueError(f"unknown trace record kind: {kind!r}")
+        except KeyError as exc:
+            raise ValueError(
+                f"truncated or malformed {kind} record: missing field {exc}"
+            ) from exc
     return tracer
 
 
@@ -205,27 +215,45 @@ def _load_chrome(document: dict[str, Any]) -> Tracer:
     tracer = Tracer(capacity=max(len(events), 1))
     for event in events:
         phase = event.get("ph")
-        if phase == "X":
-            begin_s = event["ts"] / _US_PER_S
-            tracer.complete(
-                event["name"],
-                begin_s,
-                begin_s + event.get("dur", 0.0) / _US_PER_S,
-                **event.get("args", {}),
-            )
-        elif phase == "i":
-            tracer.instant(event["name"], event["ts"] / _US_PER_S, **event.get("args", {}))
-        elif phase == "C":
-            tracer.counter(event["name"], event["ts"] / _US_PER_S, event["args"]["value"])
-        # Metadata ("M") and unknown phases carry no trace payload.
+        try:
+            if phase == "X":
+                begin_s = event["ts"] / _US_PER_S
+                tracer.complete(
+                    event["name"],
+                    begin_s,
+                    begin_s + event.get("dur", 0.0) / _US_PER_S,
+                    **event.get("args", {}),
+                )
+            elif phase == "i":
+                tracer.instant(event["name"], event["ts"] / _US_PER_S, **event.get("args", {}))
+            elif phase == "C":
+                tracer.counter(event["name"], event["ts"] / _US_PER_S, event["args"]["value"])
+            # Metadata ("M") and unknown phases carry no trace payload.
+        except KeyError as exc:
+            raise ValueError(
+                f"truncated or malformed trace event: missing field {exc}"
+            ) from exc
     return tracer
 
 
 def load_trace(path: str) -> Tracer:
-    """Load a JSONL or Chrome-format trace file into a queryable tracer."""
+    """Load a JSONL or Chrome-format trace file into a queryable tracer.
+
+    Raises:
+        ValueError: on empty, truncated or malformed input — an empty
+            trace means the producing run recorded nothing (or the file
+            was clobbered), and every query on it would silently answer
+            "no events", so it is rejected up front.
+    """
     with open(path, encoding="utf-8") as fh:
         text = fh.read()
     stripped = text.lstrip()
+    if not stripped:
+        raise ValueError("empty trace file")
     if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
-        return _load_chrome(json.loads(text))
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"truncated or malformed trace JSON: {exc}") from exc
+        return _load_chrome(document)
     return _load_jsonl(text)

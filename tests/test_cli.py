@@ -185,6 +185,126 @@ class TestTraceCommand:
         assert main(["trace", "diff", str(a), str(b)]) == 1
         assert "span total (ms)" in capsys.readouterr().out
 
-    def test_missing_file_exits_two(self, tmp_path, capsys):
-        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_empty_file_fails_with_message(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summary", str(empty)]) == 1
+        assert "empty trace file" in capsys.readouterr().err
+
+    def test_truncated_file_fails_with_message(self, tmp_path, capsys):
+        trunc = tmp_path / "trunc.jsonl"
+        good = '{"kind": "header", "tool": "repro.trace", "schema_version": 1}'
+        trunc.write_text(good + '\n{"kind": "span", "name"')
+        assert main(["trace", "diff", str(trunc), str(trunc)]) == 1
+        assert "truncated or malformed" in capsys.readouterr().err
+
+
+class TestRunObservability:
+    """`run --metrics` and `run --profile` end-to-end through the CLI."""
+
+    def test_metrics_export_serial_vs_parallel_byte_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+        assert main(["run", "fig13", "fig22", "--no-cache", "--metrics", str(a)]) == 0
+        assert main(
+            ["run", "fig13", "fig22", "--no-cache", "--parallel", "2",
+             "--metrics", str(b)]
+        ) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_metrics_file_round_trips_through_metrics_show(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert main(["run", "fig13", "--no-cache", "--metrics", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "show", str(path)]) == 0
+        assert "fig13.rtt_gap.mean_ms" in capsys.readouterr().out
+
+    def test_metrics_header_carries_campaign_meta(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "m.jsonl"
+        assert main(
+            ["run", "fig13", "--no-cache", "--seed", "11", "--metrics", str(path)]
+        ) == 0
+        capsys.readouterr()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["meta"] == {"experiments": ["fig13"], "seed": 11}
+
+    def test_profile_writes_pstats_and_prints_hotspots(self, tmp_path, capsys):
+        import pstats
+
+        path = tmp_path / "campaign.pstats"
+        assert main(["run", "fig13", "--no-cache", "--profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Profile" in out and "cumulative" in out
+        assert pstats.Stats(str(path)).total_calls > 0
+
+    def test_profile_forces_serial_uncached(self, tmp_path, capsys):
+        path = tmp_path / "campaign.pstats"
+        assert main(
+            ["run", "fig13", "--profile", str(path), "--parallel", "4"]
+        ) == 0
+        assert "ignoring --parallel" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def _point(self, tmp_path, name="point.json", extra=()):
+        out = tmp_path / name
+        code = main(
+            ["bench", "fig13", "--out", str(out),
+             "--baseline", str(tmp_path / "absent.json"), *extra]
+        )
+        return code, out
+
+    def test_writes_valid_trajectory_point(self, tmp_path, capsys):
+        import json
+
+        code, out = self._point(tmp_path)
+        assert code == 0  # no baseline yet: hint, not failure
+        err = capsys.readouterr().err
+        assert "no baseline" in err
+        payload = json.loads(out.read_text())
+        assert payload["tool"] == "repro.bench"
+        assert payload["experiments"]["fig13"]["wall_time_norm"] > 0
+        assert "fig13.rtt_gap.mean_ms" in payload["experiments"]["fig13"]["kpis"]
+
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "fig13", "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(
+            ["bench", "fig13", "--out", str(tmp_path / "p2.json"),
+             "--baseline", str(baseline)]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_gate_fails_on_injected_slowdown(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "fig13", "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        slowed = json.loads(baseline.read_text())
+        slowed["experiments"]["fig13"]["wall_time_norm"] *= 2.0
+        doctored = tmp_path / "slow.json"
+        doctored.write_text(json.dumps(slowed))
+        capsys.readouterr()
+        # fig13 runs in ~20 ms, under the wall-noise floor — disable the
+        # floor so the doctored slowdown is actually gated.
+        assert main(
+            ["bench", "--compare", str(doctored), "--baseline", str(baseline),
+             "--min-wall-s", "0"]
+        ) == 1
+        assert "wall time" in capsys.readouterr().out
+
+    def test_compare_missing_point_exits_two(self, tmp_path, capsys):
+        assert main(["bench", "--compare", str(tmp_path / "nope.json")]) == 2
         assert "no such file" in capsys.readouterr().err

@@ -22,8 +22,8 @@ class TestSummary:
         s = summarize([2.0, 4.0])
         assert s.std == pytest.approx(1.0)
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
+    def test_empty_raises_uniform_message(self):
+        with pytest.raises(ValueError, match="^empty sample$"):
             summarize([])
 
     def test_str_format(self):
@@ -53,8 +53,8 @@ class TestCdf:
         with pytest.raises(ValueError):
             Cdf([1.0]).percentile(101)
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
+    def test_empty_raises_uniform_message(self):
+        with pytest.raises(ValueError, match="^empty sample$"):
             Cdf([])
 
     def test_points_monotone(self):
@@ -78,6 +78,50 @@ class TestCdf:
     def test_percentiles_monotone(self, xs):
         cdf = Cdf(xs)
         assert cdf.percentile(25) <= cdf.percentile(50) <= cdf.percentile(75)
+
+
+class TestCdfVsP2Sketch:
+    """Cross-validate ``Cdf.percentile`` against the streaming P² estimator.
+
+    Two independent implementations of "the median of this sample" —
+    numpy interpolation over the full sorted sample vs the five-marker
+    P² recurrence — must agree to within a few percent of the sample
+    spread, or one of them is wrong.
+    """
+
+    def _samples(self, n=2000):
+        from repro.core.rng import RngFactory
+
+        rng = RngFactory(123).stream("stats:p2:crosscheck")
+        return [float(v) for v in rng.gamma(2.0, 15.0, size=n)]
+
+    @pytest.mark.parametrize("pct", [50.0, 90.0, 99.0])
+    def test_streaming_estimate_matches_exact_percentile(self, pct):
+        from repro.metrics.sketches import P2Quantile
+
+        samples = self._samples()
+        sketch = P2Quantile(pct / 100.0)
+        for value in samples:
+            sketch.observe(value)
+        exact = Cdf(samples).percentile(pct)
+        spread = max(samples) - min(samples)
+        # Tail quantiles converge slowest in P²; 4% of the spread is well
+        # inside the algorithm's published accuracy on 2000 samples.
+        assert sketch.value() == pytest.approx(exact, abs=0.04 * spread)
+
+    def test_small_samples_are_exact(self):
+        from repro.metrics.sketches import P2Quantile
+
+        sketch = P2Quantile(0.5)
+        for value in (4.0, 1.0, 3.0, 2.0):
+            sketch.observe(value)
+        assert sketch.value() == pytest.approx(Cdf([1.0, 2.0, 3.0, 4.0]).percentile(50))
+
+    def test_empty_sketch_raises_uniform_message(self):
+        from repro.metrics.sketches import P2Quantile
+
+        with pytest.raises(ValueError, match="^empty sample$"):
+            P2Quantile(0.5).value()
 
 
 class TestHistogram:

@@ -36,22 +36,31 @@ EXPECTED_DIRTY = [
     ("REP004", "sweep.py", 30),  # mutable default argument
     ("REP005", "tracing.py", 9),  # discarded Tracer.begin() handle
     ("REP005", "tracing.py", 14),  # span handle never ended
+    ("REP006", "kpis.py", 11),  # dash in metric name
+    ("REP006", "kpis.py", 12),  # missing unit suffix
+    ("REP006", "kpis.py", 13),  # uppercase in metric name
+    ("REP006", "kpis.py", 14),  # counter without _count suffix
+    ("REP006", "kpis.py", 15),  # registry accessor without suffix
+    ("REP006", "kpis.py", 16),  # f-string name with unsuffixed tail
 ]
 
 #: Number of python files in each fixture package.
-FIXTURE_FILES = 2
+FIXTURE_FILES = 3
 
 
 class TestRegistry:
-    def test_all_five_rule_families_registered(self):
+    def test_all_six_rule_families_registered(self):
         assert [r.id for r in all_rules()] == [
-            "REP001", "REP002", "REP003", "REP004", "REP005"
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
         ]
 
     def test_severities(self):
         by_id = {r.id: r.severity for r in all_rules()}
         assert by_id["REP004"] == "warning"
-        assert all(by_id[i] == "error" for i in ("REP001", "REP002", "REP003", "REP005"))
+        assert all(
+            by_id[i] == "error"
+            for i in ("REP001", "REP002", "REP003", "REP005", "REP006")
+        )
 
 
 class TestFixtures:
@@ -64,7 +73,8 @@ class TestFixtures:
     def test_dirty_fixture_counts(self):
         result = lint_paths([DIRTY], root=REPO_ROOT)
         assert result.counts == {
-            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2
+            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
+            "REP006": 6,
         }
 
     def test_clean_fixture_is_clean(self):
@@ -75,8 +85,12 @@ class TestFixtures:
     def test_violations_carry_snippets_and_display_paths(self):
         result = lint_paths([DIRTY], root=REPO_ROOT)
         first = result.violations[0]
-        assert first.path == "tests/data/lint/dirty/experiments/sweep.py"
-        assert first.snippet == "history = []"
+        assert first.path == "tests/data/lint/dirty/experiments/kpis.py"
+        assert first.snippet == 'record_kpi("fig0.ho-latency.mean_ms", 1.0)'
+        sweep = next(
+            v for v in result.violations if v.path.endswith("sweep.py")
+        )
+        assert sweep.snippet == "history = []"
 
 
 class TestSpanHygiene:
@@ -218,7 +232,7 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "replint: 12 new violation(s)" in out
+        assert "replint: 18 new violation(s)" in out
 
     def test_clean_fixture_passes(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -233,7 +247,8 @@ class TestCli:
         assert payload["tool"] == "replint"
         assert payload["files_scanned"] == FIXTURE_FILES
         assert payload["counts"] == {
-            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2
+            "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
+            "REP006": 6,
         }
         assert payload["baselined_count"] == 0
         assert payload["exit_code"] == 1
@@ -252,11 +267,11 @@ class TestCli:
         assert main(
             ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
         ) == 0
-        assert "wrote 12 grandfathered violation(s)" in capsys.readouterr().out
+        assert "wrote 18 grandfathered violation(s)" in capsys.readouterr().out
         written = json.loads(baseline_path.read_text())
         assert written["schema_version"] == BASELINE_SCHEMA_VERSION
         assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
-        assert "12 baselined" in capsys.readouterr().out
+        assert "18 baselined" in capsys.readouterr().out
 
     def test_missing_path_exits_2(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

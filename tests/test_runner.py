@@ -264,3 +264,79 @@ class TestRunCampaign:
 
     def test_empty_request(self):
         assert run_campaign([], seed=7, cache=None) == []
+
+
+class TestProfiling:
+    def test_profiled_call_returns_result_and_rows(self):
+        from repro.runner import ProfileCollector
+        from repro.runner.profiling import profiled_call
+
+        collector = ProfileCollector(top_n=5)
+        result, rows = profiled_call("x", collector, lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert collector.runs == 1
+        assert len(rows) <= 5
+        for row in rows:
+            assert {"function", "ncalls", "tottime_s", "cumtime_s"} <= set(row)
+
+    def test_install_stack_mirrors_trace(self):
+        from repro.runner import ProfileCollector
+        from repro.runner import profiling
+
+        assert profiling.active() is None
+        collector = profiling.install(ProfileCollector())
+        assert profiling.active() is collector
+        with pytest.raises(RuntimeError, match="different collector"):
+            profiling.uninstall(ProfileCollector())
+        profiling.uninstall(collector)
+        assert profiling.active() is None
+
+    def test_empty_collector_refuses_dump(self, tmp_path):
+        from repro.runner import ProfileCollector
+
+        collector = ProfileCollector()
+        assert collector.empty
+        with pytest.raises(RuntimeError, match="no profiled runs"):
+            collector.dump(str(tmp_path / "out.pstats"))
+
+    def test_instrumented_call_attaches_profile_top(self, tmp_path):
+        import pstats
+
+        from repro.runner import ProfileCollector
+        from repro.runner import profiling
+
+        collector = profiling.install(ProfileCollector())
+        try:
+            _, record = instrumented_call("fig13", 7, lambda: EXPERIMENTS["fig13"].run(7))
+        finally:
+            profiling.uninstall(collector)
+        assert record.profile_top is not None
+        assert any("fig13" in row["function"] for row in record.profile_top)
+        path = tmp_path / "campaign.pstats"
+        collector.dump(str(path))
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_uninstrumented_record_has_no_profile(self):
+        _, record = instrumented_call("fig13", 7, lambda: EXPERIMENTS["fig13"].run(7))
+        assert record.profile_top is None
+
+
+class TestCampaignMetrics:
+    def test_record_metrics_snapshot_for_instrumented_experiment(self):
+        _, record = instrumented_call("fig13", 7, lambda: EXPERIMENTS["fig13"].run(7))
+        assert record.metrics is not None
+        assert "fig13.rtt_gap.mean_ms" in record.metrics["metrics"]
+
+    def test_record_metrics_none_without_kpis(self):
+        _, record = instrumented_call("fig3", 7, lambda: EXPERIMENTS["fig3"].run(7))
+        assert record.metrics is None
+
+    def test_serial_and_parallel_merged_metrics_byte_identical(self):
+        from repro.runner import merged_metrics
+
+        serial = run_campaign(["fig13", "fig22"], seed=7, parallel=1, cache=None)
+        parallel = run_campaign(["fig13", "fig22"], seed=7, parallel=2, cache=None)
+        assert json.dumps(merged_metrics(serial), sort_keys=True) == json.dumps(
+            merged_metrics(parallel), sort_keys=True
+        )

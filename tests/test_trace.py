@@ -361,3 +361,95 @@ class TestInstrumentationIntegration:
     def test_module_facade_reexports_core(self):
         assert trace.current() is NULL_TRACER
         assert trace.Tracer is Tracer
+
+
+class TestLoadFailures:
+    """Defective trace files raise ValueError with a diagnosable message."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty trace file"):
+            load_trace(str(path))
+
+    def test_blank_lines_only(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n  \n")
+        with pytest.raises(ValueError, match="empty trace file"):
+            load_trace(str(path))
+
+    def test_truncated_jsonl(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        tracer = Tracer()
+        tracer.complete("x", 0.0, 1.0)
+        lines = to_jsonl_lines(tracer)
+        path.write_text("\n".join(lines)[:-10])
+        with pytest.raises(ValueError, match="truncated or malformed trace JSONL"):
+            load_trace(str(path))
+
+    def test_record_missing_fields(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        header = '{"kind": "header", "tool": "repro.trace", "schema_version": 1}'
+        path.write_text(header + '\n{"kind": "span", "name": "x"}\n')
+        with pytest.raises(ValueError, match="truncated or malformed span record"):
+            load_trace(str(path))
+
+    def test_truncated_chrome_json(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        tracer = Tracer()
+        tracer.complete("x", 0.0, 1.0)
+        write_chrome(tracer, str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="truncated or malformed"):
+            load_trace(str(path))
+
+
+class TestMetricsBridge:
+    """Tracer.feed_metrics mirrors counter samples into quantile sketches."""
+
+    def test_counter_samples_flow_into_registry(self):
+        from repro.metrics import MetricRegistry
+
+        tracer = Tracer()
+        registry = MetricRegistry(origin="t")
+        tracer.feed_metrics(registry)
+        for value in (1.0, 2.0, 3.0):
+            tracer.counter("link.mcs_index", value, value)
+        sketch = registry.get("trace.link.mcs_index")
+        assert sketch.count == 3
+        assert sketch.mean == pytest.approx(2.0)
+
+    def test_names_are_sanitized_to_metric_charset(self):
+        from repro.metrics import MetricRegistry
+
+        tracer = Tracer()
+        registry = MetricRegistry(origin="t")
+        tracer.feed_metrics(registry, prefix="trace")
+        tracer.counter("HO Latency:5G-5G", 0.0, 7.0)
+        assert registry.names() == ["trace.ho_latency_5g_5g"]
+
+    def test_detach_stops_mirroring(self):
+        from repro.metrics import MetricRegistry
+
+        tracer = Tracer()
+        registry = MetricRegistry(origin="t")
+        tracer.feed_metrics(registry)
+        tracer.counter("x", 0.0, 1.0)
+        tracer.feed_metrics(None)
+        tracer.counter("x", 1.0, 2.0)
+        assert registry.get("trace.x").count == 1
+
+    def test_bridge_survives_ring_eviction(self):
+        from repro.metrics import MetricRegistry
+
+        tracer = Tracer(capacity=4)
+        registry = MetricRegistry(origin="t")
+        tracer.feed_metrics(registry)
+        for i in range(100):
+            tracer.counter("x", float(i), float(i))
+        assert len(tracer.records()) == 4
+        assert registry.get("trace.x").count == 100
+
+    def test_null_tracer_accepts_feed_metrics(self):
+        NULL_TRACER.feed_metrics(None)
