@@ -1,18 +1,29 @@
 """Command-line interface: run any paper experiment from the shell.
 
 Usage:
-    python -m repro list
+    python -m repro list [--params]
     python -m repro run fig7 [--seed 7] [--json out.json]
     python -m repro run tab2 fig3 fig6 --timings
     python -m repro run --all --parallel 4
+    python -m repro run fig6 --scenario sa-mode
+    python -m repro run fig7 --set workload.sim_scale=0.1
+    python -m repro sweep fig6 tab4 --set radio.sa_mode=false,true
     python -m repro paper-index
 
 ``run`` goes through the campaign runner (:mod:`repro.runner`): results
 are cached on disk under ``.repro_cache/`` keyed by (experiment, seed,
-source hash), so repeating an invocation returns instantly until the code
-changes.  ``--no-cache`` bypasses the cache, ``--parallel N`` fans cache
-misses out over N worker processes, and ``--timings`` prints per-run
-provenance (wall time, simulator events, RNG streams, peak RSS).
+source hash, scenario digest), so repeating an invocation returns
+instantly until the code changes.  ``--no-cache`` bypasses the cache,
+``--parallel N`` fans cache misses out over N worker processes, and
+``--timings`` prints per-run provenance (wall time, simulator events,
+RNG streams, peak RSS).
+
+``--scenario`` selects the deployment to simulate — a preset name
+(``repro.scenario.PRESET_NAMES``; default ``paper-nsa``, the paper's NSA
+campus) or a TOML/JSON scenario file — and ``--set dotted.key=value``
+applies individual overrides on top.  ``sweep`` cartesian-expands
+``--set key=v1,v2,...`` axes into a grid and runs the experiment set
+under every point, reporting per-point KPI snapshots.
 
 Observability companions: ``run --metrics PATH`` exports the campaign's
 merged KPI registry (``repro metrics show|export|diff`` inspects it),
@@ -43,14 +54,27 @@ from repro.runner import (
     ExperimentFailure,
     ProfileCollector,
     ResultCache,
+    SweepPoint,
     campaign_timings,
     merged_metrics,
     run_campaign,
+    run_sweep,
     source_hash,
     streams_by_worker,
 )
 from repro.runner import profiling
 from repro.runner.bench import add_bench_arguments, run_bench
+from repro.scenario import (
+    Scenario,
+    ScenarioOverrideError,
+    UnknownScenarioError,
+    apply_overrides,
+    default_scenario,
+    parse_set_args,
+    parse_sweep_args,
+    resolve_scenario,
+    scenario_digest,
+)
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -97,11 +121,25 @@ def _print_result(name: str, result: Any) -> None:
         print(repr(result))
 
 
-def _cmd_list() -> int:
+def _cmd_list(show_params: bool = False) -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name, spec in EXPERIMENTS.items():
         print(f"  {name:<{width}}  {spec.description}")
+        if show_params:
+            params = spec.default_params
+            if params:
+                rendered = ", ".join(f"{k}={v!r}" for k, v in params.items())
+                print(f"  {'':<{width}}    params: {rendered}")
     return 0
+
+
+def _cli_scenario(args: argparse.Namespace) -> Scenario:
+    """Resolve ``--scenario`` + ``--set`` into one concrete scenario."""
+    scenario = resolve_scenario(args.scenario)
+    overrides = parse_set_args(args.set_args or [])
+    if overrides:
+        scenario = apply_overrides(scenario, overrides)
+    return scenario
 
 
 def _timings_table(outcomes: list[CampaignOutcome]) -> ResultTable:
@@ -126,12 +164,13 @@ def _timings_table(outcomes: list[CampaignOutcome]) -> ResultTable:
 
 
 def _export_json(
-    path: str, outcomes: list[CampaignOutcome], seed: int
+    path: str, outcomes: list[CampaignOutcome], seed: int, scenario: Scenario
 ) -> None:
     payload: dict[str, Any] = {
         "schema_version": JSON_SCHEMA_VERSION,
         "seed": seed,
         "source_hash": source_hash(),
+        "scenario": {"name": scenario.name, "digest": scenario_digest(scenario)},
         "experiments": {
             o.name: {
                 "description": EXPERIMENTS[o.name].description,
@@ -160,6 +199,14 @@ def _write_trace(path: str, tracer: trace.Tracer, args: argparse.Namespace) -> N
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        scenario = _cli_scenario(args)
+    except (UnknownScenarioError, ScenarioOverrideError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    non_default = scenario_digest(scenario) != scenario_digest(default_scenario())
+    if non_default:
+        print(f"scenario: {scenario.describe()}\n")
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.trace_path is not None:
         # The tracer lives in this process: tracing forces a serial,
@@ -205,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 cache=cache,
                 run_all=args.run_all,
                 progress=progress,
+                scenario=scenario,
             )
         finally:
             if collector is not None:
@@ -248,11 +296,79 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"(load with `python -m pstats {args.profile_path}`)")
     if args.metrics_path is not None:
         snapshot = merged_metrics(outcomes)
-        meta = {"experiments": sorted(o.name for o in outcomes), "seed": args.seed}
+        meta: dict[str, Any] = {
+            "experiments": sorted(o.name for o in outcomes), "seed": args.seed
+        }
+        if non_default:
+            # Default-scenario metrics files stay byte-identical to the
+            # pre-scenario layout; alternative deployments are labelled.
+            meta["scenario"] = {
+                "name": scenario.name, "digest": scenario_digest(scenario)
+            }
         count = write_jsonl(snapshot, args.metrics_path, meta=meta)
         print(f"wrote metrics {args.metrics_path} ({count} metric(s))")
     if args.json_path is not None:
-        _export_json(args.json_path, outcomes, args.seed)
+        _export_json(args.json_path, outcomes, args.seed, scenario)
+    return 0
+
+
+def _overrides_label(point: SweepPoint) -> str:
+    if not point.overrides:
+        return "(base scenario)"
+    return " ".join(f"{k}={v}" for k, v in point.overrides.items())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        base = resolve_scenario(args.scenario)
+        axes = parse_sweep_args(args.set_args or [])
+    except (UnknownScenarioError, ScenarioOverrideError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def point_progress(point: SweepPoint) -> None:
+        print(f"== point {point.index}: {_overrides_label(point)} "
+              f"[scn={point.digest}] ==")
+        for outcome in point.outcomes:
+            record = outcome.record
+            origin = "cache" if record.cached else f"{record.wall_time_s:.1f}s"
+            print(f"   {outcome.name} [{origin}]")
+        print()
+
+    try:
+        points = run_sweep(
+            args.names,
+            base=base,
+            axes=axes,
+            seed=args.seed,
+            parallel=args.parallel,
+            cache=cache,
+            run_all=args.run_all,
+            point_progress=point_progress,
+        )
+    except (UnknownExperimentError, ScenarioOverrideError) as exc:
+        print(str(exc), file=sys.stderr)
+        if isinstance(exc, UnknownExperimentError):
+            print("use `python -m repro list` to see the catalogue", file=sys.stderr)
+        return 2
+    except ExperimentFailure as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    print(f"swept {len(points)} point(s) x {len(points[0].outcomes)} experiment(s)")
+    if args.json_path is not None:
+        payload = {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "seed": args.seed,
+            "source_hash": source_hash(),
+            "base_scenario": {"name": base.name, "digest": scenario_digest(base)},
+            "axes": [{"key": key, "values": list(values)} for key, values in axes],
+            "points": [point.as_dict() for point in points],
+        }
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_path}")
     return 0
 
 
@@ -271,13 +387,23 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduction toolkit for 'Understanding Operational 5G' (SIGCOMM 2020)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
+    list_parser = sub.add_parser("list", help="list available experiments")
+    list_parser.add_argument("--params", action="store_true",
+                             help="also show each experiment's tunable "
+                                  "parameters and their defaults")
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument("names", nargs="*", default=[],
                             help="experiment names (see `list`)")
     run_parser.add_argument("--all", dest="run_all", action="store_true",
                             help="run the whole catalogue")
     run_parser.add_argument("--seed", type=int, default=7)
+    run_parser.add_argument("--scenario", default=None, metavar="NAME|PATH",
+                            help="deployment scenario: a preset name or a "
+                                 "TOML/JSON file (default: paper-nsa)")
+    run_parser.add_argument("--set", dest="set_args", action="append",
+                            default=[], metavar="KEY=VALUE",
+                            help="override one scenario field, e.g. "
+                                 "--set radio.sa_mode=true (repeatable)")
     run_parser.add_argument("--json", dest="json_path", default=None,
                             help="also dump results + run metadata to a JSON file")
     run_parser.add_argument("--parallel", type=int, default=1, metavar="N",
@@ -302,6 +428,33 @@ def main(argv: list[str] | None = None) -> int:
                             help="profile each run under cProfile and dump a "
                                  "combined pstats file; forces serial, uncached "
                                  "execution")
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run experiments under every point of a scenario parameter grid",
+    )
+    sweep_parser.add_argument("names", nargs="*", default=[],
+                              help="experiment names (see `list`)")
+    sweep_parser.add_argument("--all", dest="run_all", action="store_true",
+                              help="sweep the whole catalogue")
+    sweep_parser.add_argument("--seed", type=int, default=7)
+    sweep_parser.add_argument("--scenario", default=None, metavar="NAME|PATH",
+                              help="base scenario the sweep axes override")
+    sweep_parser.add_argument("--set", dest="set_args", action="append",
+                              default=[], metavar="KEY=V1,V2,...",
+                              help="sweep axis: a dotted scenario key and its "
+                                   "comma-separated values (repeatable; the "
+                                   "grid is the cartesian product)")
+    sweep_parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                              help="worker processes per point (default: 1)")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="bypass the on-disk result cache")
+    sweep_parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                              help="result cache location (default: "
+                                   ".repro_cache, or $REPRO_CACHE_DIR)")
+    sweep_parser.add_argument("--json", dest="json_path", default=None,
+                              metavar="PATH",
+                              help="dump per-point overrides, scenario digests "
+                                   "and merged KPI snapshots to a JSON file")
     sub.add_parser("paper-index", help="map experiments to benchmark files")
     lint_parser = sub.add_parser(
         "lint",
@@ -327,11 +480,15 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(show_params=args.params)
     if args.command == "run":
         if not args.names and not args.run_all:
             parser.error("run: provide experiment names or --all")
         return _cmd_run(args)
+    if args.command == "sweep":
+        if not args.names and not args.run_all:
+            parser.error("sweep: provide experiment names or --all")
+        return _cmd_sweep(args)
     if args.command == "paper-index":
         return _cmd_paper_index()
     if args.command == "lint":

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.core.rng import default_rng
+from repro.core.config import RadioProfile
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.path import PathConfig, build_cellular_path
+from repro.scenario import Scenario, resolve_scenario
 from repro.net.sim import Simulator
 from repro.transport.base import TcpConnection
 from repro.transport.iperf import make_cc, run_udp_baseline
@@ -52,10 +52,15 @@ class BufferAblationResult:
 
 
 def _run_with_buffer(
-    multiplier: float, algorithm: str, seed: int, scale: float, baseline: float
+    multiplier: float,
+    algorithm: str,
+    seed: int,
+    scale: float,
+    baseline: float,
+    profile: RadioProfile,
 ) -> float:
     """One 5G TCP run with the wired buffer scaled by ``multiplier``."""
-    config = PathConfig(profile=NR_PROFILE, scale=scale)
+    config = PathConfig(profile=profile, scale=scale)
     sim = Simulator()
     rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
@@ -69,18 +74,28 @@ def _run_with_buffer(
     return conn.sender.stats.throughput_bps(duration) / baseline
 
 
-def run(seed: int = DEFAULT_SEED, scale: float = SIM_SCALE, repeats: int = 2) -> BufferAblationResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    scale: float | None = None,
+    repeats: int = 2,
+    scenario: Scenario | str | None = None,
+) -> BufferAblationResult:
     """Sweep wired-buffer multipliers under Cubic; measure BBR at 1x."""
-    config = PathConfig(profile=NR_PROFILE, scale=scale)
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
+    nr_profile = scn.radio.nr
+    config = PathConfig(profile=nr_profile, scale=scale)
     baseline = run_udp_baseline(config, duration_s=15.0, seed=seed)
     cubic: dict[float, float] = {}
     for multiplier in BUFFER_MULTIPLIERS:
         runs = [
-            _run_with_buffer(multiplier, "cubic", seed + 2 * i, scale, baseline)
+            _run_with_buffer(multiplier, "cubic", seed + 2 * i, scale, baseline, nr_profile)
             for i in range(repeats)
         ]
         cubic[multiplier] = sum(runs) / repeats
     bbr = sum(
-        _run_with_buffer(1.0, "bbr", seed + 2 * i, scale, baseline) for i in range(repeats)
+        _run_with_buffer(1.0, "bbr", seed + 2 * i, scale, baseline, nr_profile)
+        for i in range(repeats)
     ) / repeats
     return BufferAblationResult(cubic_utilization=cubic, bbr_utilization_at_1x=bbr)

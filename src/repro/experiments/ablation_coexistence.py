@@ -14,16 +14,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core.config import RadioProfile
 from repro.core.results import ResultTable
 from repro.core.rng import default_rng
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.packet import Packet
+from repro.scenario import Scenario, resolve_scenario
 from repro.net.path import NetworkPath, PathConfig, build_cellular_path
 from repro.net.sim import Simulator
 from repro.transport.base import TcpConnection
 from repro.transport.iperf import make_cc
+
+#: Display normalization for the table: the default packet-level scale.
+_DISPLAY_SCALE = 0.05
 
 __all__ = ["CoexistenceResult", "BUFFER_MULTIPLIERS", "run"]
 
@@ -75,16 +78,21 @@ class CoexistenceResult:
                 [
                     f"{mult:.0f}x",
                     point.nr_retransmissions,
-                    f"{point.nr_throughput_bps / SIM_SCALE / 1e6:.0f}",
+                    f"{point.nr_throughput_bps / _DISPLAY_SCALE / 1e6:.0f}",
                     f"{point.lte_p95_rtt_s * 1000:.1f}",
-                    f"{point.lte_throughput_bps / SIM_SCALE / 1e6:.0f}",
+                    f"{point.lte_throughput_bps / _DISPLAY_SCALE / 1e6:.0f}",
                 ]
             )
         return table
 
 
 def _build_shared_paths(
-    sim: Simulator, scale: float, seed: int, buffer_multiplier: float
+    sim: Simulator,
+    scale: float,
+    seed: int,
+    buffer_multiplier: float,
+    nr_profile: RadioProfile,
+    lte_profile: RadioProfile,
 ) -> tuple[NetworkPath, NetworkPath]:
     """Two cellular paths whose data direction shares one wireline link.
 
@@ -93,10 +101,10 @@ def _build_shared_paths(
     core segment each serialized packet continues into.
     """
     rng = default_rng(seed)
-    path5 = build_cellular_path(sim, PathConfig(profile=NR_PROFILE, scale=scale), rng)
+    path5 = build_cellular_path(sim, PathConfig(profile=nr_profile, scale=scale), rng)
     path4 = build_cellular_path(
         sim,
-        PathConfig(profile=LTE_PROFILE, scale=scale, with_cross_traffic=False),
+        PathConfig(profile=lte_profile, scale=scale, with_cross_traffic=False),
         rng,
     )
     shared = path5.wired_link
@@ -120,11 +128,16 @@ def _build_shared_paths(
 
 
 def _run_point(
-    seed: int, duration_s: float, scale: float, multiplier: float
+    seed: int,
+    duration_s: float,
+    scale: float,
+    multiplier: float,
+    nr_profile: RadioProfile,
+    lte_profile: RadioProfile,
 ) -> CoexistencePoint:
     """One coexistence repetition on its own freshly built simulator."""
     sim = Simulator()
-    path5, path4 = _build_shared_paths(sim, scale, seed, multiplier)
+    path5, path4 = _build_shared_paths(sim, scale, seed, multiplier, nr_profile, lte_profile)
     conn5 = TcpConnection.establish(
         sim, path5, make_cc("bbr", path5.config.mss_bytes, scale), flow_id=_NR_FLOW
     )
@@ -145,11 +158,19 @@ def _run_point(
 
 
 def run(
-    seed: int = DEFAULT_SEED, duration_s: float = 20.0, scale: float = SIM_SCALE
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 20.0,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> CoexistenceResult:
     """Run a 5G BBR bulk flow next to a 4G Cubic flow per buffer size."""
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
     points = {
-        multiplier: _run_point(seed, duration_s, scale, multiplier)
+        multiplier: _run_point(
+            seed, duration_s, scale, multiplier, scn.radio.nr, scn.radio.lte
+        )
         for multiplier in BUFFER_MULTIPLIERS
     }
     return CoexistenceResult(points=points)

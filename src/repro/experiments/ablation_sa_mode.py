@@ -17,6 +17,7 @@ from repro.energy.drx import NR_NSA_DRX_CONFIG, NR_POWER, RadioEnergyModel
 from repro.energy.power_model import SYSTEM_POWER_W
 from repro.energy.traffic import web_browsing_trace
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario, resolve_scenario
 from repro.mobility.handoff import HandoffKind, HandoffProcedure
 from repro.mobility.sa import NR_SA_DRX_CONFIG, draw_sa_handoff, sa_handoff_mean_latency_s
 
@@ -74,8 +75,13 @@ class SaAblationResult:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, samples: int = 200) -> SaAblationResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    samples: int = 200,
+    scenario: Scenario | str | None = None,
+) -> SaAblationResult:
     """Draw hand-off latencies and replay the web workload on both machines."""
+    scn = resolve_scenario(scenario)
     rng = default_rng(seed)
     nsa_ms = float(
         np.mean(
@@ -98,7 +104,7 @@ def run(seed: int = DEFAULT_SEED, samples: int = 200) -> SaAblationResult:
     )
 
     trace = web_browsing_trace(rng=default_rng(seed))
-    capacity = 880e6
+    capacity = scn.energy.web.nr_bps
     nsa = RadioEnergyModel(NR_POWER, NR_NSA_DRX_CONFIG, capacity).replay(trace)
     sa = RadioEnergyModel(NR_POWER, NR_SA_DRX_CONFIG, capacity).replay(trace)
     # The hardware floor: the radio sleeping at its deepest for the whole

@@ -10,6 +10,7 @@ from dataclasses import dataclass
 from repro.core.results import ResultTable
 from repro.energy.drx import LTE_DRX_CONFIG, NR_NSA_DRX_CONFIG
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario
 from repro.mobility.events import EventType
 from repro.net.servers import SPEEDTEST_SERVERS
 
@@ -87,7 +88,9 @@ class AppendixResult:
         return self.tab6()
 
 
-def run(seed: int = DEFAULT_SEED) -> AppendixResult:
+def run(
+    seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None
+) -> AppendixResult:
     """Cross-check the Tab. 6 distances against haversine geometry."""
     worst = max(
         abs(server.distance_km - server.recomputed_distance_km())

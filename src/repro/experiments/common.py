@@ -1,8 +1,11 @@
 """Shared context for the experiment modules.
 
 Every experiment builds on the same campus, propagation environment and
-radio networks; this module constructs them once per (seed) and caches
-the result, mirroring how the measurement campaign reused one testbed.
+radio networks; this module constructs them once per (seed, scenario)
+and caches the result, mirroring how the measurement campaign reused one
+testbed.  The scenario decides the deployment — radio profiles, anchor
+gain, grid densification — so alternative deployments flow through every
+experiment without touching the physics code.
 
 It also hosts the KPI helpers (:func:`record_kpi`,
 :func:`record_kpi_samples`, :func:`bump_kpi`): thin wrappers over the
@@ -21,12 +24,12 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.rng import RngFactory
 from repro.geometry.campus import Campus, build_campus
 from repro.metrics import core as metrics
 from repro.radio.cell import RadioNetwork
 from repro.radio.propagation import Environment
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = [
     "Testbed",
@@ -47,6 +50,7 @@ class Testbed:
     """The measurement testbed: campus plus both radio networks."""
 
     seed: int
+    scenario: Scenario
     campus: Campus
     environment: Environment
     nr: RadioNetwork
@@ -59,19 +63,33 @@ class Testbed:
         return RngFactory(self.seed)
 
 
+def testbed(seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None) -> Testbed:
+    """Build (or fetch the cached) testbed for ``(seed, scenario)``.
+
+    ``scenario`` accepts anything :func:`repro.scenario.resolve_scenario`
+    does: ``None`` (the paper's NSA deployment), a preset name, a file
+    path or a :class:`Scenario` value.  Scenarios hash by content, so the
+    cache keys on ``(seed, digest)`` for free.
+    """
+    return _build_testbed(seed, resolve_scenario(scenario))
+
+
 @lru_cache(maxsize=4)
-def testbed(seed: int = DEFAULT_SEED) -> Testbed:
-    """Build (or fetch the cached) testbed for ``seed``."""
-    campus = build_campus()
+def _build_testbed(seed: int, scenario: Scenario) -> Testbed:
+    campus = build_campus(extra_gnb_sites=scenario.topology.extra_gnb_sites)
     rngf = RngFactory(seed)
     environment = Environment(campus.buildings, rngf)
-    nr = RadioNetwork.from_campus(campus, NR_PROFILE, environment)
-    lte = RadioNetwork.from_campus(campus, LTE_PROFILE, environment)
+    nr = RadioNetwork.from_campus(campus, scenario.radio.nr, environment)
+    lte = RadioNetwork.from_campus(campus, scenario.radio.lte, environment)
     lte_anchors = RadioNetwork.from_sites(
-        campus.co_sited_enbs(), LTE_PROFILE, environment, max_gain_dbi=15.0
+        campus.co_sited_enbs(),
+        scenario.radio.lte,
+        environment,
+        max_gain_dbi=scenario.topology.lte_anchor_max_gain_dbi,
     )
     return Testbed(
         seed=seed,
+        scenario=scenario,
         campus=campus,
         environment=environment,
         nr=nr,
@@ -80,19 +98,19 @@ def testbed(seed: int = DEFAULT_SEED) -> Testbed:
     )
 
 
-def warm(seed: int = DEFAULT_SEED) -> Testbed:
-    """Pre-build the testbed for ``seed`` so later experiments hit the cache.
+def warm(seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None) -> Testbed:
+    """Pre-build the testbed so later experiments hit the cache.
 
     Campaign-runner workers call this from their pool initializer: the
     testbed build dominates the startup cost of cheap experiments, so each
     worker pays it once up front instead of inside its first task.
     """
-    return testbed(seed)
+    return testbed(seed, scenario)
 
 
 def testbed_cache_info():
     """``functools`` cache statistics for the per-process testbed cache."""
-    return testbed.cache_info()
+    return _build_testbed.cache_info()
 
 
 def record_kpi(name: str, value: float) -> None:

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import NR_PROFILE
 from repro.core.results import ResultTable
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario, resolve_scenario
 from repro.radio.cpe import CpeLink, DslComparison, dsl_replacement_study
 
 __all__ = ["CpeDslResult", "run"]
@@ -54,11 +54,16 @@ class CpeDslResult:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, cpe_distance_m: float = 240.0) -> CpeDslResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    cpe_distance_m: float = 240.0,
+    scenario: Scenario | str | None = None,
+) -> CpeDslResult:
     """Evaluate the CPE link at and away from the window, then share it."""
-    window = CpeLink(profile=NR_PROFILE, distance_m=cpe_distance_m, window_mounted=True)
-    indoor = CpeLink(profile=NR_PROFILE, distance_m=cpe_distance_m, window_mounted=False)
-    comparison = dsl_replacement_study(NR_PROFILE, cpe_distance_m=cpe_distance_m)
+    nr = resolve_scenario(scenario).radio.nr
+    window = CpeLink(profile=nr, distance_m=cpe_distance_m, window_mounted=True)
+    indoor = CpeLink(profile=nr, distance_m=cpe_distance_m, window_mounted=False)
+    comparison = dsl_replacement_study(nr, cpe_distance_m=cpe_distance_m)
     return CpeDslResult(
         window_throughput_bps=window.throughput_bps(),
         deep_indoor_throughput_bps=indoor.throughput_bps(),

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import NR_PROFILE
+from repro.core.config import RadioProfile
 from repro.core.results import ResultTable
 from repro.core.rng import default_rng
+from repro.scenario import Scenario, resolve_scenario
 from repro.apps.web import WEB_PAGE_CATALOG
 from repro.experiments.common import DEFAULT_SEED
 from repro.net.path import PathConfig, build_cellular_path
@@ -61,9 +62,9 @@ class EdgeComputingResult:
         return table
 
 
-def _path_rtt_ms(distance_km: float, wired_hops: int) -> float:
+def _path_rtt_ms(profile: RadioProfile, distance_km: float, wired_hops: int) -> float:
     config = PathConfig(
-        profile=NR_PROFILE,
+        profile=profile,
         server_distance_km=distance_km,
         wired_hops=wired_hops,
         with_scheduling_stalls=False,
@@ -72,16 +73,19 @@ def _path_rtt_ms(distance_km: float, wired_hops: int) -> float:
     return path.base_rtt_s * 1000
 
 
-def run(seed: int = DEFAULT_SEED) -> EdgeComputingResult:
+def run(
+    seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None
+) -> EdgeComputingResult:
     """Compare the edge deployment against cloud servers."""
-    edge_rtt = _path_rtt_ms(_EDGE_DISTANCE_KM, wired_hops=1)
+    nr = resolve_scenario(scenario).radio.nr
+    edge_rtt = _path_rtt_ms(nr, _EDGE_DISTANCE_KM, wired_hops=1)
     cloud_rtt = {
-        d: _path_rtt_ms(d, wired_hops=int(6 + min(10, d / 350.0)))
+        d: _path_rtt_ms(nr, d, wired_hops=int(6 + min(10, d / 350.0)))
         for d in _CLOUD_DISTANCES_KM
     }
     page = WEB_PAGE_CATALOG[0]
-    edge_page_plt = _plt_at_distance(page, _EDGE_DISTANCE_KM, 1, seed)
-    cloud_page_plt = _plt_at_distance(page, 2000.0, 12, seed)
+    edge_page_plt = _plt_at_distance(page, nr, _EDGE_DISTANCE_KM, 1, seed)
+    cloud_page_plt = _plt_at_distance(page, nr, 2000.0, 12, seed)
     return EdgeComputingResult(
         edge_rtt_ms=edge_rtt,
         cloud_rtt_ms=cloud_rtt,
@@ -90,13 +94,15 @@ def run(seed: int = DEFAULT_SEED) -> EdgeComputingResult:
     )
 
 
-def _plt_at_distance(page, distance_km: float, hops: int, seed: int) -> float:
+def _plt_at_distance(
+    page, profile: RadioProfile, distance_km: float, hops: int, seed: int
+) -> float:
     from repro.transport.base import TcpConnection
     from repro.transport.iperf import make_cc
 
     scale = 0.1
     config = PathConfig(
-        profile=NR_PROFILE,
+        profile=profile,
         server_distance_km=distance_km,
         wired_hops=hops,
         scale=scale,

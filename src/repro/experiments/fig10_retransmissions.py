@@ -14,6 +14,7 @@ from repro.core.rng import RngFactory
 from repro.core.stats import percent
 from repro.experiments.common import DEFAULT_SEED
 from repro.radio.harq import RETRANSMISSION_THRESHOLD, HarqProcess, HarqStats
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig10Result", "run"]
 
@@ -43,11 +44,17 @@ class Fig10Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, transport_blocks: int = 200_000) -> Fig10Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    transport_blocks: int = 200_000,
+    scenario: Scenario | str | None = None,
+) -> Fig10Result:
     """Simulate HARQ over both RANs and tally retransmission depths."""
+    scn = resolve_scenario(scenario)
     rngf = RngFactory(seed)
-    lte = HarqProcess.for_generation(4, rngf.stream("harq-lte")).run(transport_blocks)
-    nr = HarqProcess.for_generation(5, rngf.stream("harq-nr")).run(transport_blocks)
+    lte_gen, nr_gen = scn.radio.lte.generation, scn.radio.nr.generation
+    lte = HarqProcess.for_generation(lte_gen, rngf.stream("harq-lte")).run(transport_blocks)
+    nr = HarqProcess.for_generation(nr_gen, rngf.stream("harq-nr")).run(transport_blocks)
     # The paper's sanity bound: a 50%-loss link abandoning a block needs 32
     # consecutive failures, probability ~2.3e-10.
     lossy = HarqProcess(

@@ -11,10 +11,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import NR_PROFILE
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.path import PathConfig
+from repro.scenario import Scenario, resolve_scenario
 from repro.transport.iperf import run_udp
 from repro.transport.udp import loss_runs
 
@@ -59,10 +58,19 @@ def run(
     seed: int = DEFAULT_SEED,
     duration_s: float = 20.0,
     load_fraction: float = 0.8,
-    scale: float = SIM_SCALE,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> Fig11Result:
     """Run one heavily-loaded 5G UDP session and extract its loss runs."""
-    config = PathConfig(profile=NR_PROFILE, scale=scale)
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
+    config = PathConfig(
+        profile=scn.radio.nr,
+        scale=scale,
+        server_distance_km=scn.topology.server_distance_km,
+        wired_hops=scn.topology.wired_hops,
+    )
     capacity = config.access_rate_bps() * scale
     result = run_udp(config, capacity * load_fraction, duration_s=duration_s, seed=seed)
     return Fig11Result(

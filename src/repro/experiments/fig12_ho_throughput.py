@@ -12,13 +12,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.core.rng import default_rng
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.mobility.handoff import HandoffKind, HandoffProcedure
+from repro.scenario import Scenario, resolve_scenario
 from repro.net.path import PathConfig, build_cellular_path
 from repro.net.sim import Simulator
 from repro.transport.base import TcpConnection
@@ -53,7 +52,14 @@ class Fig12Result:
 
 
 def _measure_drop(
-    profile, kind: str, seed: int, scale: float, rate_after_factor: float = 1.0
+    profile,
+    kind: str,
+    seed: int,
+    scale: float,
+    rate_after_factor: float = 1.0,
+    sa_mode: bool = False,
+    server_distance_km: float = 30.0,
+    wired_hops: int = 4,
 ) -> float:
     """Run one BBR flow with a mid-flow hand-off; return the tput drop.
 
@@ -66,6 +72,8 @@ def _measure_drop(
         scale=scale,
         with_cross_traffic=False,
         with_scheduling_stalls=False,
+        server_distance_km=server_distance_km,
+        wired_hops=wired_hops,
     )
     sim = Simulator()
     rng = default_rng(seed)
@@ -73,7 +81,7 @@ def _measure_drop(
     conn = TcpConnection.establish(sim, path, make_cc("bbr", config.mss_bytes, scale))
 
     ho_at = 8.0
-    outage = HandoffProcedure.draw(kind, rng).total_latency_s
+    outage = HandoffProcedure.draw(kind, rng, sa_mode=sa_mode).total_latency_s
     path.schedule_access_outage(ho_at, outage)
     if rate_after_factor != 1.0:
         # Vertical fallback: the access link continues at 4G speed.
@@ -113,19 +121,37 @@ def _measure_drop(
     return max(0.0, 1.0 - after / before)
 
 
-def run(seed: int = DEFAULT_SEED, repeats: int = 3, scale: float = SIM_SCALE) -> Fig12Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    repeats: int = 3,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
+) -> Fig12Result:
     """Measure drops for 4G-4G, 5G-5G and 5G-4G hand-offs."""
-    lte_capacity = PathConfig(profile=LTE_PROFILE, scale=scale).access_rate_bps()
-    nr_capacity = PathConfig(profile=NR_PROFILE, scale=scale).access_rate_bps()
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
+    lte_profile, nr_profile = scn.radio.lte, scn.radio.nr
+    lte_capacity = PathConfig(profile=lte_profile, scale=scale).access_rate_bps()
+    nr_capacity = PathConfig(profile=nr_profile, scale=scale).access_rate_bps()
     cases = (
-        (HandoffKind.LTE_TO_LTE, LTE_PROFILE, 1.0),
-        (HandoffKind.NR_TO_NR, NR_PROFILE, 1.0),
-        (HandoffKind.NR_TO_LTE, NR_PROFILE, lte_capacity / nr_capacity),
+        (HandoffKind.LTE_TO_LTE, lte_profile, 1.0),
+        (HandoffKind.NR_TO_NR, nr_profile, 1.0),
+        (HandoffKind.NR_TO_LTE, nr_profile, lte_capacity / nr_capacity),
     )
     drops: dict[str, tuple[float, ...]] = {}
     for kind, profile, factor in cases:
         values = tuple(
-            _measure_drop(profile, kind, seed + i, scale, rate_after_factor=factor)
+            _measure_drop(
+                profile,
+                kind,
+                seed + i,
+                scale,
+                rate_after_factor=factor,
+                sa_mode=scn.radio.sa_mode,
+                server_distance_km=scn.topology.server_distance_km,
+                wired_hops=scn.topology.wired_hops,
+            )
             for i in range(repeats)
         )
         drops[kind] = values

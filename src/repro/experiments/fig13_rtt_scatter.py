@@ -17,6 +17,7 @@ from repro.core.rng import RngFactory
 from repro.experiments.common import DEFAULT_SEED, record_kpi, record_kpi_samples
 from repro.net.path import segment_delays_s
 from repro.net.servers import SPEEDTEST_SERVERS
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig13Result", "run", "probe_rtt_s"]
 
@@ -79,9 +80,14 @@ class Fig13Result:
 
 
 def run(
-    seed: int = DEFAULT_SEED, base_stations: int = 4, probes_per_path: int = 30
+    seed: int = DEFAULT_SEED,
+    base_stations: int = 4,
+    probes_per_path: int = 30,
+    scenario: Scenario | str | None = None,
 ) -> Fig13Result:
     """Probe all (base station, server) pairs on both networks."""
+    scn = resolve_scenario(scenario)
+    lte_gen, nr_gen = scn.radio.lte.generation, scn.radio.nr.generation
     rngf = RngFactory(seed)
     lte_means: list[float] = []
     nr_means: list[float] = []
@@ -89,10 +95,12 @@ def run(
         for server in SPEEDTEST_SERVERS:
             rng = rngf.stream(f"fig13:{bs}:{server.server_id}")
             lte = [
-                probe_rtt_s(4, server.distance_km, rng) for _ in range(probes_per_path)
+                probe_rtt_s(lte_gen, server.distance_km, rng)
+                for _ in range(probes_per_path)
             ]
             nr = [
-                probe_rtt_s(5, server.distance_km, rng) for _ in range(probes_per_path)
+                probe_rtt_s(nr_gen, server.distance_km, rng)
+                for _ in range(probes_per_path)
             ]
             lte_means.append(float(np.mean(lte)) * 1000)
             nr_means.append(float(np.mean(nr)) * 1000)

@@ -16,6 +16,7 @@ from repro.core.results import ResultTable
 from repro.core.rng import RngFactory
 from repro.experiments.common import DEFAULT_SEED
 from repro.net.path import segment_delays_s
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig14Result", "run"]
 
@@ -57,11 +58,14 @@ def run(
     distance_km: float = 30.0,
     wired_hops: int = 6,
     probes: int = 30,
+    scenario: Scenario | str | None = None,
 ) -> Fig14Result:
     """Probe hop-by-hop RTTs on one example path for both networks."""
+    scn = resolve_scenario(scenario)
+    lte_gen, nr_gen = scn.radio.lte.generation, scn.radio.nr.generation
     rngf = RngFactory(seed)
     results: dict[int, list[float]] = {}
-    for generation in (4, 5):
+    for generation in (lte_gen, nr_gen):
         rng = rngf.stream(f"fig14:{generation}")
         delays = segment_delays_s(generation, distance_km, wired_hops)
         cumulative = np.cumsum(delays)
@@ -74,5 +78,5 @@ def run(
             hop_means.append(float(np.mean(samples)) * 1000)
         results[generation] = hop_means
     return Fig14Result(
-        lte_hop_rtts_ms=tuple(results[4]), nr_hop_rtts_ms=tuple(results[5])
+        lte_hop_rtts_ms=tuple(results[lte_gen]), nr_hop_rtts_ms=tuple(results[nr_gen])
     )

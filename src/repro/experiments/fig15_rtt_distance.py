@@ -17,6 +17,7 @@ from repro.core.rng import RngFactory
 from repro.experiments.common import DEFAULT_SEED
 from repro.experiments.fig13_rtt_scatter import probe_rtt_s
 from repro.net.servers import SPEEDTEST_SERVERS
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig15Result", "run"]
 
@@ -61,18 +62,24 @@ class Fig15Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, probes_per_server: int = 30) -> Fig15Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    probes_per_server: int = 30,
+    scenario: Scenario | str | None = None,
+) -> Fig15Result:
     """Probe every Tab. 6 server on both networks, ordered by distance."""
+    scn = resolve_scenario(scenario)
+    lte_gen, nr_gen = scn.radio.lte.generation, scn.radio.nr.generation
     rngf = RngFactory(seed)
     servers = sorted(SPEEDTEST_SERVERS, key=lambda s: s.distance_km)
     lte, nr = [], []
     for server in servers:
         rng = rngf.stream(f"fig15:{server.server_id}")
         lte.append(
-            float(np.mean([probe_rtt_s(4, server.distance_km, rng) for _ in range(probes_per_server)])) * 1000
+            float(np.mean([probe_rtt_s(lte_gen, server.distance_km, rng) for _ in range(probes_per_server)])) * 1000
         )
         nr.append(
-            float(np.mean([probe_rtt_s(5, server.distance_km, rng) for _ in range(probes_per_server)])) * 1000
+            float(np.mean([probe_rtt_s(nr_gen, server.distance_km, rng) for _ in range(probes_per_server)])) * 1000
         )
     return Fig15Result(
         distances_km=tuple(s.distance_km for s in servers),

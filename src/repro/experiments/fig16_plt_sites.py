@@ -8,10 +8,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.apps.web import WEB_PAGE_CATALOG, PltBreakdown, measure_plt
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig16Result", "run"]
 
@@ -62,11 +62,16 @@ class Fig16Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, trials: int = 3) -> Fig16Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    trials: int = 3,
+    scenario: Scenario | str | None = None,
+) -> Fig16Result:
     """Load every category ``trials`` times per network and average."""
+    scn = resolve_scenario(scenario)
     plts: dict[tuple[str, str], PltBreakdown] = {}
     for page in WEB_PAGE_CATALOG:
-        for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+        for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
             runs = [
                 measure_plt(page, profile, seed=seed + i) for i in range(trials)
             ]

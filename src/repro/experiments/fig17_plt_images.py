@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.apps.web import PltBreakdown, image_page, measure_plt
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig17Result", "IMAGE_SIZES_MB", "run"]
 
@@ -51,12 +51,17 @@ class Fig17Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, trials: int = 3) -> Fig17Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    trials: int = 3,
+    scenario: Scenario | str | None = None,
+) -> Fig17Result:
     """Load each image page size on both networks."""
+    scn = resolve_scenario(scenario)
     plts: dict[tuple[float, str], PltBreakdown] = {}
     for size in IMAGE_SIZES_MB:
         page = image_page(size)
-        for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+        for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
             runs = [measure_plt(page, profile, seed=seed + i) for i in range(trials)]
             plts[(size, network)] = PltBreakdown(
                 download_s=sum(r.download_s for r in runs) / trials,

@@ -8,14 +8,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.apps.video import VIDEO_PROFILES, run_video_session
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario, resolve_scenario
 
-__all__ = ["Fig18Result", "run", "VIDEO_SIM_SCALE"]
-
-VIDEO_SIM_SCALE = 0.25
+__all__ = ["Fig18Result", "run"]
 
 
 @dataclass(frozen=True)
@@ -45,13 +43,19 @@ class Fig18Result:
 
 
 def run(
-    seed: int = DEFAULT_SEED, duration_s: float = 20.0, scale: float = VIDEO_SIM_SCALE
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 20.0,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> Fig18Result:
     """Push every resolution over both uplinks, static and dynamic."""
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.video_sim_scale
     throughput: dict[tuple[str, str, str], float] = {}
     freezes: dict[tuple[str, str, str], int] = {}
     for resolution in VIDEO_PROFILES:
-        for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+        for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
             for scene, dynamic in (("static", False), ("dynamic", True)):
                 session = run_video_session(
                     profile,

@@ -10,10 +10,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import NR_PROFILE
 from repro.apps.video import run_video_session
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig18_video_throughput import VIDEO_SIM_SCALE
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig19Result", "run"]
 
@@ -43,14 +42,20 @@ class Fig19Result:
 
 
 def run(
-    seed: int = DEFAULT_SEED, duration_s: float = 30.0, scale: float = VIDEO_SIM_SCALE
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 30.0,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> Fig19Result:
     """Run 30 s 5.7K sessions over 5G in both scene modes."""
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.video_sim_scale
     static = run_video_session(
-        NR_PROFILE, "5.7K", dynamic=False, duration_s=duration_s, scale=scale, seed=seed
+        scn.radio.nr, "5.7K", dynamic=False, duration_s=duration_s, scale=scale, seed=seed
     )
     dynamic = run_video_session(
-        NR_PROFILE, "5.7K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
+        scn.radio.nr, "5.7K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
     )
 
     def unscale(trace):

@@ -11,7 +11,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.apps.video import (
     CAPTURE_SPLICE_RENDER_S,
     DECODE_S,
@@ -20,7 +19,7 @@ from repro.apps.video import (
     run_video_session,
 )
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig18_video_throughput import VIDEO_SIM_SCALE
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig20Result", "run"]
 
@@ -59,14 +58,20 @@ class Fig20Result:
 
 
 def run(
-    seed: int = DEFAULT_SEED, duration_s: float = 30.0, scale: float = VIDEO_SIM_SCALE
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 30.0,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> Fig20Result:
     """Run 4K dynamic sessions over both networks and collect frame delays."""
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.video_sim_scale
     nr = run_video_session(
-        NR_PROFILE, "4K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
+        scn.radio.nr, "4K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
     )
     lte = run_video_session(
-        LTE_PROFILE, "4K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
+        scn.radio.lte, "4K", dynamic=True, duration_s=duration_s, scale=scale, seed=seed
     )
     nr_delays = nr.frame_delays_s()
     lte_delays = lte.frame_delays_s()

@@ -14,6 +14,7 @@ from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.energy.power_model import APP_CATALOG, PowerBreakdown, app_power_breakdown
 from repro.experiments.common import DEFAULT_SEED, record_kpi
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig21Result", "run"]
 
@@ -77,15 +78,19 @@ class Fig21Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED) -> Fig21Result:
+def run(
+    seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None
+) -> Fig21Result:
     """Compute the component breakdown for all apps on both RATs."""
+    scn = resolve_scenario(scenario)
+    generations = (scn.radio.lte.generation, scn.radio.nr.generation)
     breakdowns = {
         (app.name, generation): app_power_breakdown(app, generation)
         for app in APP_CATALOG
-        for generation in (4, 5)
+        for generation in generations
     }
     result = Fig21Result(breakdowns=breakdowns)
-    for generation in (4, 5):
+    for generation in generations:
         record_kpi(
             f"fig21.radio_share.{generation}g.mean_ratio",
             result.mean_radio_fraction(generation),

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.core.results import ResultTable
 from repro.energy.power_model import energy_per_bit
 from repro.experiments.common import DEFAULT_SEED, record_kpi
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig22Result", "TRANSFER_TIMES_S", "run"]
 
@@ -54,16 +55,20 @@ class Fig22Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED) -> Fig22Result:
+def run(
+    seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None
+) -> Fig22Result:
     """Compute saturated-transfer energy per bit for both RATs."""
+    scn = resolve_scenario(scenario)
+    generations = (scn.radio.lte.generation, scn.radio.nr.generation)
     efficiency = {
         (generation, t): energy_per_bit(generation, t)
-        for generation in (4, 5)
+        for generation in generations
         for t in TRANSFER_TIMES_S
     }
     result = Fig22Result(efficiency=efficiency)
     shortest = TRANSFER_TIMES_S[0]
-    for generation in (4, 5):
+    for generation in generations:
         record_kpi(
             f"fig22.energy_per_bit.{generation}g.t{shortest:.0f}_nj",
             efficiency[(generation, shortest)] * 1e9,

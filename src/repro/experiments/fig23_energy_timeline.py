@@ -12,9 +12,10 @@ from dataclasses import dataclass
 from repro.core.rng import RngFactory
 from repro.energy.drx import EnergyResult
 from repro.energy.pwrstrip import PowerSample, sample_timeline
-from repro.energy.simulator import WEB_CAPACITIES, simulate_lte, simulate_nr_nsa
+from repro.energy.simulator import simulate_lte, simulate_nr_nsa
 from repro.energy.traffic import web_browsing_trace
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Fig23Result", "run"]
 
@@ -53,14 +54,20 @@ def _tail_end(result: EnergyResult) -> float:
     return max(tails) if tails else result.completion_s
 
 
-def run(seed: int = DEFAULT_SEED, num_pages: int = 10, think_time_s: float = 3.0) -> Fig23Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    num_pages: int = 10,
+    think_time_s: float = 3.0,
+    scenario: Scenario | str | None = None,
+) -> Fig23Result:
     """Replay the web-loading showcase on both radios and sample power."""
     rng = RngFactory(seed).stream("fig23")
     trace = web_browsing_trace(
         num_pages=num_pages, think_time_s=think_time_s, rng=rng
     )
-    lte = simulate_lte(trace, WEB_CAPACITIES)
-    nr = simulate_nr_nsa(trace, WEB_CAPACITIES)
+    web = resolve_scenario(scenario).energy.web
+    lte = simulate_lte(trace, web)
+    nr = simulate_nr_nsa(trace, web)
     return Fig23Result(
         lte_samples=tuple(sample_timeline(lte, seed=seed)),
         nr_samples=tuple(sample_timeline(nr, seed=seed)),

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.core.results import ResultTable
 from repro.experiments.common import DEFAULT_SEED, testbed
+from repro.scenario import Scenario
 from repro.radio.coverage import (
     SurveyPoint,
     cell_grid_survey,
@@ -44,9 +45,10 @@ def run(
     seed: int = DEFAULT_SEED,
     num_map_points: int = 600,
     grid_spacing_m: float = 25.0,
+    scenario: Scenario | str | None = None,
 ) -> Fig2Result:
     """Survey the whole campus (Fig. 2a) and grid cell 72 (Fig. 2b)."""
-    bed = testbed(seed)
+    bed = testbed(seed, scenario)
     locations = road_locations(bed.campus, num_map_points, bed.rng_factory.stream("fig2"))
     map_points = survey_at_locations(bed.nr, locations)
 

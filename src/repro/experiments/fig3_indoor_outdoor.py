@@ -10,6 +10,7 @@ from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.experiments.common import DEFAULT_SEED, Testbed, testbed
 from repro.radio.cell import RadioNetwork
+from repro.scenario import Scenario
 from repro.radio.coverage import indoor_outdoor_gap
 
 __all__ = ["Fig3Result", "run"]
@@ -66,14 +67,18 @@ def _aggregate(bed: Testbed, network: RadioNetwork, pcis, pairs_per_cell: int, t
     return float(np.mean(outdoor)) / 1e6, float(np.mean(indoor)) / 1e6
 
 
-def run(seed: int = DEFAULT_SEED, pairs_per_cell: int = 40) -> Fig3Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    pairs_per_cell: int = 40,
+    scenario: Scenario | str | None = None,
+) -> Fig3Result:
     """Measure adjacent indoor/outdoor spots around every eligible cell.
 
     5G cells are measured frequency-locked (the NSA methodology); the 4G
     side uses the co-sited anchor sectors, like the paper's spots around
     cell 72's mast.
     """
-    bed = testbed(seed)
+    bed = testbed(seed, scenario)
     nr_out, nr_in = _aggregate(
         bed, bed.nr, [c.pci for c in bed.nr.cells], pairs_per_cell, "5G"
     )

@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.ho_campaign import DEFAULT_DURATION_S, campaign
+from repro.experiments.ho_campaign import campaign
+from repro.scenario import Scenario
 from repro.mobility.handoff import HandoffKind
 
 __all__ = ["Fig4Result", "run"]
@@ -38,11 +39,12 @@ class Fig4Result:
 
 def run(
     seed: int = DEFAULT_SEED,
-    duration_s: float = DEFAULT_DURATION_S,
+    duration_s: float | None = None,
     window_s: float = 8.0,
+    scenario: Scenario | str | None = None,
 ) -> Fig4Result:
     """Extract the RSRQ window around the first 5G-5G hand-off of the walk."""
-    data = campaign(seed, duration_s)
+    data = campaign(seed, duration_s, scenario)
     events = data.events_of_kind(HandoffKind.NR_TO_NR)
     if not events:
         raise RuntimeError("the walk produced no 5G-5G hand-offs; extend duration_s")

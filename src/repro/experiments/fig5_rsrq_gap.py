@@ -7,7 +7,8 @@ from dataclasses import dataclass
 from repro.core.results import ResultTable
 from repro.core.stats import Cdf, percent
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.ho_campaign import DEFAULT_DURATION_S, campaign
+from repro.experiments.ho_campaign import campaign
+from repro.scenario import Scenario
 from repro.mobility.handoff import HandoffKind, rsrq_gain_cdf_fraction
 
 __all__ = ["Fig5Result", "run"]
@@ -38,9 +39,13 @@ class Fig5Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, duration_s: float = DEFAULT_DURATION_S) -> Fig5Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    duration_s: float | None = None,
+    scenario: Scenario | str | None = None,
+) -> Fig5Result:
     """Compute per-kind RSRQ-gain statistics over the walk campaign."""
-    data = campaign(seed, duration_s)
+    data = campaign(seed, duration_s, scenario)
     if not data.events:
         raise RuntimeError("no hand-off events; extend duration_s")
     gains: dict[str, tuple[float, ...]] = {}

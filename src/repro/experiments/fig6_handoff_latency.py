@@ -16,7 +16,8 @@ from repro.experiments.common import (
     record_kpi,
     record_kpi_samples,
 )
-from repro.experiments.ho_campaign import DEFAULT_DURATION_S, campaign
+from repro.experiments.ho_campaign import campaign
+from repro.scenario import Scenario
 from repro.mobility.handoff import HandoffKind
 
 __all__ = ["Fig6Result", "run"]
@@ -51,9 +52,13 @@ class Fig6Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, duration_s: float = DEFAULT_DURATION_S) -> Fig6Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    duration_s: float | None = None,
+    scenario: Scenario | str | None = None,
+) -> Fig6Result:
     """Collect latency samples from the walk campaign."""
-    data = campaign(seed, duration_s)
+    data = campaign(seed, duration_s, scenario)
     latencies: dict[str, tuple[float, ...]] = {}
     for kind in HandoffKind.ALL:
         events = data.events_of_kind(kind)

@@ -9,17 +9,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.experiments.common import DEFAULT_SEED, record_kpi
 from repro.net.path import PathConfig
+from repro.scenario import Scenario, resolve_scenario
 from repro.transport.iperf import CC_ALGORITHMS, run_tcp, run_udp_baseline
 
-__all__ = ["Fig7Result", "run", "SIM_SCALE"]
-
-#: Bandwidth scale used for the packet-level runs (see PathConfig).
-SIM_SCALE = 0.05
+__all__ = ["Fig7Result", "run"]
 
 
 @dataclass(frozen=True)
@@ -51,9 +48,10 @@ class Fig7Result:
 def run(
     seed: int = DEFAULT_SEED,
     duration_s: float = 30.0,
-    scale: float = SIM_SCALE,
+    scale: float | None = None,
     algorithms: tuple[str, ...] | None = None,
     repeats: int = 2,
+    scenario: Scenario | str | None = None,
 ) -> Fig7Result:
     """Measure UDP baselines (day and night) and every TCP variant.
 
@@ -62,15 +60,31 @@ def run(
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
+    topo = scn.topology
     algorithms = algorithms if algorithms is not None else tuple(sorted(CC_ALGORITHMS))
     baselines: dict[tuple[str, str], float] = {}
     utilization: dict[tuple[str, str], float] = {}
-    for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
+    for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
         for time_of_day in ("day", "night"):
-            config = PathConfig(profile=profile, scale=scale, time_of_day=time_of_day)
+            config = PathConfig(
+                profile=profile,
+                scale=scale,
+                time_of_day=time_of_day,
+                server_distance_km=topo.server_distance_km,
+                wired_hops=topo.wired_hops,
+            )
             baseline = run_udp_baseline(config, duration_s=min(duration_s, 15.0), seed=seed)
             baselines[(network, time_of_day)] = baseline / scale
-        day_config = PathConfig(profile=profile, scale=scale, time_of_day="day")
+        day_config = PathConfig(
+            profile=profile,
+            scale=scale,
+            time_of_day="day",
+            server_distance_km=topo.server_distance_km,
+            wired_hops=topo.wired_hops,
+        )
         day_baseline = baselines[(network, "day")] * scale
         for alg in algorithms:
             runs = [

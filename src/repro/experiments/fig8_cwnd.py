@@ -11,10 +11,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import NR_PROFILE
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.path import PathConfig
+from repro.scenario import Scenario, resolve_scenario
 from repro.transport.iperf import run_tcp
 
 __all__ = ["Fig8Result", "run"]
@@ -44,10 +43,21 @@ class Fig8Result:
 
 
 def run(
-    seed: int = DEFAULT_SEED, duration_s: float = 45.0, scale: float = SIM_SCALE
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 45.0,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> Fig8Result:
     """Run one Cubic and one BBR 5G session and keep their cwnd traces."""
-    config = PathConfig(profile=NR_PROFILE, scale=scale)
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
+    config = PathConfig(
+        profile=scn.radio.nr,
+        scale=scale,
+        server_distance_km=scn.topology.server_distance_km,
+        wired_hops=scn.topology.wired_hops,
+    )
     baseline = config.access_rate_bps() * scale
     cubic = run_tcp(config, "cubic", duration_s=duration_s, seed=seed, baseline_bps=baseline)
     bbr = run_tcp(config, "bbr", duration_s=duration_s, seed=seed, baseline_bps=baseline)

@@ -9,12 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.path import PathConfig
+from repro.scenario import Scenario, resolve_scenario
 from repro.transport.iperf import run_udp, run_udp_baseline
 
 __all__ = ["Fig9Result", "LOAD_FRACTIONS", "run"]
@@ -45,12 +44,23 @@ class Fig9Result:
 
 
 def run(
-    seed: int = DEFAULT_SEED, duration_s: float = 15.0, scale: float = SIM_SCALE
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 15.0,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> Fig9Result:
     """Offer CBR UDP at each fraction of the measured UDP baseline."""
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
     loss_rates: dict[tuple[str, float], float] = {}
-    for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
-        config = PathConfig(profile=profile, scale=scale)
+    for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
+        config = PathConfig(
+            profile=profile,
+            scale=scale,
+            server_distance_km=scn.topology.server_distance_km,
+            wired_hops=scn.topology.wired_hops,
+        )
         baseline = run_udp_baseline(config, duration_s=duration_s, seed=seed)
         for fraction in LOAD_FRACTIONS:
             result = run_udp(config, baseline * fraction, duration_s=duration_s, seed=seed)

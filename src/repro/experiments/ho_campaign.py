@@ -1,7 +1,7 @@
 """The shared hand-off measurement campaign (Sec. 3.4 dataset).
 
 Fig. 4, Fig. 5, Fig. 6 and Fig. 12 all analyze the same walk data; this
-module runs (and caches) one campaign per (seed, duration).
+module runs (and caches) one campaign per (seed, duration, scenario).
 """
 
 from __future__ import annotations
@@ -11,6 +11,7 @@ from functools import lru_cache
 from repro.experiments.common import DEFAULT_SEED, testbed
 from repro.mobility.handoff import HandoffCampaign, HandoffEngine
 from repro.mobility.walker import RouteWalker
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["campaign"]
 
@@ -18,15 +19,36 @@ __all__ = ["campaign"]
 DEFAULT_DURATION_S = 1200.0
 
 
-@lru_cache(maxsize=4)
 def campaign(
-    seed: int = DEFAULT_SEED, duration_s: float = DEFAULT_DURATION_S
+    seed: int = DEFAULT_SEED,
+    duration_s: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> HandoffCampaign:
-    """Walk the campus collecting hand-off events and RSRQ traces."""
-    bed = testbed(seed)
+    """Walk the campus collecting hand-off events and RSRQ traces.
+
+    The scenario supplies the walk speed, measurement noise, hand-off
+    configuration and (via the testbed) the radio deployment; ``sa_mode``
+    scenarios execute 5G-5G hand-offs over the standalone Xn procedure.
+    """
+    scenario = resolve_scenario(scenario)
+    if duration_s is None:
+        duration_s = scenario.workload.ho_duration_s
+    return _run_campaign(seed, float(duration_s), scenario)
+
+
+@lru_cache(maxsize=4)
+def _run_campaign(seed: int, duration_s: float, scenario: Scenario) -> HandoffCampaign:
+    bed = testbed(seed, scenario)
     rngf = bed.rng_factory
-    walker = RouteWalker(bed.campus, rngf.stream("ho-walk"), speed_kmh=6.0)
+    walker = RouteWalker(
+        bed.campus, rngf.stream("ho-walk"), speed_kmh=scenario.workload.walk_speed_kmh
+    )
     engine = HandoffEngine(
-        bed.nr, bed.lte, rngf.stream("ho-engine"), measurement_noise_db=2.5
+        bed.nr,
+        bed.lte,
+        rngf.stream("ho-engine"),
+        config=scenario.handoff,
+        measurement_noise_db=scenario.workload.measurement_noise_db,
+        sa_mode=scenario.radio.sa_mode,
     )
     return engine.run(walker.trajectory(duration_s, dt_s=0.108))

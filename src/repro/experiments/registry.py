@@ -8,10 +8,13 @@ everywhere.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from types import ModuleType
-from collections.abc import Callable, Iterable, Iterator
+from collections.abc import Callable, Iterable
 from typing import Any
+
+from repro.scenario import Scenario
 
 from repro.experiments import (
     ablation_buffer_sizing,
@@ -59,23 +62,47 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One catalogue entry.
-
-    Iterable as ``(module, description, describe)`` for backwards
-    compatibility with the original ``EXPERIMENTS`` tuple layout.
-    """
+    """One catalogue entry."""
 
     name: str
     module: ModuleType
     description: str
     describe: Callable[[Any], str] | None = None
 
-    def run(self, seed: int) -> Any:
-        """Execute the experiment with its registry defaults."""
-        return self.module.run(seed=seed)
+    @property
+    def default_params(self) -> dict[str, Any]:
+        """Tunable keyword parameters of ``run()`` with their defaults.
 
-    def __iter__(self) -> Iterator[Any]:
-        return iter((self.module, self.description, self.describe))
+        ``seed`` and ``scenario`` are threaded by the harness, so they are
+        excluded; what remains is what ``run(..., **params)`` accepts.
+        """
+        signature = inspect.signature(self.module.run)
+        return {
+            name: parameter.default
+            for name, parameter in signature.parameters.items()
+            if name not in ("seed", "scenario")
+            and parameter.default is not inspect.Parameter.empty
+        }
+
+    def run(
+        self,
+        seed: int,
+        scenario: Scenario | str | None = None,
+        **params: Any,
+    ) -> Any:
+        """Execute the experiment under ``scenario``.
+
+        Extra keyword ``params`` are forwarded to the module's ``run()``
+        (see :attr:`default_params`); unknown names raise ``TypeError``
+        rather than being silently dropped.
+        """
+        unknown = sorted(set(params) - set(self.default_params))
+        if unknown:
+            raise TypeError(
+                f"experiment {self.name!r} does not accept parameter(s)"
+                f" {', '.join(unknown)}; valid: {', '.join(sorted(self.default_params))}"
+            )
+        return self.module.run(seed=seed, scenario=scenario, **params)
 
 
 class UnknownExperimentError(KeyError):

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.ho_campaign import DEFAULT_DURATION_S, campaign
+from repro.experiments.ho_campaign import campaign
+from repro.scenario import Scenario
 from repro.mobility.events import EventType, classify_events
 
 __all__ = ["EventMixResult", "run"]
@@ -64,9 +65,13 @@ class EventMixResult:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, duration_s: float = DEFAULT_DURATION_S) -> EventMixResult:
+def run(
+    seed: int = DEFAULT_SEED,
+    duration_s: float | None = None,
+    scenario: Scenario | str | None = None,
+) -> EventMixResult:
     """Classify every measurement report of the walk campaign."""
-    data = campaign(seed, duration_s)
+    data = campaign(seed, duration_s, scenario)
     counts: Counter[EventType] = Counter()
     reports = 0
     for sample in data.trace:

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE
 from repro.core.results import ResultTable
 from repro.core.stats import Summary, summarize
 from repro.experiments.common import DEFAULT_SEED, testbed
 from repro.radio.coverage import road_locations, survey_at_locations
+from repro.scenario import Scenario
 
 __all__ = ["Tab1Result", "run"]
 
@@ -45,20 +45,25 @@ class Tab1Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, num_points: int = 1000) -> Tab1Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    num_points: int = 1000,
+    scenario: Scenario | str | None = None,
+) -> Tab1Result:
     """Survey both networks and assemble Tab. 1."""
-    bed = testbed(seed)
+    bed = testbed(seed, scenario)
+    lte, nr = bed.scenario.radio.lte, bed.scenario.radio.nr
     locations = road_locations(bed.campus, num_points, bed.rng_factory.stream("tab1"))
     nr_points = survey_at_locations(bed.nr, locations)
     lte_points = survey_at_locations(bed.lte, locations)
     return Tab1Result(
         lte_band_mhz=(
-            LTE_PROFILE.carrier_mhz,
-            LTE_PROFILE.carrier_mhz + LTE_PROFILE.bandwidth_mhz,
+            lte.carrier_mhz,
+            lte.carrier_mhz + lte.bandwidth_mhz,
         ),
         nr_band_mhz=(
-            NR_PROFILE.carrier_mhz,
-            NR_PROFILE.carrier_mhz + NR_PROFILE.bandwidth_mhz,
+            nr.carrier_mhz,
+            nr.carrier_mhz + nr.bandwidth_mhz,
         ),
         lte_cells=bed.campus.cell_count("4G"),
         nr_cells=bed.campus.cell_count("5G"),

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.core.results import ResultTable
 from repro.core.stats import percent
 from repro.experiments.common import DEFAULT_SEED, bump_kpi, record_kpi, testbed
+from repro.scenario import Scenario
 from repro.radio.coverage import (
     coverage_hole_fraction,
     road_locations,
@@ -47,13 +48,17 @@ class Tab2Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED, num_points: int = 1200) -> Tab2Result:
+def run(
+    seed: int = DEFAULT_SEED,
+    num_points: int = 1200,
+    scenario: Scenario | str | None = None,
+) -> Tab2Result:
     """Sample the roads and bin RSRP for 4G, 5G and the 6-anchor subset.
 
     ``num_points`` defaults lower than the paper's 4630 for speed; pass
     the full count for the closest replication.
     """
-    bed = testbed(seed)
+    bed = testbed(seed, scenario)
     locations = road_locations(bed.campus, num_points, bed.rng_factory.stream("tab2"))
     nr_points = survey_at_locations(bed.nr, locations)
     lte_points = survey_at_locations(bed.lte, locations)

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import LTE_PROFILE, NR_PROFILE, RadioProfile
+from repro.core.config import RadioProfile
 from repro.core.results import ResultTable
 from repro.core.rng import default_rng
 from repro.analysis.buffer_est import estimate_buffer_packets
 from repro.experiments.common import DEFAULT_SEED
-from repro.experiments.fig7_throughput import SIM_SCALE
 from repro.net.path import PathConfig, build_cellular_path
+from repro.scenario import Scenario, resolve_scenario
 from repro.net.sim import Simulator
 from repro.transport.udp import UdpSender, UdpSink
 
@@ -70,9 +70,21 @@ class Tab3Result:
         return table
 
 
-def _measure(profile: RadioProfile, seed: int, scale: float, duration_s: float):
+def _measure(
+    profile: RadioProfile,
+    seed: int,
+    scale: float,
+    duration_s: float,
+    server_distance_km: float = 30.0,
+    wired_hops: int = 4,
+):
     """Saturate one path while sampling per-segment queue occupancy."""
-    config = PathConfig(profile=profile, scale=scale)
+    config = PathConfig(
+        profile=profile,
+        scale=scale,
+        server_distance_km=server_distance_km,
+        wired_hops=wired_hops,
+    )
     sim = Simulator()
     rng = default_rng(seed)
     path = build_cellular_path(sim, config, rng)
@@ -103,13 +115,26 @@ def _measure(profile: RadioProfile, seed: int, scale: float, duration_s: float):
 
 
 def run(
-    seed: int = DEFAULT_SEED, duration_s: float = 10.0, scale: float = SIM_SCALE
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 10.0,
+    scale: float | None = None,
+    scenario: Scenario | str | None = None,
 ) -> Tab3Result:
     """Estimate RAN and wired buffers on both networks."""
+    scn = resolve_scenario(scenario)
+    if scale is None:
+        scale = scn.workload.sim_scale
     ran: dict[str, int] = {}
     wired: dict[str, int] = {}
-    for network, profile in (("4G", LTE_PROFILE), ("5G", NR_PROFILE)):
-        estimates = _measure(profile, seed, scale, duration_s)
+    for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
+        estimates = _measure(
+            profile,
+            seed,
+            scale,
+            duration_s,
+            server_distance_km=scn.topology.server_distance_km,
+            wired_hops=scn.topology.wired_hops,
+        )
         ran[network] = estimates["ran"]
         wired[network] = estimates["wired"]
     return Tab3Result(ran_packets=ran, wired_packets=wired)

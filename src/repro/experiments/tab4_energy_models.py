@@ -13,18 +13,14 @@ from dataclasses import dataclass
 from repro.core.results import ResultTable
 from repro.core.rng import RngFactory
 from repro.energy.power_model import SYSTEM_POWER_W
-from repro.energy.simulator import (
-    FILE_CAPACITIES,
-    MODEL_RUNNERS,
-    VIDEO_CAPACITIES,
-    WEB_CAPACITIES,
-)
+from repro.energy.simulator import MODEL_RUNNERS
 from repro.energy.traffic import (
     file_transfer_trace,
     video_telephony_trace,
     web_browsing_trace,
 )
 from repro.experiments.common import DEFAULT_SEED
+from repro.scenario import Scenario, resolve_scenario
 
 __all__ = ["Tab4Result", "WORKLOADS", "run"]
 
@@ -54,13 +50,16 @@ class Tab4Result:
         return table
 
 
-def run(seed: int = DEFAULT_SEED) -> Tab4Result:
+def run(
+    seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None
+) -> Tab4Result:
     """Replay all three workloads through all four models."""
+    energy = resolve_scenario(scenario).energy
     rng = RngFactory(seed).stream("tab4")
     traces = {
-        "Web": (web_browsing_trace(rng=rng), WEB_CAPACITIES),
-        "Video": (video_telephony_trace(), VIDEO_CAPACITIES),
-        "File": (file_transfer_trace(), FILE_CAPACITIES),
+        "Web": (web_browsing_trace(rng=rng), energy.web),
+        "Video": (video_telephony_trace(), energy.video),
+        "File": (file_transfer_trace(), energy.file),
     }
     energy: dict[tuple[str, str], float] = {}
     for model, runner in MODEL_RUNNERS.items():

@@ -168,6 +168,38 @@ def _gnb_sites() -> tuple[SiteSpec, ...]:
     )
 
 
+#: Positions of the seven 4G-only infill sites (also used as candidate
+#: locations when a scenario densifies the gNB grid).
+_INFILL_POSITIONS: tuple[tuple[str, Point], ...] = (
+    ("enb-7", Point(250.0, 45.0)),
+    ("enb-8", Point(470.0, 350.0)),
+    ("enb-9", Point(30.0, 330.0)),
+    ("enb-10", Point(250.0, 260.0)),
+    ("enb-11", Point(470.0, 820.0)),
+    ("enb-12", Point(40.0, 760.0)),
+    ("enb-13", Point(140.0, 600.0)),
+)
+
+
+def _extra_gnb_sites(count: int) -> tuple[SiteSpec, ...]:
+    """Densification gNBs co-sited at the first ``count`` infill positions.
+
+    Two sectors each, PCIs from 130 upward (clear of the measured NR PCIs
+    and below the LTE range starting at 200).
+    """
+    if count > len(_INFILL_POSITIONS):
+        raise ValueError(
+            f"extra_gnb_sites supports at most {len(_INFILL_POSITIONS)} sites, got {count}"
+        )
+    sites: list[SiteSpec] = []
+    pci = 130
+    for i, (_, pos) in enumerate(_INFILL_POSITIONS[:count]):
+        sectors = (SectorSpec(pci, 0.0), SectorSpec(pci + 1, 180.0))
+        pci += 2
+        sites.append(SiteSpec(f"gnb-x{i + 1}", pos, sectors))
+    return tuple(sites)
+
+
 def _enb_sites() -> tuple[SiteSpec, ...]:
     """Thirteen eNB sites, 34 LTE cells.
 
@@ -176,15 +208,7 @@ def _enb_sites() -> tuple[SiteSpec, ...]:
     denser than 5G (Sec. 3.1).
     """
     gnbs = _gnb_sites()
-    extra_positions = [
-        ("enb-7", Point(250.0, 45.0)),
-        ("enb-8", Point(470.0, 350.0)),
-        ("enb-9", Point(30.0, 330.0)),
-        ("enb-10", Point(250.0, 260.0)),
-        ("enb-11", Point(470.0, 820.0)),
-        ("enb-12", Point(40.0, 760.0)),
-        ("enb-13", Point(140.0, 600.0)),
-    ]
+    extra_positions = _INFILL_POSITIONS
     sites: list[SiteSpec] = []
     pci = 200
     # Co-sited anchors: 3 sectors each except the last (2) -> 17 cells.
@@ -206,8 +230,13 @@ def _enb_sites() -> tuple[SiteSpec, ...]:
     return tuple(sites)
 
 
-def build_campus() -> Campus:
+def build_campus(extra_gnb_sites: int = 0) -> Campus:
     """Construct the deterministic campus replica.
+
+    Args:
+        extra_gnb_sites: Densification gNBs (0-7) co-sited at the 4G-only
+            infill positions, as requested by ``Scenario.topology``.  The
+            default 0 reproduces the measured deployment exactly.
 
     Returns:
         A :class:`Campus` whose aggregate statistics (area, densities, road
@@ -218,7 +247,7 @@ def build_campus() -> Campus:
         height_m=HEIGHT_M,
         roads=_grid_roads(),
         buildings=_campus_buildings(),
-        gnb_sites=_gnb_sites(),
+        gnb_sites=_gnb_sites() + _extra_gnb_sites(extra_gnb_sites),
         enb_sites=_enb_sites(),
         landmarks={
             # Location "A" of Fig. 2(b): ~230 m down a LoS path from cell 72.

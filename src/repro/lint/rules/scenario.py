@@ -1,0 +1,68 @@
+"""REP007: experiments must take deployment knobs from the Scenario.
+
+The ambient module constants ``LTE_PROFILE``, ``NR_PROFILE`` and
+``DEFAULT_HANDOFF_CONFIG`` describe exactly one deployment — the paper's
+NSA campus.  An experiment that imports them is pinned to that
+deployment: running it under ``--scenario sa-mode`` or a sweep silently
+keeps the hard-coded radio parameters, so two scenario points produce
+identical "results".  Experiments must read radio profiles, hand-off
+configuration, topology and energy capacities from the
+:class:`repro.scenario.Scenario` threaded into ``run()`` (usually via
+``resolve_scenario(scenario)``); only the scenario layer itself may
+reference the ambient defaults, as preset building blocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import FileContext, Rule, Violation, rule
+
+#: The deployment constants experiments must not hard-wire.
+_BANNED_NAMES = frozenset({"LTE_PROFILE", "NR_PROFILE", "DEFAULT_HANDOFF_CONFIG"})
+
+#: Modules that export them (directly or by re-export).
+_BANNED_QUALIFIED = frozenset(
+    f"{module}.{name}"
+    for module in ("repro.core.config", "repro.core")
+    for name in _BANNED_NAMES
+)
+
+
+@rule
+class AmbientDeploymentRule(Rule):
+    """Flag experiments importing the ambient deployment constants."""
+
+    id = "REP007"
+    name = "ambient-deployment"
+    severity = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_package_dir("experiments"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                qualified = ctx.imports.resolve(node)
+                if qualified in _BANNED_QUALIFIED:
+                    yield self._pinned(ctx, node, qualified.rsplit(".", 1)[1])
+
+    def _check_import_from(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Violation]:
+        if node.level or node.module not in ("repro.core.config", "repro.core"):
+            return
+        for alias in node.names:
+            if alias.name in _BANNED_NAMES:
+                yield self._pinned(ctx, node, alias.name)
+
+    def _pinned(self, ctx: FileContext, node: ast.AST, name: str) -> Violation:
+        return self.violation(
+            ctx,
+            node,
+            f"{name} pins the experiment to the paper's NSA deployment; "
+            "read it from the Scenario instead "
+            "(resolve_scenario(scenario).radio / .handoff)",
+        )

@@ -29,6 +29,7 @@ from repro.trace import core as trace
 __all__ = [
     "HandoffKind",
     "SignalingStep",
+    "SA_NR_TO_NR_STEPS",
     "HandoffProcedure",
     "HandoffEvent",
     "HandoffCampaign",
@@ -97,6 +98,27 @@ _PROCEDURES: dict[str, tuple[SignalingStep, ...]] = {
     ),
 }
 
+#: Direct Xn hand-off between gNBs under standalone 5G: the same four
+#: phases as a 4G X2 hand-off, on NR timing (Sec. 8 projection).  Under
+#: ``sa_mode`` this replaces the NSA anchor dance for 5G-5G hand-offs.
+SA_NR_TO_NR_STEPS: tuple[SignalingStep, ...] = (
+    SignalingStep("measurement report", 0.002),
+    SignalingStep("Xn hand-off request", 0.004),
+    SignalingStep("admission control", 0.005),
+    SignalingStep("RRC reconfiguration", 0.008),
+    SignalingStep("random access procedure (NR)", 0.008),
+    SignalingStep("path switch (5GC)", 0.004),
+)
+
+
+def _procedure_steps(kind: str, sa_mode: bool) -> tuple[SignalingStep, ...]:
+    if sa_mode and kind == HandoffKind.NR_TO_NR:
+        return SA_NR_TO_NR_STEPS
+    try:
+        return _PROCEDURES[kind]
+    except KeyError:
+        raise ValueError(f"unknown hand-off kind {kind!r}") from None
+
 
 @dataclass(frozen=True)
 class HandoffProcedure:
@@ -111,17 +133,17 @@ class HandoffProcedure:
         return sum(latency for _, latency in self.step_latencies_s)
 
     @classmethod
-    def draw(cls, kind: str, rng: np.random.Generator) -> "HandoffProcedure":
+    def draw(
+        cls, kind: str, rng: np.random.Generator, sa_mode: bool = False
+    ) -> "HandoffProcedure":
         """Draw per-step latencies for a hand-off of ``kind``.
 
         Step latencies are gamma-distributed around their calibrated means
         (shape 9, giving ~33% coefficient of variation as in the measured
-        CDFs of Fig. 6).
+        CDFs of Fig. 6).  With ``sa_mode`` the 5G-5G hand-off runs the
+        direct Xn procedure instead of the NSA anchor dance.
         """
-        try:
-            steps = _PROCEDURES[kind]
-        except KeyError:
-            raise ValueError(f"unknown hand-off kind {kind!r}") from None
+        steps = _procedure_steps(kind, sa_mode)
         shape = 9.0
         drawn = tuple(
             (step.name, float(rng.gamma(shape, step.mean_latency_s / shape)))
@@ -130,9 +152,9 @@ class HandoffProcedure:
         return cls(kind=kind, step_latencies_s=drawn)
 
     @staticmethod
-    def mean_latency_s(kind: str) -> float:
+    def mean_latency_s(kind: str, sa_mode: bool = False) -> float:
         """Calibrated mean total latency for a hand-off kind."""
-        return sum(step.mean_latency_s for step in _PROCEDURES[kind])
+        return sum(step.mean_latency_s for step in _procedure_steps(kind, sa_mode))
 
 
 @dataclass(frozen=True)
@@ -211,6 +233,8 @@ class HandoffEngine:
             Real filtered RSRQ reports jitter by 1-2 dB, which is what
             makes a quarter of triggered hand-offs land on a worse cell
             (Fig. 5).
+        sa_mode: Run 5G-5G hand-offs as direct standalone Xn hand-overs
+            instead of the NSA release/anchor/re-add procedure.
     """
 
     def __init__(
@@ -221,12 +245,14 @@ class HandoffEngine:
         config: HandoffConfig = DEFAULT_HANDOFF_CONFIG,
         nr_reentry_margin_db: float = 12.0,
         measurement_noise_db: float = 1.5,
+        sa_mode: bool = False,
     ) -> None:
         self.nr = nr_network
         self.lte = lte_network
         self.config = config
         self.nr_reentry_margin_db = nr_reentry_margin_db
         self.measurement_noise_db = measurement_noise_db
+        self.sa_mode = sa_mode
         self._rng = rng
         self._tracer = trace.current()
 
@@ -421,7 +447,7 @@ class HandoffEngine:
         triggered_at_s: float | None = None,
     ) -> float:
         """Record one hand-off; returns the time the UE is busy until."""
-        procedure = HandoffProcedure.draw(kind, self._rng)
+        procedure = HandoffProcedure.draw(kind, self._rng, sa_mode=self.sa_mode)
         latency = procedure.total_latency_s
         rsrq_after = after_net.sample_from_rsrps(after_rsrps, after_pci).rsrq_db
         tracer = self._tracer

@@ -14,7 +14,11 @@ benchmarks can quantify the NSA→SA gains:
 from __future__ import annotations
 
 from repro.energy.drx import DrxConfig, RadioPowerProfile, NR_POWER
-from repro.mobility.handoff import SignalingStep
+from repro.mobility.handoff import (
+    SA_NR_TO_NR_STEPS,
+    HandoffKind,
+    HandoffProcedure,
+)
 
 __all__ = [
     "SA_NR_TO_NR_STEPS",
@@ -23,17 +27,6 @@ __all__ = [
     "NR_SA_DRX_CONFIG",
     "NR_SA_POWER",
 ]
-
-#: Direct Xn hand-off between gNBs under SA: the same four phases as a 4G
-#: X2 hand-off, on NR timing.
-SA_NR_TO_NR_STEPS: tuple[SignalingStep, ...] = (
-    SignalingStep("measurement report", 0.002),
-    SignalingStep("Xn hand-off request", 0.004),
-    SignalingStep("admission control", 0.005),
-    SignalingStep("RRC reconfiguration", 0.008),
-    SignalingStep("random access procedure (NR)", 0.008),
-    SignalingStep("path switch (5GC)", 0.004),
-)
 
 #: SA DRX: RRC_INACTIVE keeps the UE context, cutting the promotion to a
 #: resume exchange and letting the network release the connection quickly.
@@ -50,12 +43,9 @@ NR_SA_POWER: RadioPowerProfile = NR_POWER
 
 def sa_handoff_mean_latency_s() -> float:
     """Mean latency of a direct SA 5G-5G hand-off."""
-    return sum(step.mean_latency_s for step in SA_NR_TO_NR_STEPS)
+    return HandoffProcedure.mean_latency_s(HandoffKind.NR_TO_NR, sa_mode=True)
 
 
 def draw_sa_handoff(rng) -> float:
     """Draw one SA hand-off latency (same gamma model as the NSA draws)."""
-    shape = 9.0
-    return float(
-        sum(rng.gamma(shape, step.mean_latency_s / shape) for step in SA_NR_TO_NR_STEPS)
-    )
+    return HandoffProcedure.draw(HandoffKind.NR_TO_NR, rng, sa_mode=True).total_latency_s

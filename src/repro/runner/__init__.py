@@ -13,6 +13,8 @@ campaign as a first-class subsystem:
   executed inside pool workers.
 * :mod:`repro.runner.campaign` — the orchestrator fanning experiments out
   across a :class:`concurrent.futures.ProcessPoolExecutor`.
+* :mod:`repro.runner.sweep` — scenario sweeps: the same experiment set
+  run under every point of a parameter grid, with per-point metrics.
 * :mod:`repro.runner.profiling` — cProfile collection for
   ``repro run --profile`` (per-run top-N plus a combined pstats dump).
 * :mod:`repro.runner.bench` — ``repro bench``: BENCH_<date>.json
@@ -29,6 +31,7 @@ from repro.runner.campaign import (
 )
 from repro.runner.instrument import RunRecord, instrumented_call, streams_by_worker
 from repro.runner.profiling import ProfileCollector
+from repro.runner.sweep import SweepPoint, run_sweep
 from repro.runner.worker import ExperimentFailure, execute_experiment
 
 __all__ = [
@@ -38,6 +41,7 @@ __all__ = [
     "ProfileCollector",
     "ResultCache",
     "RunRecord",
+    "SweepPoint",
     "bench_payload",
     "campaign_timings",
     "compare_payloads",
@@ -45,6 +49,7 @@ __all__ = [
     "instrumented_call",
     "merged_metrics",
     "run_campaign",
+    "run_sweep",
     "source_hash",
     "streams_by_worker",
 ]

@@ -5,9 +5,13 @@ Layout::
     .repro_cache/
       <source-hash>/                 one directory per code version
         fig7--seed=7.pkl             pickled {"result": ..., "record": ...}
+        fig7--seed=7--scn=51f3490f674ab1b6.pkl   run under a named scenario
         tab1--seed=7--a1b2c3d4.pkl   entries with extra (kwargs) key material
 
-The cache key is (experiment name, seed, source hash[, extra]).  The
+The cache key is (experiment name, seed, source hash[, scenario digest]
+[, extra]).  Scenario digests come from
+:func:`repro.scenario.scenario_digest`, so runs of the same experiment
+under different deployments never collide.  The
 source hash digests every ``*.py`` file of the installed ``repro``
 package, so any code change — an experiment tweak, a simulator fix —
 silently invalidates all previous entries; stale directories from older
@@ -86,19 +90,25 @@ class ResultCache:
     def __init__(self, root: Path | str | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
 
-    def _entry_path(self, name: str, seed: int, extra: str = "") -> Path:
+    def _entry_path(
+        self, name: str, seed: int, extra: str = "", scenario_digest: str = ""
+    ) -> Path:
         stem = f"{name}--seed={seed}"
+        if scenario_digest:
+            stem += f"--scn={scenario_digest}"
         if extra:
             stem += f"--{hashlib.sha256(extra.encode()).hexdigest()[:8]}"
         return self.root / source_hash() / (stem + _ENTRY_SUFFIX)
 
-    def load(self, name: str, seed: int, extra: str = "") -> CacheEntry | None:
+    def load(
+        self, name: str, seed: int, extra: str = "", scenario_digest: str = ""
+    ) -> CacheEntry | None:
         """Return the cached entry, or None on miss or corruption.
 
         A corrupt entry (interrupted write, version skew) is deleted and
         treated as a miss rather than failing the campaign.
         """
-        path = self._entry_path(name, seed, extra)
+        path = self._entry_path(name, seed, extra, scenario_digest)
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
@@ -112,10 +122,16 @@ class ResultCache:
             return None
 
     def store(
-        self, name: str, seed: int, result: Any, record: RunRecord, extra: str = ""
+        self,
+        name: str,
+        seed: int,
+        result: Any,
+        record: RunRecord,
+        extra: str = "",
+        scenario_digest: str = "",
     ) -> Path:
         """Persist ``result`` + ``record``; atomic against readers."""
-        path = self._entry_path(name, seed, extra)
+        path = self._entry_path(name, seed, extra, scenario_digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with tmp.open("wb") as handle:

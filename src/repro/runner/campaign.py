@@ -21,6 +21,7 @@ from repro.metrics.core import merge_snapshots
 from repro.runner.cache import ResultCache
 from repro.runner.instrument import RunRecord
 from repro.runner.worker import execute_experiment, warm_worker
+from repro.scenario import Scenario, resolve_scenario, scenario_digest
 
 __all__ = ["CampaignOutcome", "campaign_timings", "merged_metrics", "run_campaign"]
 
@@ -41,6 +42,7 @@ def run_campaign(
     cache: ResultCache | None = None,
     run_all: bool = False,
     progress: Callable[[CampaignOutcome], None] | None = None,
+    scenario: Scenario | str | None = None,
 ) -> list[CampaignOutcome]:
     """Run a set of catalogue experiments and return outcomes in request order.
 
@@ -53,6 +55,9 @@ def run_campaign(
         run_all: run the whole catalogue (``names`` is then ignored).
         progress: called with each outcome as it completes (completion
             order, not request order).
+        scenario: deployment to run under — anything
+            :func:`repro.scenario.resolve_scenario` accepts.  Resolved
+            once here; workers receive the concrete value.
 
     Raises:
         UnknownExperimentError: for names outside the catalogue.
@@ -61,6 +66,8 @@ def run_campaign(
     ordered = resolve_names(names, run_all=run_all)
     if not ordered:
         return []
+    scenario = resolve_scenario(scenario)
+    digest = scenario_digest(scenario)
     cache_root = str(cache.root) if cache is not None else None
 
     outcomes: dict[str, CampaignOutcome] = {}
@@ -73,7 +80,7 @@ def run_campaign(
 
     if parallel <= 1:
         for name in ordered:
-            record_outcome(name, *execute_experiment(name, seed, cache_root))
+            record_outcome(name, *execute_experiment(name, seed, cache_root, scenario))
         return [outcomes[name] for name in ordered]
 
     # Serve warm cache entries from the coordinator; only misses need workers.
@@ -81,7 +88,7 @@ def run_campaign(
     if cache is not None:
         misses = []
         for name in ordered:
-            hit = cache.load(name, seed)
+            hit = cache.load(name, seed, scenario_digest=digest)
             if hit is None:
                 misses.append(name)
             else:
@@ -91,10 +98,10 @@ def run_campaign(
         with ProcessPoolExecutor(
             max_workers=min(parallel, len(misses)),
             initializer=warm_worker,
-            initargs=(seed,),
+            initargs=(seed, scenario),
         ) as pool:
             futures = {
-                pool.submit(execute_experiment, name, seed, cache_root): name
+                pool.submit(execute_experiment, name, seed, cache_root, scenario): name
                 for name in misses
             }
             pending = set(futures)

@@ -75,6 +75,8 @@ class RunRecord:
     workers (see :func:`repro.metrics.merge_snapshots`).  ``profile_top``
     carries the run's hottest functions when a
     :class:`~repro.runner.profiling.ProfileCollector` was installed.
+    ``scenario_digest`` identifies the :class:`repro.scenario.Scenario`
+    the run executed under (empty for pre-scenario records).
     """
 
     experiment: str
@@ -88,6 +90,7 @@ class RunRecord:
     peak_rss_kib: int
     worker_pid: int
     rss_growth_kib: int = 0
+    scenario_digest: str = ""
     trace_summary: dict[str, int] | None = None
     metrics: dict[str, Any] | None = None
     profile_top: list[dict[str, Any]] | None = None
@@ -120,7 +123,7 @@ def streams_by_worker(records: Iterable[RunRecord]) -> dict[int, int]:
 
 
 def instrumented_call(
-    experiment: str, seed: int, fn: Callable[[], T]
+    experiment: str, seed: int, fn: Callable[[], T], scenario_digest: str = ""
 ) -> tuple[T, RunRecord]:
     """Run ``fn`` and capture a :class:`RunRecord` around it.
 
@@ -165,6 +168,7 @@ def instrumented_call(
         peak_rss_kib=rss_after,
         worker_pid=os.getpid(),
         rss_growth_kib=max(rss_after - rss_before, 0),
+        scenario_digest=scenario_digest,
         trace_summary=trace_summary,
         metrics=metrics_snapshot,
         profile_top=profile_top,

@@ -1,0 +1,105 @@
+"""Scenario sweeps: one campaign per point of a parameter grid.
+
+A sweep takes a base scenario plus one or more axes (``radio.sa_mode``
+over ``true,false``, ``topology.extra_gnb_sites`` over ``0,4``...),
+cartesian-expands them into concrete :class:`~repro.scenario.Scenario`
+points, and runs the same experiment set under each point through
+:func:`repro.runner.campaign.run_campaign`.  Every point keeps its own
+merged KPI snapshot, so sweep output is a list of (overrides, digest,
+metrics) rows ready for comparison or JSON export.
+
+Points run sequentially; parallelism applies *within* each point's
+campaign.  That keeps the cache coordination simple (each point has a
+distinct scenario digest, so entries never collide) and the per-point
+metrics identical between serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
+from repro.experiments.common import DEFAULT_SEED
+from repro.runner.cache import ResultCache
+from repro.runner.campaign import CampaignOutcome, merged_metrics, run_campaign
+from repro.scenario import Scenario, expand_sweep, scenario_digest
+
+__all__ = ["SweepPoint", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep: its scenario and campaign outcomes."""
+
+    index: int
+    overrides: dict[str, Any]
+    scenario: Scenario
+    outcomes: list[CampaignOutcome]
+
+    @property
+    def digest(self) -> str:
+        """The point's scenario digest (its cache identity)."""
+        return scenario_digest(self.scenario)
+
+    def metrics(self) -> dict[str, Any]:
+        """The point's merged KPI snapshot across its experiments."""
+        return merged_metrics(self.outcomes)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict summary (overrides + digest + metrics) for export."""
+        return {
+            "index": self.index,
+            "overrides": dict(self.overrides),
+            "scenario": self.scenario.name,
+            "scenario_digest": self.digest,
+            "metrics": self.metrics(),
+        }
+
+
+def run_sweep(
+    names: Iterable[str],
+    base: Scenario,
+    axes: Sequence[tuple[str, tuple[Any, ...]]],
+    seed: int = DEFAULT_SEED,
+    parallel: int = 1,
+    cache: ResultCache | None = None,
+    run_all: bool = False,
+    point_progress: Callable[[SweepPoint], None] | None = None,
+) -> list[SweepPoint]:
+    """Run ``names`` under every point of the sweep grid, in grid order.
+
+    Args:
+        names: experiment names (see :func:`repro.runner.campaign.run_campaign`).
+        base: scenario the axes override; with no axes the sweep is the
+            single base point.
+        axes: ``(dotted_key, values)`` pairs from
+            :func:`repro.scenario.parse_sweep_args`; the grid is their
+            cartesian product, last axis fastest.
+        seed: campaign seed, shared by every point.
+        parallel: worker processes per point's campaign.
+        cache: shared on-disk cache; points are disambiguated by digest.
+        run_all: sweep the whole catalogue.
+        point_progress: called with each completed :class:`SweepPoint`.
+
+    Raises:
+        ScenarioOverrideError: if an axis names an unknown scenario field.
+        UnknownExperimentError / ExperimentFailure: as for campaigns.
+    """
+    points: list[SweepPoint] = []
+    for index, (overrides, scenario) in enumerate(expand_sweep(base, axes)):
+        outcomes = run_campaign(
+            names,
+            seed=seed,
+            parallel=parallel,
+            cache=cache,
+            run_all=run_all,
+            scenario=scenario,
+        )
+        point = SweepPoint(
+            index=index, overrides=overrides, scenario=scenario, outcomes=outcomes
+        )
+        points.append(point)
+        if point_progress is not None:
+            point_progress(point)
+    return points

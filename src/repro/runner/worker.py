@@ -15,6 +15,7 @@ from repro.experiments import common
 from repro.experiments.registry import EXPERIMENTS
 from repro.runner.cache import ResultCache
 from repro.runner.instrument import RunRecord, instrumented_call
+from repro.scenario import Scenario, resolve_scenario, scenario_digest
 
 __all__ = ["ExperimentFailure", "execute_experiment", "warm_worker"]
 
@@ -31,15 +32,22 @@ class ExperimentFailure(RuntimeError):
         return f"experiment {self.name!r} failed in worker:\n{self.remote_traceback}"
 
 
-def warm_worker(seed: int) -> None:
+def warm_worker(seed: int, scenario: Scenario | None = None) -> None:
     """Pool initializer: build the testbed once so every task hits its cache."""
-    common.warm(seed)
+    common.warm(seed, scenario)
 
 
 def execute_experiment(
-    name: str, seed: int, cache_root: str | None = None
+    name: str,
+    seed: int,
+    cache_root: str | None = None,
+    scenario: Scenario | None = None,
 ) -> tuple[Any, RunRecord]:
     """Run one catalogue experiment, going through the cache when given.
+
+    ``scenario`` must already be a resolved :class:`Scenario` (or None for
+    the default): workers receive it pickled from the coordinator, which
+    did the preset/path resolution once up front.
 
     Raises:
         ExperimentFailure: if the experiment itself raised; the original
@@ -47,15 +55,19 @@ def execute_experiment(
             survive pickling).
     """
     spec = EXPERIMENTS[name]
+    scenario = resolve_scenario(scenario)
+    digest = scenario_digest(scenario)
     cache = ResultCache(cache_root) if cache_root is not None else None
     if cache is not None:
-        hit = cache.load(name, seed)
+        hit = cache.load(name, seed, scenario_digest=digest)
         if hit is not None:
             return hit.result, hit.record
     try:
-        result, record = instrumented_call(name, seed, lambda: spec.run(seed))
+        result, record = instrumented_call(
+            name, seed, lambda: spec.run(seed, scenario), scenario_digest=digest
+        )
     except Exception as exc:
         raise ExperimentFailure(name, traceback.format_exc()) from exc
     if cache is not None:
-        cache.store(name, seed, result, record)
+        cache.store(name, seed, result, record, scenario_digest=digest)
     return result, record

@@ -1,0 +1,65 @@
+"""One typed deployment scenario, threaded from the CLI to the physics.
+
+Public surface:
+
+- :class:`Scenario` and its sections (:class:`RadioSection`,
+  :class:`TopologySection`, :class:`WorkloadSection`,
+  :class:`EnergySection`) — frozen, hashable, picklable.
+- :func:`scenario_digest` — deterministic content hash for cache keys.
+- :func:`resolve_scenario` — ``None`` / preset name / file path / value.
+- :func:`apply_overrides` + the ``--set`` / sweep parsers.
+"""
+
+from repro.scenario.core import (
+    EnergySection,
+    RadioSection,
+    Scenario,
+    ScenarioOverrideError,
+    TopologySection,
+    WorkloadSection,
+    apply_overrides,
+    parse_scalar,
+    scenario_digest,
+    scenario_to_dict,
+)
+from repro.scenario.loader import (
+    dumps_toml,
+    expand_sweep,
+    load_scenario,
+    parse_set_args,
+    parse_sweep_args,
+    resolve_scenario,
+    scenario_from_mapping,
+)
+from repro.scenario.presets import (
+    DEFAULT_SCENARIO_NAME,
+    PRESET_NAMES,
+    UnknownScenarioError,
+    default_scenario,
+    preset,
+)
+
+__all__ = [
+    "DEFAULT_SCENARIO_NAME",
+    "EnergySection",
+    "PRESET_NAMES",
+    "RadioSection",
+    "Scenario",
+    "ScenarioOverrideError",
+    "TopologySection",
+    "UnknownScenarioError",
+    "WorkloadSection",
+    "apply_overrides",
+    "default_scenario",
+    "dumps_toml",
+    "expand_sweep",
+    "load_scenario",
+    "parse_scalar",
+    "parse_set_args",
+    "parse_sweep_args",
+    "preset",
+    "resolve_scenario",
+    "scenario_digest",
+    "scenario_from_mapping",
+    "scenario_to_dict",
+]

@@ -1,0 +1,238 @@
+"""Typed deployment scenarios threaded from the CLI down to the physics.
+
+A :class:`Scenario` is a frozen, hashable bundle of every deployment
+parameter the experiments used to pull from ambient module constants:
+radio profiles, hand-off configuration, path/server topology knobs,
+workload defaults and energy capacities.  The default construction
+reproduces the paper's measured NSA deployment exactly, so threading a
+scenario through a layer is behaviour-preserving until someone asks for
+a different one.
+
+Scenarios are value objects: equality is structural, they pickle across
+process pools, and :func:`scenario_digest` gives a deterministic content
+hash used to key the testbed and result caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields, is_dataclass, replace
+from typing import Any, Mapping
+
+from repro.core.config import (
+    DEFAULT_HANDOFF_CONFIG,
+    LTE_PROFILE,
+    NR_PROFILE,
+    HandoffConfig,
+    RadioProfile,
+)
+from repro.energy.simulator import (
+    FILE_CAPACITIES,
+    VIDEO_CAPACITIES,
+    WEB_CAPACITIES,
+    WorkloadCapacities,
+)
+
+__all__ = [
+    "RadioSection",
+    "TopologySection",
+    "WorkloadSection",
+    "EnergySection",
+    "Scenario",
+    "ScenarioOverrideError",
+    "apply_overrides",
+    "parse_scalar",
+    "scenario_digest",
+    "scenario_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class RadioSection:
+    """The two radio access technologies and how NR is anchored.
+
+    ``sa_mode`` switches the 5G-5G hand-off from the NSA anchor dance
+    (release NR, hand the LTE anchor over, re-add NR) to a standalone
+    Xn hand-over — the counterfactual of Sec. 3.4 / Appendix A.
+    """
+
+    lte: RadioProfile = LTE_PROFILE
+    nr: RadioProfile = NR_PROFILE
+    sa_mode: bool = False
+
+
+@dataclass(frozen=True)
+class TopologySection:
+    """Where the servers sit and how the campus grid is built."""
+
+    server_distance_km: float = 30.0
+    wired_hops: int = 4
+    extra_gnb_sites: int = 0
+    lte_anchor_max_gain_dbi: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.server_distance_km <= 0:
+            raise ValueError(f"server_distance_km must be > 0, got {self.server_distance_km}")
+        if self.wired_hops < 1:
+            raise ValueError(f"wired_hops must be >= 1, got {self.wired_hops}")
+        if self.extra_gnb_sites < 0:
+            raise ValueError(f"extra_gnb_sites must be >= 0, got {self.extra_gnb_sites}")
+
+
+@dataclass(frozen=True)
+class WorkloadSection:
+    """Default knobs for the simulated measurement campaigns."""
+
+    sim_scale: float = 0.05
+    video_sim_scale: float = 0.25
+    ho_duration_s: float = 1200.0
+    walk_speed_kmh: float = 6.0
+    measurement_noise_db: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sim_scale <= 1.0:
+            raise ValueError(f"sim_scale out of (0, 1]: {self.sim_scale}")
+        if not 0.0 < self.video_sim_scale <= 1.0:
+            raise ValueError(f"video_sim_scale out of (0, 1]: {self.video_sim_scale}")
+        if self.ho_duration_s <= 0:
+            raise ValueError(f"ho_duration_s must be > 0, got {self.ho_duration_s}")
+
+
+@dataclass(frozen=True)
+class EnergySection:
+    """Per-workload network capacities feeding the energy models."""
+
+    web: WorkloadCapacities = WEB_CAPACITIES
+    video: WorkloadCapacities = VIDEO_CAPACITIES
+    file: WorkloadCapacities = FILE_CAPACITIES
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deployment, end to end.
+
+    The zero-argument construction *is* the paper's NSA deployment
+    (preset ``paper-nsa``); everything else derives from it via
+    :func:`dataclasses.replace` or :func:`apply_overrides`.  The
+    ``name`` is a label only — it is excluded from the digest so two
+    structurally identical scenarios share cache entries.
+    """
+
+    name: str = "paper-nsa"
+    radio: RadioSection = RadioSection()
+    handoff: HandoffConfig = DEFAULT_HANDOFF_CONFIG
+    topology: TopologySection = TopologySection()
+    workload: WorkloadSection = WorkloadSection()
+    energy: EnergySection = EnergySection()
+
+    def describe(self) -> str:
+        """One-line summary for CLI listings."""
+        nr = self.radio.nr
+        mode = "SA" if self.radio.sa_mode else "NSA"
+        return (
+            f"{self.name}: {mode} NR @ {nr.carrier_mhz:g} MHz / {nr.bandwidth_mhz:g} MHz "
+            f"{nr.duplex}, digest {scenario_digest(self)}"
+        )
+
+
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """The scenario as a plain nested dict of scalars (JSON/TOML-ready)."""
+    return asdict(scenario)
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """Deterministic 16-hex-digit content hash of a scenario.
+
+    Stable across processes and platforms: the digest is a SHA-256 of
+    the canonical (sorted-key, compact) JSON encoding of every value
+    field except the cosmetic ``name``.
+    """
+    payload = scenario_to_dict(scenario)
+    payload.pop("name", None)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class ScenarioOverrideError(ValueError):
+    """A ``--set`` path does not name a scenario field, or the value does not fit."""
+
+
+def parse_scalar(text: str) -> bool | int | float | str:
+    """Parse one CLI override value: bool, int, float, else string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def apply_overrides(scenario: Scenario, overrides: Mapping[str, Any]) -> Scenario:
+    """Return a copy of ``scenario`` with dotted-path overrides applied.
+
+    Keys are dotted paths into the nested dataclasses, e.g.
+    ``radio.nr.carrier_mhz`` or ``topology.wired_hops``.  Values are
+    coerced to the type of the field they replace; an unknown path or an
+    incompatible value raises :class:`ScenarioOverrideError`.
+    """
+    for path, value in overrides.items():
+        parts = path.split(".")
+        if not all(parts):
+            raise ScenarioOverrideError(f"malformed scenario key {path!r}")
+        scenario = _set_path(scenario, parts, value, path)
+    return scenario
+
+
+def _set_path(node: Any, parts: list[str], value: Any, full_path: str) -> Any:
+    if not is_dataclass(node):
+        raise ScenarioOverrideError(
+            f"scenario key {full_path!r} descends into a scalar"
+            f" ({type(node).__name__} has no fields)"
+        )
+    head, rest = parts[0], parts[1:]
+    valid = {f.name for f in fields(node)}
+    if head not in valid:
+        raise ScenarioOverrideError(
+            f"unknown scenario key {full_path!r}: {type(node).__name__} has no"
+            f" field {head!r} (valid: {', '.join(sorted(valid))})"
+        )
+    current = getattr(node, head)
+    if rest:
+        return replace(node, **{head: _set_path(current, rest, value, full_path)})
+    return replace(node, **{head: _coerce(value, current, full_path)})
+
+
+def _coerce(value: Any, current: Any, full_path: str) -> Any:
+    if is_dataclass(current):
+        raise ScenarioOverrideError(
+            f"scenario key {full_path!r} names a section"
+            f" ({type(current).__name__}); set one of its fields instead"
+        )
+    if isinstance(value, str):
+        value = parse_scalar(value)
+    if isinstance(current, bool):
+        if isinstance(value, bool):
+            return value
+    elif isinstance(current, int):
+        if isinstance(value, bool):
+            pass
+        elif isinstance(value, int):
+            return value
+        elif isinstance(value, float) and value.is_integer():
+            return int(value)
+    elif isinstance(current, float):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    elif isinstance(current, str):
+        return str(value)
+    raise ScenarioOverrideError(
+        f"scenario key {full_path!r} expects {type(current).__name__},"
+        f" got {value!r} ({type(value).__name__})"
+    )

@@ -1,0 +1,176 @@
+"""Scenario files, CLI overrides and sweep expansion.
+
+A scenario file is TOML (or JSON, by suffix) with an optional ``base``
+preset and nested section overrides::
+
+    name = "my-mmwave"
+    base = "paper-nsa"
+
+    [radio.nr]
+    carrier_mhz = 28000.0
+    bandwidth_mhz = 400.0
+
+    [topology]
+    server_distance_km = 5.0
+
+:func:`dumps_toml` writes the complete scenario back out so presets
+round-trip exactly through ``dumps_toml`` → :func:`load_scenario`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import tomllib
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.scenario.core import (
+    Scenario,
+    ScenarioOverrideError,
+    apply_overrides,
+    parse_scalar,
+    scenario_to_dict,
+)
+from repro.scenario.presets import (
+    PRESET_NAMES,
+    UnknownScenarioError,
+    default_scenario,
+    preset,
+)
+
+__all__ = [
+    "dumps_toml",
+    "expand_sweep",
+    "load_scenario",
+    "parse_set_args",
+    "parse_sweep_args",
+    "resolve_scenario",
+    "scenario_from_mapping",
+]
+
+
+def scenario_from_mapping(data: Mapping[str, Any]) -> Scenario:
+    """Build a scenario from a parsed TOML/JSON mapping."""
+    payload = dict(data)
+    base = payload.pop("base", None)
+    name = payload.pop("name", None)
+    scenario = preset(base) if base is not None else default_scenario()
+    overrides = dict(_flatten(payload))
+    scenario = apply_overrides(scenario, overrides)
+    if name is not None:
+        if not isinstance(name, str):
+            raise ScenarioOverrideError(f"scenario name must be a string, got {name!r}")
+        scenario = replace(scenario, name=name)
+    return scenario
+
+
+def _flatten(mapping: Mapping[str, Any], prefix: str = "") -> Iterable[tuple[str, Any]]:
+    for key, value in mapping.items():
+        if isinstance(value, Mapping):
+            yield from _flatten(value, f"{prefix}{key}.")
+        else:
+            yield f"{prefix}{key}", value
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Load a scenario from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix == ".json":
+        data = json.loads(text)
+    else:
+        data = tomllib.loads(text)
+    if not isinstance(data, Mapping):
+        raise ScenarioOverrideError(f"scenario file {path} must contain a table/object")
+    return scenario_from_mapping(data)
+
+
+def resolve_scenario(spec: Scenario | str | None) -> Scenario:
+    """Resolve ``None`` (default), a preset name, a file path, or pass through."""
+    if spec is None:
+        return default_scenario()
+    if isinstance(spec, Scenario):
+        return spec
+    if spec in PRESET_NAMES:
+        return preset(spec)
+    path = Path(spec)
+    if path.suffix in (".toml", ".json"):
+        if not path.exists():
+            raise UnknownScenarioError(f"scenario file not found: {spec}")
+        return load_scenario(path)
+    raise UnknownScenarioError(
+        f"unknown scenario {spec!r}; choose a preset ({', '.join(PRESET_NAMES)})"
+        " or a .toml/.json file path"
+    )
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    raise TypeError(f"cannot render {value!r} as a TOML value")
+
+
+def dumps_toml(scenario: Scenario) -> str:
+    """Render the complete scenario as TOML (round-trips via load)."""
+    data = scenario_to_dict(scenario)
+    lines = [f"name = {_toml_value(data.pop('name'))}", ""]
+
+    def emit(table: str, mapping: Mapping[str, Any]) -> None:
+        scalars = {k: v for k, v in mapping.items() if not isinstance(v, dict)}
+        tables = {k: v for k, v in mapping.items() if isinstance(v, dict)}
+        if scalars or not tables:
+            lines.append(f"[{table}]")
+            for key, value in scalars.items():
+                lines.append(f"{key} = {_toml_value(value)}")
+            lines.append("")
+        for key, value in tables.items():
+            emit(f"{table}.{key}", value)
+
+    for key, value in data.items():
+        emit(key, value)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def parse_set_args(pairs: Sequence[str]) -> dict[str, Any]:
+    """Parse repeated ``--set key=value`` arguments into an override map."""
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ScenarioOverrideError(f"--set expects key=value, got {pair!r}")
+        overrides[key.strip()] = parse_scalar(value)
+    return overrides
+
+
+def parse_sweep_args(pairs: Sequence[str]) -> list[tuple[str, tuple[Any, ...]]]:
+    """Parse sweep ``--set key=v1,v2,...`` arguments into (key, values) axes."""
+    axes: list[tuple[str, tuple[Any, ...]]] = []
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ScenarioOverrideError(f"--set expects key=value[,value...], got {pair!r}")
+        values = tuple(parse_scalar(v) for v in value.split(",") if v != "")
+        if not values:
+            raise ScenarioOverrideError(f"--set {pair!r} lists no values")
+        axes.append((key.strip(), values))
+    return axes
+
+
+def expand_sweep(
+    base: Scenario, axes: Sequence[tuple[str, tuple[Any, ...]]]
+) -> list[tuple[dict[str, Any], Scenario]]:
+    """Cartesian-expand sweep axes into (overrides, scenario) points."""
+    if not axes:
+        return [({}, base)]
+    keys = [key for key, _ in axes]
+    points: list[tuple[dict[str, Any], Scenario]] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        overrides = dict(zip(keys, combo))
+        points.append((overrides, apply_overrides(base, overrides)))
+    return points

@@ -1,0 +1,101 @@
+"""Named scenario presets.
+
+``paper-nsa`` is the deployment the paper measured; the other presets
+are the "alternative deployments" the core config always promised:
+standalone 5G, a densified gNB grid, an mmWave-flavoured carrier and an
+FDD NR allocation.  Presets are plain :class:`~repro.scenario.core.Scenario`
+values — every one of them can also be expressed as a TOML file plus
+``--set`` overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.scenario.core import Scenario
+
+__all__ = [
+    "PRESET_NAMES",
+    "DEFAULT_SCENARIO_NAME",
+    "UnknownScenarioError",
+    "default_scenario",
+    "preset",
+]
+
+DEFAULT_SCENARIO_NAME = "paper-nsa"
+
+
+def _paper_nsa() -> Scenario:
+    return Scenario()
+
+
+def _sa_mode() -> Scenario:
+    base = Scenario()
+    return replace(base, name="sa-mode", radio=replace(base.radio, sa_mode=True))
+
+
+def _dense_grid() -> Scenario:
+    base = Scenario()
+    return replace(
+        base,
+        name="dense-grid",
+        topology=replace(base.topology, extra_gnb_sites=7),
+    )
+
+
+def _mmwave_ish() -> Scenario:
+    base = Scenario()
+    nr = base.radio.nr.with_overrides(
+        name="5G NR mmWave",
+        carrier_mhz=28000.0,
+        bandwidth_mhz=400.0,
+        subcarrier_khz=120.0,
+        num_prb=264,
+        tx_power_dbm=43.0,
+    )
+    return replace(base, name="mmwave-ish", radio=replace(base.radio, nr=nr))
+
+
+def _fdd_nr() -> Scenario:
+    base = Scenario()
+    nr = base.radio.nr.with_overrides(
+        name="5G NR FDD",
+        duplex="FDD",
+        dl_slot_fraction=1.0,
+        ul_slot_fraction=1.0,
+    )
+    return replace(base, name="fdd-nr", radio=replace(base.radio, nr=nr))
+
+
+_FACTORIES = {
+    "paper-nsa": _paper_nsa,
+    "sa-mode": _sa_mode,
+    "dense-grid": _dense_grid,
+    "mmwave-ish": _mmwave_ish,
+    "fdd-nr": _fdd_nr,
+}
+
+#: Preset names in documentation order.
+PRESET_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+class UnknownScenarioError(ValueError):
+    """The requested scenario is neither a preset nor a readable file."""
+
+
+@lru_cache(maxsize=None)
+def preset(name: str) -> Scenario:
+    """Look a preset up by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario preset {name!r}; choose from {', '.join(PRESET_NAMES)}"
+        ) from None
+    return factory()
+
+
+def default_scenario() -> Scenario:
+    """The paper's measured NSA deployment."""
+    return preset(DEFAULT_SCENARIO_NAME)

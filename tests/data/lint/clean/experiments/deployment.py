@@ -1,0 +1,13 @@
+"""Clean twin of the REP007 fixture: deployment knobs from the Scenario.
+
+The experiment reads radio profiles and the hand-off configuration off
+the scenario threaded into ``run()``, so alternative deployments (SA
+mode, mmWave, densified grids) flow through without code changes.
+"""
+
+from repro.scenario import resolve_scenario
+
+
+def run(seed=7, scenario=None):
+    scn = resolve_scenario(scenario)
+    return scn.radio.lte, scn.radio.nr, scn.handoff

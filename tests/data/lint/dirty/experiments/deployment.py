@@ -1,0 +1,14 @@
+"""Deliberately dirty fixture exercising REP007 (ambient deployment).
+
+Never imported at runtime: the linter only parses it.  Line numbers are
+asserted by tests/test_lint.py — renumber there after editing here.
+"""
+
+from repro.core.config import LTE_PROFILE, NR_PROFILE
+from repro.core import DEFAULT_HANDOFF_CONFIG
+from repro.core import config
+
+
+def run(seed=7):
+    profile = config.NR_PROFILE
+    return LTE_PROFILE, NR_PROFILE, DEFAULT_HANDOFF_CONFIG, profile

@@ -42,16 +42,20 @@ EXPECTED_DIRTY = [
     ("REP006", "kpis.py", 14),  # counter without _count suffix
     ("REP006", "kpis.py", 15),  # registry accessor without suffix
     ("REP006", "kpis.py", 16),  # f-string name with unsuffixed tail
+    ("REP007", "deployment.py", 7),  # from repro.core.config import LTE_PROFILE
+    ("REP007", "deployment.py", 7),  # ... and NR_PROFILE on the same line
+    ("REP007", "deployment.py", 8),  # from repro.core import DEFAULT_HANDOFF_CONFIG
+    ("REP007", "deployment.py", 13),  # config.NR_PROFILE attribute use
 ]
 
 #: Number of python files in each fixture package.
-FIXTURE_FILES = 3
+FIXTURE_FILES = 4
 
 
 class TestRegistry:
-    def test_all_six_rule_families_registered(self):
+    def test_all_seven_rule_families_registered(self):
         assert [r.id for r in all_rules()] == [
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"
         ]
 
     def test_severities(self):
@@ -59,7 +63,7 @@ class TestRegistry:
         assert by_id["REP004"] == "warning"
         assert all(
             by_id[i] == "error"
-            for i in ("REP001", "REP002", "REP003", "REP005", "REP006")
+            for i in ("REP001", "REP002", "REP003", "REP005", "REP006", "REP007")
         )
 
 
@@ -74,7 +78,7 @@ class TestFixtures:
         result = lint_paths([DIRTY], root=REPO_ROOT)
         assert result.counts == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
-            "REP006": 6,
+            "REP006": 6, "REP007": 4,
         }
 
     def test_clean_fixture_is_clean(self):
@@ -85,8 +89,8 @@ class TestFixtures:
     def test_violations_carry_snippets_and_display_paths(self):
         result = lint_paths([DIRTY], root=REPO_ROOT)
         first = result.violations[0]
-        assert first.path == "tests/data/lint/dirty/experiments/kpis.py"
-        assert first.snippet == 'record_kpi("fig0.ho-latency.mean_ms", 1.0)'
+        assert first.path == "tests/data/lint/dirty/experiments/deployment.py"
+        assert first.snippet == "from repro.core.config import LTE_PROFILE, NR_PROFILE"
         sweep = next(
             v for v in result.violations if v.path.endswith("sweep.py")
         )
@@ -232,7 +236,7 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "replint: 18 new violation(s)" in out
+        assert "replint: 22 new violation(s)" in out
 
     def test_clean_fixture_passes(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -248,7 +252,7 @@ class TestCli:
         assert payload["files_scanned"] == FIXTURE_FILES
         assert payload["counts"] == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
-            "REP006": 6,
+            "REP006": 6, "REP007": 4,
         }
         assert payload["baselined_count"] == 0
         assert payload["exit_code"] == 1
@@ -267,11 +271,11 @@ class TestCli:
         assert main(
             ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
         ) == 0
-        assert "wrote 18 grandfathered violation(s)" in capsys.readouterr().out
+        assert "wrote 22 grandfathered violation(s)" in capsys.readouterr().out
         written = json.loads(baseline_path.read_text())
         assert written["schema_version"] == BASELINE_SCHEMA_VERSION
         assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
-        assert "18 baselined" in capsys.readouterr().out
+        assert "22 baselined" in capsys.readouterr().out
 
     def test_missing_path_exits_2(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

@@ -60,11 +60,24 @@ class TestRegistry:
             assert callable(spec.module.run)
             assert spec.description
 
-    def test_spec_unpacks_like_legacy_tuple(self):
-        module, description, describe = EXPERIMENTS["fig3"]
-        assert module is EXPERIMENTS["fig3"].module
-        assert description == EXPERIMENTS["fig3"].description
-        assert describe is None
+    def test_spec_is_not_iterable(self):
+        # The legacy tuple-unpack shim is gone: specs are accessed by field.
+        with pytest.raises(TypeError):
+            iter(EXPERIMENTS["fig3"])
+
+    def test_default_params_excludes_seed_and_scenario(self):
+        params = EXPERIMENTS["fig16"].default_params
+        assert params == {"trials": 3}
+        assert EXPERIMENTS["tab4"].default_params == {}
+
+    def test_run_forwards_known_params_and_rejects_unknown(self):
+        spec = EXPERIMENTS["tab1"]
+        result = spec.run(7, num_points=50)
+        assert result is not None
+        with pytest.raises(TypeError) as excinfo:
+            spec.run(7, num_pts=50)
+        assert "num_pts" in str(excinfo.value)
+        assert "num_points" in str(excinfo.value)
 
     def test_resolve_names_dedupes_preserving_order(self):
         assert resolve_names(["fig7", "fig3", "fig7", "fig3"]) == ["fig7", "fig3"]

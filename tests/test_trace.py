@@ -296,9 +296,10 @@ class TestAnalysis:
 
 def _handoff_campaign(seed=7, duration_s=120.0):
     """Run the walk campaign bypassing its lru_cache (so hooks fire)."""
-    from repro.experiments.ho_campaign import campaign
+    from repro.experiments.ho_campaign import _run_campaign
+    from repro.scenario import default_scenario
 
-    return campaign.__wrapped__(seed, duration_s)
+    return _run_campaign.__wrapped__(seed, duration_s, default_scenario())
 
 
 class TestInstrumentationIntegration:
