@@ -1,0 +1,64 @@
+"""Batched radio core speedup: the dense-grid survey must be >=10x faster.
+
+Times the full-campus dense grid survey two ways on the densified
+``dense-grid`` scenario:
+
+* batched — one :func:`survey_at_locations` call over every grid point;
+* scalar — the per-point ``_survey_at`` loop the surveys used before the
+  struct-of-arrays core, run over a subsample and extrapolated per point.
+
+The shadow-fading cache is warmed first (one untimed batched pass): both
+paths draw the same per-grid-cell shadowing streams through the same
+cache, so warm-cache timing isolates the path-loss/combining math that
+the vectorization actually targets.  Results must also agree exactly —
+the speedup claim is only meaningful if the answers are bit-identical.
+
+Run with plain ``pytest benchmarks/test_batch_speedup.py -s`` (this test
+times itself and does not use the pytest-benchmark fixture).
+"""
+
+import time
+
+from repro.experiments.common import testbed as build_testbed
+from repro.experiments.dense_survey import grid_locations
+from repro.radio.coverage import _survey_at, survey_at_locations
+
+#: Scalar subsample size: big enough for a stable per-point time, small
+#: enough to keep the (slow) scalar side under a few seconds.
+SCALAR_SAMPLE = 150
+
+MIN_SPEEDUP = 10.0
+
+
+def test_dense_grid_survey_speedup():
+    bed = build_testbed(scenario="dense-grid")
+    locations = grid_locations(bed.campus.width_m, bed.campus.height_m, 10.0)
+
+    # Warm the testbed caches and the shared shadow-fading draws.
+    survey_at_locations(bed.nr, locations)
+
+    start = time.perf_counter()
+    batched = survey_at_locations(bed.nr, locations)
+    batched_s = time.perf_counter() - start
+
+    sample = locations[:: max(1, len(locations) // SCALAR_SAMPLE)]
+    start = time.perf_counter()
+    scalar = [_survey_at(bed.nr, location) for location in sample]
+    scalar_s = time.perf_counter() - start
+
+    per_point_batched = batched_s / len(locations)
+    per_point_scalar = scalar_s / len(sample)
+    speedup = per_point_scalar / per_point_batched
+    print(
+        f"\nbatched {per_point_batched * 1e6:.1f} us/pt over {len(locations)} pts, "
+        f"scalar {per_point_scalar * 1e6:.1f} us/pt over {len(sample)} pts, "
+        f"speedup {speedup:.1f}x"
+    )
+
+    by_location = {point.location: point for point in batched}
+    assert [by_location[point.location] for point in scalar] == scalar
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched survey only {speedup:.1f}x faster than the scalar loop "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

@@ -1,0 +1,90 @@
+"""Dense campus grid survey: the batched radio core's showcase workload.
+
+Surveys the full campus on a fine uniform grid under the ``dense-grid``
+densification scenario (all seven infill gNBs on air).  With tens of
+thousands of point x cell pairs, this is the workload the struct-of-arrays
+radio core (:meth:`repro.radio.cell.RadioNetwork.rsrp_matrix_at` and
+:func:`repro.radio.coverage.survey_at_locations`) exists for; the
+``benchmarks`` tree times it against the per-point scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+
+from repro.core.results import ResultTable
+from repro.core.stats import percent
+from repro.experiments.common import DEFAULT_SEED, record_kpi, testbed
+from repro.geometry.points import Point
+from repro.radio.coverage import coverage_hole_fraction, survey_at_locations
+from repro.scenario import Scenario
+
+__all__ = ["DenseSurveyResult", "grid_locations", "run"]
+
+
+@dataclass(frozen=True)
+class DenseSurveyResult:
+    """Aggregate coverage picture of the dense grid sweep."""
+
+    grid_spacing_m: float
+    points_count: int
+    holes_ratio: float
+    rsrp_mean_dbm: float
+    indoor_ratio: float
+
+    def table(self) -> ResultTable:
+        """Render the sweep summary as a text table."""
+        table = ResultTable("Dense grid survey", ["quantity", "value"])
+        table.add_row(["grid spacing", f"{self.grid_spacing_m:.0f} m"])
+        table.add_row(["points", str(self.points_count)])
+        table.add_row(["coverage holes", percent(self.holes_ratio)])
+        table.add_row(["mean RSRP", f"{self.rsrp_mean_dbm:.1f} dBm"])
+        table.add_row(["indoor points", percent(self.indoor_ratio)])
+        return table
+
+
+def grid_locations(
+    width_m: float, height_m: float, grid_spacing_m: float
+) -> list[Point]:
+    """Uniform grid over the campus rectangle, inclusive of both edges."""
+    if grid_spacing_m <= 0:
+        raise ValueError(f"grid_spacing_m must be positive, got {grid_spacing_m}")
+    cols = int(width_m // grid_spacing_m)
+    rows = int(height_m // grid_spacing_m)
+    return [
+        Point(ix * grid_spacing_m, iy * grid_spacing_m)
+        for ix in range(cols + 1)
+        for iy in range(rows + 1)
+    ]
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    grid_spacing_m: float = 10.0,
+    scenario: Scenario | str | None = "dense-grid",
+) -> DenseSurveyResult:
+    """Survey the whole campus grid on the 5G network.
+
+    Unlike the other experiments, the default scenario is ``dense-grid``
+    rather than the paper deployment: the sweep exists to exercise the
+    densified topology (and the batched survey path that makes it cheap).
+    """
+    bed = testbed(seed, scenario)
+    locations = grid_locations(
+        bed.campus.width_m, bed.campus.height_m, grid_spacing_m
+    )
+    points = survey_at_locations(bed.nr, locations)
+    holes = coverage_hole_fraction(points)
+    rsrp_mean = fmean(p.rsrp_dbm for p in points)
+    indoor = sum(1 for p in points if p.indoor) / len(points)
+    record_kpi("dense_survey.points_count", len(points))
+    record_kpi("dense_survey.holes_ratio", holes)
+    record_kpi("dense_survey.rsrp_mean_dbm", rsrp_mean)
+    return DenseSurveyResult(
+        grid_spacing_m=grid_spacing_m,
+        points_count=len(points),
+        holes_ratio=holes,
+        rsrp_mean_dbm=rsrp_mean,
+        indoor_ratio=indoor,
+    )

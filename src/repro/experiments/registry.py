@@ -21,6 +21,7 @@ from repro.experiments import (
     ablation_coexistence,
     ablation_sa_mode,
     appendix_tables,
+    dense_survey,
     discussion_cpe_dsl,
     discussion_edge_computing,
     fig2_coverage_map,
@@ -195,6 +196,12 @@ def _catalogue() -> dict[str, ExperimentSpec]:
         ),
         ("cpe-dsl", discussion_cpe_dsl, "5G fixed wireless vs DSL", None),
         ("event-mix", sec34_event_mix, "measurement-event mix along a walk", None),
+        (
+            "dense-survey",
+            dense_survey,
+            "full-campus grid survey on the densified 5G topology",
+            None,
+        ),
         ("appendix", appendix_tables, "appendix tables 5/6/7", None),
         ("edge", discussion_edge_computing, "mobile edge computing", None),
     ]

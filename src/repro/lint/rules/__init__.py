@@ -4,6 +4,24 @@ Adding a rule in a future PR means adding one module here and importing
 it below — the engine, CLI, baseline and report layers need no changes.
 """
 
-from repro.lint.rules import determinism, metrics, scenario, simapi, spans, state, units
+from repro.lint.rules import (
+    determinism,
+    hotpath,
+    metrics,
+    scenario,
+    simapi,
+    spans,
+    state,
+    units,
+)
 
-__all__ = ["determinism", "metrics", "scenario", "simapi", "spans", "state", "units"]
+__all__ = [
+    "determinism",
+    "hotpath",
+    "metrics",
+    "scenario",
+    "simapi",
+    "spans",
+    "state",
+    "units",
+]

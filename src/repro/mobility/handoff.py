@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.config import DEFAULT_HANDOFF_CONFIG, HandoffConfig
 from repro.mobility.walker import TrajectoryPoint
+from repro.radio import batch
 from repro.radio.cell import RadioNetwork
 from repro.radio.signal import MIN_SERVICE_RSRP_DBM
 from repro.trace import core as trace
@@ -272,10 +273,37 @@ class HandoffEngine:
         blocked_until = -1.0
         attached = False
 
-        for sample in trajectory:
-            t, loc = sample.time_s, sample.location
-            nr_rsrps = self.nr.rsrp_map_at(loc)
-            lte_rsrps = self.lte.rsrp_map_at(loc)
+        # All radio measurements the walk will ever need, batched up
+        # front: per-tick RSRP rows plus the RSRQ of every candidate
+        # serving choice.  The walker RNG is independent of the engine's
+        # latency/noise streams, so materializing the trajectory first
+        # does not perturb any draw order.
+        ticks = list(trajectory)
+        if not ticks:
+            return campaign
+        locations = [sample.location for sample in ticks]
+        nr_matrix = self.nr.rsrp_matrix_at(locations)
+        lte_matrix = self.lte.rsrp_matrix_at(locations)
+        nr_rsrq_matrix = batch.rsrq_matrix(
+            nr_matrix,
+            subcarrier_khz=self.nr.profile.subcarrier_khz,
+            interference_floor_dbm=self.nr.interference_floor_dbm,
+        )
+        lte_rsrq_matrix = batch.rsrq_matrix(
+            lte_matrix,
+            subcarrier_khz=self.lte.profile.subcarrier_khz,
+            interference_floor_dbm=self.lte.interference_floor_dbm,
+        )
+        nr_pcis, lte_pcis = self.nr.pcis, self.lte.pcis
+        nr_col = {pci: j for j, pci in enumerate(nr_pcis)}
+        lte_col = {pci: j for j, pci in enumerate(lte_pcis)}
+
+        for i, sample in enumerate(ticks):
+            t = sample.time_s
+            nr_rsrps = dict(zip(nr_pcis, nr_matrix[i].tolist()))
+            lte_rsrps = dict(zip(lte_pcis, lte_matrix[i].tolist()))
+            nr_rsrqs = nr_rsrq_matrix[i].tolist()
+            lte_rsrqs = lte_rsrq_matrix[i].tolist()
 
             if not attached:
                 # Initial attach: pick the LTE anchor and, if covered, the
@@ -288,22 +316,22 @@ class HandoffEngine:
 
             on_nr = nr_pci is not None
             serving_rsrps = nr_rsrps if on_nr else lte_rsrps
-            serving_net = self.nr if on_nr else self.lte
+            serving_rsrqs = nr_rsrqs if on_nr else lte_rsrqs
+            serving_col = nr_col if on_nr else lte_col
             serving_pci = nr_pci if on_nr else lte_pci
-            serving_sample = serving_net.sample_from_rsrps(serving_rsrps, serving_pci)
-            serving_rsrq = self._measured(serving_sample.rsrq_db)
+            serving_rsrq = self._measured(serving_rsrqs[serving_col[serving_pci]])
             neighbor_rsrqs = {
-                pci: self._measured(serving_net.sample_from_rsrps(serving_rsrps, pci).rsrq_db)
+                pci: self._measured(serving_rsrqs[serving_col[pci]])
                 for pci in serving_rsrps
                 if pci != serving_pci
             }
             # Inter-RAT measurement: the LTE anchor while riding NR, or the
             # best NR cell while camped on LTE (feeds B1/B2 events).
             if on_nr:
-                inter_rat = self.lte.sample_from_rsrps(lte_rsrps, lte_pci).rsrq_db
+                inter_rat = lte_rsrqs[lte_col[lte_pci]]
             else:
                 best_nr_pci = max(nr_rsrps, key=lambda p: nr_rsrps[p])
-                inter_rat = self.nr.sample_from_rsrps(nr_rsrps, best_nr_pci).rsrq_db
+                inter_rat = nr_rsrqs[nr_col[best_nr_pci]]
             campaign.trace.append(
                 TraceSample(
                     time_s=t,
@@ -332,9 +360,7 @@ class HandoffEngine:
                         source_pci=nr_pci,
                         target_pci=lte_pci,
                         rsrq_before=serving_rsrq,
-                        after_net=self.lte,
-                        after_rsrps=lte_rsrps,
-                        after_pci=lte_pci,
+                        rsrq_after=lte_rsrqs[lte_col[lte_pci]],
                     )
                     nr_pci = None
                     a3_since["nr"] = None
@@ -355,9 +381,7 @@ class HandoffEngine:
                             source_pci=lte_pci,
                             target_pci=best_nr,
                             rsrq_before=serving_rsrq,
-                            after_net=self.nr,
-                            after_rsrps=nr_rsrps,
-                            after_pci=best_nr,
+                            rsrq_after=nr_rsrqs[nr_col[best_nr]],
                             triggered_at_s=nr_good_since,
                         )
                         nr_pci = best_nr
@@ -383,9 +407,7 @@ class HandoffEngine:
                             source_pci=serving_pci,
                             target_pci=best_pci,
                             rsrq_before=serving_rsrq,
-                            after_net=serving_net,
-                            after_rsrps=serving_rsrps,
-                            after_pci=best_pci,
+                            rsrq_after=serving_rsrqs[serving_col[best_pci]],
                             triggered_at_s=a3_since[leg],
                         )
                         if on_nr:
@@ -399,10 +421,9 @@ class HandoffEngine:
             # The 4G anchor keeps its own A3 mobility even while the data
             # plane rides NR (NSA dual connectivity).
             if on_nr:
-                anchor_sample = self.lte.sample_from_rsrps(lte_rsrps, lte_pci)
-                anchor_rsrq = self._measured(anchor_sample.rsrq_db)
+                anchor_rsrq = self._measured(lte_rsrqs[lte_col[lte_pci]])
                 anchor_neighbors = {
-                    pci: self._measured(self.lte.sample_from_rsrps(lte_rsrps, pci).rsrq_db)
+                    pci: self._measured(lte_rsrqs[lte_col[pci]])
                     for pci in lte_rsrps
                     if pci != lte_pci
                 }
@@ -418,9 +439,7 @@ class HandoffEngine:
                             source_pci=lte_pci,
                             target_pci=best_anchor,
                             rsrq_before=anchor_rsrq,
-                            after_net=self.lte,
-                            after_rsrps=lte_rsrps,
-                            after_pci=best_anchor,
+                            rsrq_after=lte_rsrqs[lte_col[best_anchor]],
                             triggered_at_s=a3_since["lte"],
                         )
                         lte_pci = best_anchor
@@ -441,15 +460,12 @@ class HandoffEngine:
         source_pci: int,
         target_pci: int,
         rsrq_before: float,
-        after_net: RadioNetwork,
-        after_rsrps: dict[int, float],
-        after_pci: int,
+        rsrq_after: float,
         triggered_at_s: float | None = None,
     ) -> float:
         """Record one hand-off; returns the time the UE is busy until."""
         procedure = HandoffProcedure.draw(kind, self._rng, sa_mode=self.sa_mode)
         latency = procedure.total_latency_s
-        rsrq_after = after_net.sample_from_rsrps(after_rsrps, after_pci).rsrq_db
         tracer = self._tracer
         if tracer.enabled:
             # The full measurement-to-completion interval (A3 trigger start

@@ -9,16 +9,26 @@ and what bit-rate does link adaptation deliver there.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
+
+import numpy as np
 
 from repro.core.config import RadioProfile
 from repro.geometry.campus import Campus, SiteSpec
 from repro.geometry.points import Point
+from repro.radio import batch
 from repro.radio.antenna import SectorAntenna
-from repro.radio.phy import TRANSPORT_EFFICIENCY, phy_bit_rate
+from repro.radio.phy import TRANSPORT_EFFICIENCY, phy_bit_rate, phy_bit_rate_array
 from repro.radio.propagation import Environment
-from repro.radio.signal import SignalSample, combine_signal, rsrp_dbm
+from repro.radio.signal import (
+    MIN_SERVICE_RSRP_DBM,
+    SignalSample,
+    _RE_PER_PRB,
+    combine_signal,
+    rsrp_dbm,
+)
 
 __all__ = ["Cell", "RadioNetwork"]
 
@@ -107,6 +117,8 @@ class RadioNetwork:
         self._by_pci = {cell.pci: cell for cell in self.cells}
         if len(self._by_pci) != len(self.cells):
             raise ValueError("duplicate PCIs in cell list")
+        self._pcis = tuple(cell.pci for cell in self.cells)
+        self._pci_index = {pci: i for i, pci in enumerate(self._pcis)}
 
     #: Micro (street small cell) EIRP deltas vs the profile's macro values.
     MICRO_TX_BACKOFF_DB = 12.0
@@ -170,9 +182,91 @@ class RadioNetwork:
         except KeyError:
             raise KeyError(f"no cell with PCI {pci}") from None
 
+    def rsrp_matrix_at(self, points: Sequence[Point]) -> np.ndarray:
+        """RSRP of every cell at every point: an (N, C) matrix in dBm.
+
+        Columns follow ``self.cells`` order (``pcis`` names them).  This
+        is the batched core every other query builds on; the per-UE
+        methods are N=1 views of it.
+        """
+        x, y = batch.points_to_arrays(points)
+        loss = batch.path_loss_matrix_db(
+            self.environment,
+            [cell.position for cell in self.cells],
+            self.profile.carrier_mhz,
+            x,
+            y,
+        )
+        gain = batch.sector_gain_matrix(self.cells, x, y)
+        per_re_tx = np.array(
+            [
+                cell.effective_tx_power_dbm
+                - 10.0 * math.log10(cell.profile.num_prb * _RE_PER_PRB)
+                for cell in self.cells
+            ],
+            dtype=np.float64,
+        )
+        return (per_re_tx[np.newaxis, :] + gain) - loss
+
+    @property
+    def pcis(self) -> tuple[int, ...]:
+        """PCIs in ``cells`` (= RSRP-matrix column) order."""
+        return self._pcis
+
+    def _sample_arrays(
+        self, points: Sequence[Point], serving_pci: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(serving column, RSRP, RSRQ, SINR) arrays for ``points``."""
+        rsrp_matrix = self.rsrp_matrix_at(points)
+        if serving_pci is None:
+            serving_index = np.argmax(rsrp_matrix, axis=1)
+        else:
+            if serving_pci not in self._pci_index:
+                raise KeyError(f"no cell with PCI {serving_pci}")
+            serving_index = np.full(len(rsrp_matrix), self._pci_index[serving_pci])
+        rsrp, rsrq, sinr = batch.combine_matrix(
+            rsrp_matrix,
+            serving_index,
+            subcarrier_khz=self.profile.subcarrier_khz,
+            interference_floor_dbm=self.interference_floor_dbm,
+            interference_activity=self.interference_activity,
+        )
+        return serving_index, rsrp, rsrq, sinr
+
+    def samples_at(
+        self, points: Sequence[Point], serving_pci: int | None = None
+    ) -> list[SignalSample]:
+        """Batched :meth:`sample_at` over many points at once."""
+        _, rsrp, rsrq, sinr = self._sample_arrays(points, serving_pci)
+        return [
+            SignalSample(rsrp_dbm=rsrp_dbm, rsrq_db=rsrq_db, sinr_db=sinr_db)
+            for rsrp_dbm, rsrq_db, sinr_db in zip(
+                rsrp.tolist(), rsrq.tolist(), sinr.tolist()
+            )
+        ]
+
+    def bit_rates_at(
+        self,
+        points: Sequence[Point],
+        direction: str = "dl",
+        prb_fraction: float = 1.0,
+        serving_pci: int | None = None,
+        include_transport_overhead: bool = False,
+    ) -> np.ndarray:
+        """Batched :meth:`bit_rate_at`: deliverable bit-rates in bits/s."""
+        _, rsrp, _, sinr = self._sample_arrays(points, serving_pci)
+        rates = phy_bit_rate_array(
+            self.profile, sinr, direction=direction, prb_fraction=prb_fraction
+        )
+        rates = np.where(rsrp >= MIN_SERVICE_RSRP_DBM, rates, 0.0)
+        if include_transport_overhead:
+            rates = rates * TRANSPORT_EFFICIENCY
+        return rates
+
     def rsrp_map_at(self, location: Point) -> dict[int, float]:
         """RSRP of every cell at ``location``, keyed by PCI."""
-        return {cell.pci: cell.rsrp_at(location, self.environment) for cell in self.cells}
+        row = self.rsrp_matrix_at((location,))[0]
+        return dict(zip(self._pcis, row.tolist()))
 
     def best_cell_at(self, location: Point) -> tuple[Cell, float]:
         """The strongest cell at ``location`` and its RSRP."""
@@ -226,6 +320,25 @@ class RadioNetwork:
         goodput the way iperf would observe it.
         """
         sample = self.sample_at(location, serving_pci=serving_pci)
+        return self.bit_rate_from_sample(
+            sample,
+            direction=direction,
+            prb_fraction=prb_fraction,
+            include_transport_overhead=include_transport_overhead,
+        )
+
+    def bit_rate_from_sample(
+        self,
+        sample: SignalSample,
+        direction: str = "dl",
+        prb_fraction: float = 1.0,
+        include_transport_overhead: bool = False,
+    ) -> float:
+        """Bit-rate from an already-computed :class:`SignalSample`.
+
+        Lets survey code evaluate the RSRP map once per point and derive
+        serving choice, signal quality and bit-rate from the same map.
+        """
         if not sample.in_service:
             return 0.0
         rate = phy_bit_rate(

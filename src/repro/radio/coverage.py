@@ -12,7 +12,9 @@ import numpy as np
 from repro.core.stats import histogram_counts
 from repro.geometry.campus import Campus
 from repro.geometry.points import Point
+from repro.radio import batch
 from repro.radio.cell import Cell, RadioNetwork
+from repro.radio.phy import phy_bit_rate_array
 from repro.radio.signal import MIN_SERVICE_RSRP_DBM
 
 __all__ = [
@@ -51,12 +53,18 @@ class SurveyPoint:
 def _survey_at(
     network: RadioNetwork, location: Point, serving_pci: int | None = None
 ) -> SurveyPoint:
-    """Measure the best (or locked) cell at one location."""
+    """Measure the best (or locked) cell at one location.
+
+    The RSRP map is computed once and every derived quantity (serving
+    choice, signal quality, bit-rate) reuses it; ``best_cell_at`` /
+    ``sample_at`` / ``bit_rate_at`` would each rebuild the per-cell
+    path-loss map from scratch.
+    """
+    rsrps = network.rsrp_map_at(location)
     if serving_pci is None:
-        cell, _ = network.best_cell_at(location)
-        serving_pci = cell.pci
-    sample = network.sample_at(location, serving_pci=serving_pci)
-    rate = network.bit_rate_at(location, serving_pci=serving_pci)
+        serving_pci = max(rsrps, key=lambda pci: rsrps[pci])
+    sample = network.sample_from_rsrps(rsrps, serving_pci=serving_pci)
+    rate = network.bit_rate_from_sample(sample)
     return SurveyPoint(
         location=location,
         pci=serving_pci,
@@ -92,14 +100,60 @@ def road_survey(
     rng: np.random.Generator,
 ) -> list[SurveyPoint]:
     """The blanket road survey of Sec. 3.1 for one network."""
-    return [_survey_at(network, loc) for loc in road_locations(campus, num_points, rng)]
+    return survey_at_locations(network, road_locations(campus, num_points, rng))
 
 
 def survey_at_locations(
-    network: RadioNetwork, locations: Sequence[Point]
+    network: RadioNetwork,
+    locations: Sequence[Point],
+    serving_pci: int | None = None,
 ) -> list[SurveyPoint]:
-    """Survey the given fixed locations (for paired 4G/5G comparison)."""
-    return [_survey_at(network, loc) for loc in locations]
+    """Survey fixed locations through the batched radio core.
+
+    One (N, C) RSRP matrix drives serving choice, signal quality and
+    bit-rate for every point — the batched twin of :func:`_survey_at`,
+    bit-identical to surveying each location on its own.
+    """
+    if not locations:
+        return []
+    rsrp_matrix = network.rsrp_matrix_at(locations)
+    pcis = network.pcis
+    if serving_pci is None:
+        serving_index = np.argmax(rsrp_matrix, axis=1)
+    else:
+        network.cell(serving_pci)  # KeyError parity with the scalar path
+        serving_index = np.full(len(rsrp_matrix), pcis.index(serving_pci))
+    rsrp, rsrq, sinr = batch.combine_matrix(
+        rsrp_matrix,
+        serving_index,
+        subcarrier_khz=network.profile.subcarrier_khz,
+        interference_floor_dbm=network.interference_floor_dbm,
+        interference_activity=network.interference_activity,
+    )
+    rates = phy_bit_rate_array(network.profile, sinr)
+    rates = np.where(rsrp >= MIN_SERVICE_RSRP_DBM, rates, 0.0)
+    x, y = batch.points_to_arrays(locations)
+    indoor = network.environment.buildings.contains_mask(x, y)
+    return [
+        SurveyPoint(
+            location=loc,
+            pci=pcis[col],
+            rsrp_dbm=rsrp_dbm,
+            rsrq_db=rsrq_db,
+            sinr_db=sinr_db,
+            bit_rate_bps=rate_bps,
+            indoor=bool(inside),
+        )
+        for loc, col, rsrp_dbm, rsrq_db, sinr_db, rate_bps, inside in zip(
+            locations,
+            serving_index.tolist(),
+            rsrp.tolist(),
+            rsrq.tolist(),
+            sinr.tolist(),
+            rates.tolist(),
+            indoor,
+        )
+    ]
 
 
 def rsrp_distribution(
@@ -131,15 +185,15 @@ def cell_grid_survey(
     if grid_spacing_m <= 0:
         raise ValueError(f"grid_spacing_m must be positive, got {grid_spacing_m}")
     cell = network.cell(pci)
-    points: list[SurveyPoint] = []
+    locations: list[Point] = []
     steps = int(radius_m // grid_spacing_m)
     for ix in range(-steps, steps + 1):
         for iy in range(-steps, steps + 1):
             loc = cell.position.offset(ix * grid_spacing_m, iy * grid_spacing_m)
             if cell.position.distance_to(loc) > radius_m:
                 continue
-            points.append(_survey_at(network, loc, serving_pci=pci))
-    return points
+            locations.append(loc)
+    return survey_at_locations(network, locations, serving_pci=pci)
 
 
 def coverage_radius_m(
@@ -233,8 +287,11 @@ def indoor_outdoor_gap(
             f"no serviceable in-FoV building walls within "
             f"{min_distance_m}-{max_distance_m} m of PCI {pci}"
         )
-    outdoor_rates: list[float] = []
-    indoor_rates: list[float] = []
+    # All randomness is drawn up front so the two batched measurement
+    # calls below consume no generator state — same draw sequence as
+    # measuring each pair in turn.
+    outdoor_spots: list[Point] = []
+    indoor_spots: list[Point] = []
     for _ in range(num_pairs):
         outdoor, indoor = candidates[int(rng.integers(len(candidates)))]
         jitter = float(rng.uniform(-3.0, 3.0))
@@ -242,10 +299,14 @@ def indoor_outdoor_gap(
             outdoor, indoor = outdoor.offset(0.0, jitter), indoor.offset(0.0, jitter)
         else:
             outdoor, indoor = outdoor.offset(jitter, 0.0), indoor.offset(jitter, 0.0)
-        serving = pci if locked else None
-        outdoor_rates.append(network.bit_rate_at(outdoor, serving_pci=serving))
-        indoor_rates.append(network.bit_rate_at(indoor, serving_pci=serving))
-    return IndoorOutdoorGap(tuple(outdoor_rates), tuple(indoor_rates))
+        outdoor_spots.append(outdoor)
+        indoor_spots.append(indoor)
+    serving = pci if locked else None
+    outdoor_rates = network.bit_rates_at(outdoor_spots, serving_pci=serving)
+    indoor_rates = network.bit_rates_at(indoor_spots, serving_pci=serving)
+    return IndoorOutdoorGap(
+        tuple(outdoor_rates.tolist()), tuple(indoor_rates.tolist())
+    )
 
 
 def _wall_pair_candidates(
@@ -258,7 +319,7 @@ def _wall_pair_candidates(
     must have line of sight and be in service — adjacent spots straddling
     one exterior wall.
     """
-    pairs: list[tuple[Point, Point]] = []
+    geometric: list[tuple[Point, Point]] = []
     for building in network.environment.buildings:
         mid_x = (building.x_min + building.x_max) / 2.0
         mid_y = (building.y_min + building.y_max) / 2.0
@@ -280,14 +341,27 @@ def _wall_pair_candidates(
                 continue
             if not network.environment.buildings.has_line_of_sight(cell.position, outdoor):
                 continue
-            if not network.sample_at(outdoor, serving_pci=cell.pci).in_service:
-                continue
-            # The paper samples where the locked cell dominates; spots in
-            # another site's footprint would measure interference, not
-            # penetration.
-            best_out, _ = network.best_cell_at(outdoor)
-            best_in, _ = network.best_cell_at(indoor)
-            if best_out.position != cell.position or best_in.position != cell.position:
-                continue
-            pairs.append((outdoor, indoor))
+            geometric.append((outdoor, indoor))
+    if not geometric:
+        return []
+    # Radio filters, batched over all surviving walls: the outdoor spot
+    # must be in service on the locked cell, and the locked cell's site
+    # must be the best server on both sides of the wall — spots in
+    # another site's footprint would measure interference, not
+    # penetration.
+    outdoor_matrix = network.rsrp_matrix_at([outdoor for outdoor, _ in geometric])
+    indoor_matrix = network.rsrp_matrix_at([indoor for _, indoor in geometric])
+    locked_column = network.pcis.index(cell.pci)
+    in_service = outdoor_matrix[:, locked_column] >= MIN_SERVICE_RSRP_DBM
+    best_out = np.argmax(outdoor_matrix, axis=1)
+    best_in = np.argmax(indoor_matrix, axis=1)
+    pairs: list[tuple[Point, Point]] = []
+    for k, (outdoor, indoor) in enumerate(geometric):
+        if not in_service[k]:
+            continue
+        if network.cells[best_out[k]].position != cell.position:
+            continue
+        if network.cells[best_in[k]].position != cell.position:
+            continue
+        pairs.append((outdoor, indoor))
     return pairs

@@ -11,6 +11,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core import vecmath as vm
 from repro.trace import core as trace
 
 __all__ = [
@@ -18,7 +21,9 @@ __all__ = [
     "MAX_SPECTRAL_EFFICIENCY",
     "LinkAdaptation",
     "cqi_from_sinr",
+    "cqi_from_sinr_array",
     "spectral_efficiency_from_sinr",
+    "spectral_efficiency_from_sinr_array",
 ]
 
 
@@ -60,6 +65,9 @@ _SHANNON_ATTENUATION = 0.75
 #: Below this SINR the link cannot sustain even CQI 1.
 MIN_DECODABLE_SINR_DB = -6.5
 
+#: Table efficiencies as an ascending float64 vector, for batched lookups.
+_EFFICIENCIES = np.array([entry.efficiency for entry in CQI_TABLE], dtype=np.float64)
+
 
 def _achievable_efficiency(sinr_db: float) -> float:
     """Attenuated Shannon efficiency in bits per resource element."""
@@ -89,6 +97,27 @@ def spectral_efficiency_from_sinr(sinr_db: float) -> float:
     if cqi == 0:
         return 0.0
     return CQI_TABLE[cqi - 1].efficiency
+
+
+def cqi_from_sinr_array(sinr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`cqi_from_sinr` over an SINR array (int64).
+
+    ``searchsorted(..., side="right")`` counts the table entries whose
+    efficiency is ``<=`` the achievable one — exactly the scalar linear
+    scan, table-edge values included.
+    """
+    sinr_db = vm.as_float_array(sinr_db)
+    sinr_linear = vm.exp10(sinr_db / 10.0)
+    achievable = _SHANNON_ATTENUATION * vm.log2(1.0 + sinr_linear)
+    cqi = np.searchsorted(_EFFICIENCIES, achievable, side="right")
+    return np.where(sinr_db < MIN_DECODABLE_SINR_DB, 0, cqi).astype(np.int64)
+
+
+def spectral_efficiency_from_sinr_array(sinr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`spectral_efficiency_from_sinr` (bits per RE)."""
+    cqi = cqi_from_sinr_array(sinr_db)
+    padded = np.concatenate(([0.0], _EFFICIENCIES))
+    return padded[cqi]
 
 
 @dataclass(frozen=True)

@@ -19,12 +19,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import RadioProfile
-from repro.radio.linkadapt import MAX_SPECTRAL_EFFICIENCY, spectral_efficiency_from_sinr
+from repro.radio.linkadapt import (
+    MAX_SPECTRAL_EFFICIENCY,
+    spectral_efficiency_from_sinr,
+    spectral_efficiency_from_sinr_array,
+)
 
 __all__ = [
     "TRANSPORT_EFFICIENCY",
     "max_phy_bit_rate",
     "phy_bit_rate",
+    "phy_bit_rate_array",
     "PrbAllocator",
     "PrbAllocation",
 ]
@@ -76,6 +81,34 @@ def phy_bit_rate(
     efficiency = spectral_efficiency_from_sinr(sinr_db)
     if efficiency == 0.0:
         return 0.0
+    slot_fraction, layers, calibration = _direction_params(profile, direction)
+    subcarrier_rate_hz = profile.num_prb * profile.subcarriers_per_prb * (
+        profile.subcarrier_khz * 1e3
+    )
+    return (
+        efficiency
+        * subcarrier_rate_hz
+        * layers
+        * slot_fraction
+        * calibration
+        * prb_fraction
+    )
+
+
+def phy_bit_rate_array(
+    profile: RadioProfile,
+    sinr_db: np.ndarray,
+    direction: str = "dl",
+    prb_fraction: float = 1.0,
+) -> np.ndarray:
+    """Vectorized :func:`phy_bit_rate` over an SINR array.
+
+    A zero efficiency multiplies through to exactly ``0.0``, so the
+    scalar early-return for undecodable links needs no special casing.
+    """
+    if not 0.0 <= prb_fraction <= 1.0:
+        raise ValueError(f"prb_fraction must be in [0, 1], got {prb_fraction}")
+    efficiency = spectral_efficiency_from_sinr_array(sinr_db)
     slot_fraction, layers, calibration = _direction_params(profile, direction)
     subcarrier_rate_hz = profile.num_prb * profile.subcarriers_per_prb * (
         profile.subcarrier_khz * 1e3

@@ -233,3 +233,31 @@ class Environment:
             cached = float(gen.standard_normal())
             self._shadow_cache[key] = cached
         return cached
+
+    def shadow_standard_normals(
+        self,
+        tx: Point,
+        carrier_mhz: float,
+        grid_x: np.ndarray,
+        grid_y: np.ndarray,
+    ) -> np.ndarray:
+        """Array form of :meth:`_shadow_standard_normal` over grid indices.
+
+        ``grid_x``/``grid_y`` are *shadow-grid* indices (``int(x // 10)``)
+        rather than coordinates; the batched radio core deduplicates the
+        receiver grid cells before calling, so each unique fade is keyed,
+        drawn and cached exactly once — shared with the scalar path, in
+        any evaluation order (each key seeds its own RNG stream).
+        """
+        prefix = f"shadow:{round(tx.x)}:{round(tx.y)}:"
+        suffix = f":{round(carrier_mhz)}"
+        out = np.empty(len(grid_x), dtype=np.float64)
+        cache = self._shadow_cache
+        for i, (gx, gy) in enumerate(zip(grid_x.tolist(), grid_y.tolist())):
+            key = f"{prefix}{gx}:{gy}{suffix}"
+            cached = cache.get(key)
+            if cached is None:
+                cached = float(self._rng.stream(key).standard_normal())
+                cache[key] = cached
+            out[i] = cached
+        return out

@@ -72,6 +72,7 @@ QUICK_EXPERIMENTS: tuple[str, ...] = (
     "fig21",
     "fig22",
     "tab4",
+    "dense-survey",
 )
 
 #: Iterations of the calibration workload (a fixed pure-Python loop).

@@ -27,10 +27,12 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.metrics import core as metrics
 from repro.runner.instrument import RunRecord
 
 __all__ = ["DEFAULT_CACHE_DIR", "CacheEntry", "ResultCache", "source_hash"]
@@ -117,7 +119,12 @@ class ResultCache:
             )
         except FileNotFoundError:
             return None
-        except Exception:
+        except Exception as exc:
+            warnings.warn(
+                f"dropping corrupt cache entry {path}: {type(exc).__name__}: {exc}",
+                stacklevel=2,
+            )
+            metrics.current().counter("cache.corrupt_dropped_count").inc()
             path.unlink(missing_ok=True)
             return None
 
@@ -134,13 +141,18 @@ class ResultCache:
         path = self._entry_path(name, seed, extra, scenario_digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as handle:
-            pickle.dump(
-                {"result": result, "record": record},
-                handle,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        tmp.replace(path)
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(
+                    {"result": result, "record": record},
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            tmp.replace(path)
+        finally:
+            # An unpicklable result must not leave a stray .tmp.<pid>
+            # behind; after the successful rename this is a no-op.
+            tmp.unlink(missing_ok=True)
         return path
 
     def clear(self) -> int:

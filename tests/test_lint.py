@@ -46,16 +46,20 @@ EXPECTED_DIRTY = [
     ("REP007", "deployment.py", 7),  # ... and NR_PROFILE on the same line
     ("REP007", "deployment.py", 8),  # from repro.core import DEFAULT_HANDOFF_CONFIG
     ("REP007", "deployment.py", 13),  # config.NR_PROFILE attribute use
+    ("REP008", "survey.py", 11),  # rsrp_map_at per point inside a loop
+    ("REP008", "survey.py", 17),  # rsrp_at per cell in a .cells comprehension
+    ("REP008", "survey.py", 23),  # sample_at per cell in a .cells loop
 ]
 
 #: Number of python files in each fixture package.
-FIXTURE_FILES = 4
+FIXTURE_FILES = 5
 
 
 class TestRegistry:
-    def test_all_seven_rule_families_registered(self):
+    def test_all_eight_rule_families_registered(self):
         assert [r.id for r in all_rules()] == [
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+            "REP008",
         ]
 
     def test_severities(self):
@@ -63,7 +67,9 @@ class TestRegistry:
         assert by_id["REP004"] == "warning"
         assert all(
             by_id[i] == "error"
-            for i in ("REP001", "REP002", "REP003", "REP005", "REP006", "REP007")
+            for i in (
+                "REP001", "REP002", "REP003", "REP005", "REP006", "REP007", "REP008"
+            )
         )
 
 
@@ -78,7 +84,7 @@ class TestFixtures:
         result = lint_paths([DIRTY], root=REPO_ROOT)
         assert result.counts == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
-            "REP006": 6, "REP007": 4,
+            "REP006": 6, "REP007": 4, "REP008": 3,
         }
 
     def test_clean_fixture_is_clean(self):
@@ -236,7 +242,7 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "replint: 22 new violation(s)" in out
+        assert "replint: 25 new violation(s)" in out
 
     def test_clean_fixture_passes(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -252,7 +258,7 @@ class TestCli:
         assert payload["files_scanned"] == FIXTURE_FILES
         assert payload["counts"] == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
-            "REP006": 6, "REP007": 4,
+            "REP006": 6, "REP007": 4, "REP008": 3,
         }
         assert payload["baselined_count"] == 0
         assert payload["exit_code"] == 1
@@ -271,11 +277,11 @@ class TestCli:
         assert main(
             ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
         ) == 0
-        assert "wrote 22 grandfathered violation(s)" in capsys.readouterr().out
+        assert "wrote 25 grandfathered violation(s)" in capsys.readouterr().out
         written = json.loads(baseline_path.read_text())
         assert written["schema_version"] == BASELINE_SCHEMA_VERSION
         assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
-        assert "22 baselined" in capsys.readouterr().out
+        assert "25 baselined" in capsys.readouterr().out
 
     def test_missing_path_exits_2(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

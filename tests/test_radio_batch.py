@@ -1,0 +1,179 @@
+"""The batched radio core must be bit-identical to the scalar path.
+
+Every test here compares ``repro.radio.batch``-powered entry points
+against the original per-point / per-cell scalar code on the same
+inputs and asserts exact float equality — not ``approx``.  The batched
+core replicates the scalar arithmetic operation-for-operation (see
+``repro.core.vecmath``), so any drift, however small, is a bug.
+
+Also hosts the hot-path regression test: one survey point must build
+exactly one path-loss map (the pre-fix ``_survey_at`` built three).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import testbed as build_testbed
+from repro.geometry.points import Point
+from repro.radio import batch, linkadapt
+from repro.radio.coverage import _survey_at, survey_at_locations
+from repro.radio.propagation import _MIN_DISTANCE_M, _SHADOW_GRID_M
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def bed():
+    return build_testbed(SEED)
+
+
+def _random_points(campus, n, seed):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, campus.width_m, n)
+    ys = rng.uniform(0.0, campus.height_m, n)
+    return [Point(x, y) for x, y in zip(xs.tolist(), ys.tolist())]
+
+
+def _edge_case_points(bed):
+    """Locations that stress every numeric edge of the batched core."""
+    points = []
+    # Grazing rays: receivers exactly on building corners and edge
+    # midpoints, where the segment-rectangle clip hits p == 0 branches.
+    for building in bed.campus.buildings.buildings[:4]:
+        points.append(Point(building.x_min, building.y_min))
+        points.append(Point(building.x_max, building.y_max))
+        points.append(Point((building.x_min + building.x_max) / 2.0, building.y_min))
+        points.append(Point(building.x_max, (building.y_min + building.y_max) / 2.0))
+    # Shadow-grid boundaries: exact multiples of the 10 m grid, where
+    # float floor-division must match Python's `//` bit-for-bit.
+    for k in (0.0, 1.0, 3.0, 7.0):
+        points.append(Point(k * _SHADOW_GRID_M, (k + 2.0) * _SHADOW_GRID_M))
+        points.append(Point(k * _SHADOW_GRID_M + 1e-9, k * _SHADOW_GRID_M - 1e-9))
+    # Sub-metre receivers: inside the _MIN_DISTANCE_M clamp around a mast.
+    for cell in bed.nr.cells[:3]:
+        points.append(Point(cell.position.x + 0.3, cell.position.y - 0.2))
+        points.append(Point(cell.position.x, cell.position.y))
+        points.append(
+            Point(cell.position.x + _MIN_DISTANCE_M, cell.position.y)
+        )
+    return points
+
+
+def _all_points(bed):
+    return _random_points(bed.campus, 200, seed=123) + _edge_case_points(bed)
+
+
+class TestBatchedEquivalence:
+    def test_rsrp_matrix_matches_per_cell_scalar(self, bed):
+        for network in (bed.nr, bed.lte):
+            points = _all_points(bed)
+            matrix = network.rsrp_matrix_at(points)
+            assert matrix.shape == (len(points), len(network.cells))
+            for i, location in enumerate(points):
+                for j, cell in enumerate(network.cells):
+                    assert matrix[i, j] == cell.rsrp_at(
+                        location, network.environment
+                    ), (location, cell.pci)
+
+    def test_rsrp_map_at_is_an_n1_view(self, bed):
+        for location in _edge_case_points(bed):
+            rsrps = bed.nr.rsrp_map_at(location)
+            assert list(rsrps) == list(bed.nr.pcis)
+            row = bed.nr.rsrp_matrix_at((location,))[0]
+            assert list(rsrps.values()) == row.tolist()
+
+    def test_samples_match_scalar_combine(self, bed):
+        points = _all_points(bed)
+        for serving_pci in (None, bed.nr.cells[0].pci):
+            samples = bed.nr.samples_at(points, serving_pci=serving_pci)
+            for location, sample in zip(points, samples):
+                rsrps = bed.nr.rsrp_map_at(location)
+                pci = serving_pci
+                if pci is None:
+                    pci = max(rsrps, key=lambda p: rsrps[p])
+                scalar = bed.nr.sample_from_rsrps(rsrps, serving_pci=pci)
+                assert sample == scalar, location
+
+    def test_bit_rates_match_scalar(self, bed):
+        points = _all_points(bed)
+        rates = bed.nr.bit_rates_at(points)
+        overhead = bed.nr.bit_rates_at(points, include_transport_overhead=True)
+        for location, rate, rate_oh in zip(points, rates.tolist(), overhead.tolist()):
+            sample = bed.nr.sample_at(location)
+            assert rate == bed.nr.bit_rate_from_sample(sample)
+            assert rate_oh == bed.nr.bit_rate_from_sample(
+                sample, include_transport_overhead=True
+            )
+
+    def test_survey_at_locations_matches_survey_at(self, bed):
+        points = _all_points(bed)
+        batched = survey_at_locations(bed.nr, points)
+        for location, point in zip(points, batched):
+            assert point == _survey_at(bed.nr, location), location
+
+    def test_locked_survey_matches_and_checks_pci(self, bed):
+        points = _edge_case_points(bed)
+        pci = bed.nr.cells[-1].pci
+        batched = survey_at_locations(bed.nr, points, serving_pci=pci)
+        for location, point in zip(points, batched):
+            assert point == _survey_at(bed.nr, location, serving_pci=pci)
+        with pytest.raises(KeyError, match="no cell with PCI"):
+            survey_at_locations(bed.nr, points, serving_pci=99999)
+
+    def test_empty_location_list(self, bed):
+        assert survey_at_locations(bed.nr, []) == []
+
+
+class TestCqiVectorization:
+    def _sweep(self):
+        sweep = list(np.linspace(-20.0, 40.0, 601))
+        # Exact decision boundaries: the SINR at which the Shannon
+        # efficiency equals each CQI table entry, plus the decode floor.
+        att = linkadapt._SHANNON_ATTENUATION
+        for entry in linkadapt.CQI_TABLE:
+            linear = 2.0 ** (entry.efficiency / att) - 1.0
+            sweep.append(10.0 * np.log10(linear))
+        sweep.extend(
+            [
+                linkadapt.MIN_DECODABLE_SINR_DB,
+                linkadapt.MIN_DECODABLE_SINR_DB - 1e-12,
+                linkadapt.MIN_DECODABLE_SINR_DB + 1e-12,
+                -100.0,
+                100.0,
+            ]
+        )
+        return np.array(sweep)
+
+    def test_cqi_array_matches_scalar(self):
+        sinr = self._sweep()
+        cqis = linkadapt.cqi_from_sinr_array(sinr)
+        assert cqis.tolist() == [linkadapt.cqi_from_sinr(v) for v in sinr.tolist()]
+
+    def test_efficiency_array_matches_scalar(self):
+        sinr = self._sweep()
+        effs = linkadapt.spectral_efficiency_from_sinr_array(sinr)
+        assert effs.tolist() == [
+            linkadapt.spectral_efficiency_from_sinr(v) for v in sinr.tolist()
+        ]
+
+
+class TestSurveyHotPath:
+    def test_one_path_loss_map_per_survey(self, bed, monkeypatch):
+        """Regression: ``_survey_at`` used to rebuild the map three times."""
+        calls = []
+        real = batch.path_loss_matrix_db
+
+        def counting(environment, tx_points, carrier_mhz, x, y):
+            calls.append(len(x) * len(tx_points))
+            return real(environment, tx_points, carrier_mhz, x, y)
+
+        monkeypatch.setattr(batch, "path_loss_matrix_db", counting)
+
+        location = Point(250.0, 400.0)
+        _survey_at(bed.nr, location)
+        assert calls == [len(bed.nr.cells)]  # one map, not three
+
+        calls.clear()
+        points = _random_points(bed.campus, 50, seed=5)
+        survey_at_locations(bed.nr, points)
+        assert calls == [50 * len(bed.nr.cells)]  # one matrix for the lot

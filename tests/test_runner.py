@@ -116,8 +116,33 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         path = cache.store("fig3", 7, "ok", _record())
         path.write_bytes(b"not a pickle")
-        assert cache.load("fig3", 7) is None
+        with pytest.warns(UserWarning, match="dropping corrupt cache entry"):
+            assert cache.load("fig3", 7) is None
         assert not path.exists()
+
+    def test_corrupt_entry_warns_and_counts(self, tmp_path):
+        from repro.metrics.core import collecting
+
+        cache = ResultCache(tmp_path)
+        path = cache.store("fig3", 7, "ok", _record())
+        path.write_bytes(b"not a pickle")
+        with collecting() as registry:
+            with pytest.warns(UserWarning, match="dropping corrupt cache entry"):
+                assert cache.load("fig3", 7) is None
+        assert registry.counter("cache.corrupt_dropped_count").value == 1
+
+    def test_failed_store_leaves_no_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("refuses to pickle")
+
+        with pytest.raises(TypeError, match="refuses to pickle"):
+            cache.store("fig3", 7, Unpicklable(), _record())
+        strays = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert strays == []  # no .tmp.<pid> debris, no partial entry
+        assert cache.load("fig3", 7) is None
 
     def test_entries_live_under_source_hash(self, tmp_path):
         cache = ResultCache(tmp_path)
