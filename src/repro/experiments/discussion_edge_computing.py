@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import RadioProfile
 from repro.core.results import ResultTable
-from repro.core.rng import default_rng
+from repro.core.rng import default_rng, derive
 from repro.scenario import Scenario, resolve_scenario
 from repro.apps.web import WEB_PAGE_CATALOG
 from repro.experiments.common import DEFAULT_SEED
@@ -62,14 +64,19 @@ class EdgeComputingResult:
         return table
 
 
-def _path_rtt_ms(profile: RadioProfile, distance_km: float, wired_hops: int) -> float:
+def _path_rtt_ms(
+    profile: RadioProfile,
+    distance_km: float,
+    wired_hops: int,
+    rng: np.random.Generator,
+) -> float:
     config = PathConfig(
         profile=profile,
         server_distance_km=distance_km,
         wired_hops=wired_hops,
         with_scheduling_stalls=False,
     )
-    path = build_cellular_path(Simulator(), config, default_rng(0))
+    path = build_cellular_path(Simulator(), config, rng)
     return path.base_rtt_s * 1000
 
 
@@ -78,9 +85,10 @@ def run(
 ) -> EdgeComputingResult:
     """Compare the edge deployment against cloud servers."""
     nr = resolve_scenario(scenario).radio.nr
-    edge_rtt = _path_rtt_ms(nr, _EDGE_DISTANCE_KM, wired_hops=1)
+    rng = default_rng(seed)
+    edge_rtt = _path_rtt_ms(nr, _EDGE_DISTANCE_KM, wired_hops=1, rng=derive(rng))
     cloud_rtt = {
-        d: _path_rtt_ms(nr, d, wired_hops=int(6 + min(10, d / 350.0)))
+        d: _path_rtt_ms(nr, d, wired_hops=int(6 + min(10, d / 350.0)), rng=derive(rng))
         for d in _CLOUD_DISTANCES_KM
     }
     page = WEB_PAGE_CATALOG[0]

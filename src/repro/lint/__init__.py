@@ -14,8 +14,20 @@ linters cannot see:
 * **REP004 hidden state** — no mutable default arguments; no mutable
   module-level globals in experiment modules.
 
+On top of the per-file pass, a **whole-program pass**
+(:mod:`repro.lint.project`) builds a project symbol table and call
+graph and runs the interprocedural rules:
+
+* **REP009 unit flow** — unit suffixes inferred and checked *across*
+  function boundaries (positional arguments, conflicting inference,
+  return units).
+* **REP010 rng flow** — generator provenance taint: everything
+  reaching an experiment ``run()`` must flow from the campaign seed,
+  and no experiment-reachable path may mutate module-level state.
+
 See ``EXPERIMENTS.md`` ("Determinism and unit conventions") for the
-conventions themselves, the pragma syntax and baseline workflow.
+conventions themselves, the pragma syntax and baseline workflow, and
+the README rule catalogue for one-line summaries of every rule.
 """
 
 from repro.lint.baseline import Baseline
@@ -26,7 +38,15 @@ from repro.lint.engine import (
     Violation,
     all_rules,
     lint_paths,
+    parse_files,
     rule,
+)
+from repro.lint.project import (
+    ProjectContext,
+    ProjectRule,
+    all_project_rules,
+    build_project,
+    project_rule,
 )
 from repro.lint.report import render_json, render_text
 
@@ -34,10 +54,16 @@ __all__ = [
     "Baseline",
     "FileContext",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Violation",
+    "all_project_rules",
     "all_rules",
+    "build_project",
     "lint_paths",
+    "parse_files",
+    "project_rule",
     "render_json",
     "render_text",
     "rule",

@@ -6,6 +6,13 @@ Usage::
     python -m repro lint src/ --format json        # machine-readable report
     python -m repro lint src/ --write-baseline     # grandfather the current state
     python -m repro lint src/ --no-baseline        # report everything, baseline or not
+    python -m repro lint src/ --graph json         # export the resolved call graph
+    python -m repro lint src/ --no-project         # per-file rules only
+
+Both passes run by default: the per-file rules (REP001–REP008) and the
+whole-program pass (REP009/REP010 over the project symbol table and
+call graph).  Project-pass findings flow through the same pragma and
+baseline machinery, so the gate stays baseline-compatible.
 
 The baseline defaults to ``lint-baseline.json`` in the working
 directory; a missing file is simply an empty baseline, so a clean tree
@@ -19,7 +26,7 @@ import sys
 from pathlib import Path
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.lint.engine import lint_paths
+from repro.lint.engine import lint_paths, parse_files
 from repro.lint.report import render_json, render_text
 
 __all__ = ["add_lint_arguments", "run_lint"]
@@ -57,6 +64,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="write all current violations to the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the whole-program pass (project symbol table + call graph)",
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("dot", "json"),
+        metavar="{dot,json}",
+        help="print the resolved call graph in the given format and exit "
+        "(no lint gate is applied)",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -67,8 +86,16 @@ def run_lint(args: argparse.Namespace) -> int:
         print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    if args.graph:
+        from repro.lint.project import build_project
+
+        contexts, _errors = parse_files(paths)
+        project = build_project(contexts)
+        print(project.to_json() if args.graph == "json" else project.to_dot())
+        return 0
+
     try:
-        result = lint_paths(paths)
+        result = lint_paths(paths, project=not args.no_project)
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2

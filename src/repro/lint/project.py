@@ -1,0 +1,430 @@
+"""The whole-program lint pass: symbol table, call graph, ProjectRules.
+
+The per-file pass (:mod:`repro.lint.engine`) sees one module at a time,
+so a ``_ms`` value crossing a function boundary into an ``_s`` parameter
+two modules away is invisible to it.  This module assembles the parsed
+:class:`~repro.lint.engine.FileContext` cache into a
+:class:`ProjectContext`:
+
+* a **symbol table** mapping fully-qualified dotted names to function
+  and method definitions (``repro.mobility.handoff.HandoffEngine.step``),
+  with import aliases — including relative imports and chained
+  re-exports (``from repro.x import f as g``) — resolved to their
+  defining module, and
+* a **call graph** of resolved edges, attributing every call to its
+  enclosing function (``self.method(...)`` resolves within the
+  enclosing class; bare names resolve to module-local definitions
+  before imports).
+
+``ProjectRule`` subclasses register with :func:`project_rule` and
+implement :meth:`~ProjectRule.check_project`; the engine's
+:func:`~repro.lint.engine.lint_paths` runs them after the file pass, so
+their findings flow through the same pragma and baseline machinery.
+
+The graph itself is exportable (``repro lint --graph json|dot``) for CI
+artifacts and ad-hoc archaeology.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections import deque
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.lint.engine import FileContext, Rule, Violation
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ProjectContext",
+    "ProjectRule",
+    "all_project_rules",
+    "build_project",
+    "check_project",
+    "project_rule",
+]
+
+#: Schema of the ``--graph json`` export.
+GRAPH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str  # e.g. repro.mobility.handoff.HandoffEngine.step
+    module: str
+    name: str  # bare function name (methods: just the method name)
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: FileContext
+    params: tuple[str, ...]  # positional-mappable params, self/cls dropped
+    kwonly: tuple[str, ...]
+    has_vararg: bool
+    has_kwarg: bool
+    _walk_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def all_params(self) -> tuple[str, ...]:
+        return self.params + self.kwonly
+
+    def walk(self, *types: type) -> list[ast.AST]:
+        """Nodes of the given types under this definition, walked once.
+
+        The per-function analogue of :meth:`FileContext.walk`: REP009
+        and REP010 each inspect several node families per function, and
+        sharing one ``ast.walk`` keeps the project pass a small constant
+        over the file pass.
+        """
+        cached = self._walk_cache.get(types)
+        if cached is None:
+            nodes = self._walk_cache.get(())
+            if nodes is None:
+                nodes = self._walk_cache[()] = list(ast.walk(self.node))
+            cached = self._walk_cache[types] = [
+                node for node in nodes if isinstance(node, types)
+            ]
+        return cached
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call-graph edge."""
+
+    caller: str  # qualname of the enclosing function, or the module name
+    callee: str  # qualname of the resolved definition
+    node: ast.Call
+    ctx: FileContext
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+def _function_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, is_method: bool
+) -> tuple[tuple[str, ...], tuple[str, ...], bool, bool]:
+    args = node.args
+    positional = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if is_method and positional and positional[0] in ("self", "cls"):
+        positional = positional[1:]
+    kwonly = tuple(a.arg for a in args.kwonlyargs)
+    return tuple(positional), kwonly, args.vararg is not None, args.kwarg is not None
+
+
+def _is_staticmethod(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in node.decorator_list
+    )
+
+
+class ProjectContext:
+    """The whole program: every parsed module, symbol and call edge."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        #: module qualname -> parsed file
+        self.modules: dict[str, FileContext] = {}
+        #: function qualname -> definition
+        self.functions: dict[str, FunctionInfo] = {}
+        #: ``module.local`` alias -> imported qualified name (re-exports)
+        self._aliases: dict[str, str] = {}
+        #: every resolved call edge, in file/line order
+        self.calls: list[CallSite] = []
+        self._calls_by_caller: dict[str, list[CallSite]] = {}
+        self._calls_by_callee: dict[str, list[CallSite]] = {}
+
+        for ctx in contexts:
+            if not ctx.module_name:
+                continue
+            self.modules[ctx.module_name] = ctx
+        for ctx in self.modules.values():
+            self._collect_definitions(ctx)
+        for ctx in self.modules.values():
+            self._collect_calls(ctx)
+
+    # -- symbol table -------------------------------------------------
+
+    def _collect_definitions(self, ctx: FileContext) -> None:
+        module = ctx.module_name
+        for local, qualified in ctx.imports.aliases.items():
+            self._aliases[f"{module}.{local}"] = qualified
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(ctx, item, class_name=node.name)
+
+    def _add_function(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> None:
+        is_method = class_name is not None and not _is_staticmethod(node)
+        params, kwonly, has_vararg, has_kwarg = _function_params(node, is_method)
+        scope = f"{ctx.module_name}.{class_name}" if class_name else ctx.module_name
+        qualname = f"{scope}.{node.name}"
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname,
+            module=ctx.module_name,
+            name=node.name,
+            class_name=class_name,
+            node=node,
+            ctx=ctx,
+            params=params,
+            kwonly=kwonly,
+            has_vararg=has_vararg,
+            has_kwarg=has_kwarg,
+        )
+
+    def resolve_function(self, qualified: str) -> FunctionInfo | None:
+        """The definition ``qualified`` names, following re-export chains.
+
+        ``repro.radio.path_loss`` resolves through
+        ``repro/radio/__init__.py``'s ``from .propagation import
+        path_loss`` to ``repro.radio.propagation.path_loss``; diamond
+        import chains terminate via a visited set.
+        """
+        seen: set[str] = set()
+        current = qualified
+        while current not in seen:
+            seen.add(current)
+            info = self.functions.get(current)
+            if info is not None:
+                return info
+            alias = self._aliases.get(current)
+            if alias is None:
+                return None
+            current = alias
+        return None
+
+    # -- call graph ---------------------------------------------------
+
+    def _collect_calls(self, ctx: FileContext) -> None:
+        # An explicit stack instead of recursion + ast.iter_child_nodes:
+        # this traversal touches every node of every file a second time
+        # after the file pass, so per-node overhead is the project pass's
+        # single hottest cost.
+        module = ctx.module_name
+        stack: list[tuple[ast.AST, str, str | None]] = [(ctx.tree, module, None)]
+        push = stack.append
+        while stack:
+            node, caller, class_name = stack.pop()
+            for value in node.__dict__.values():
+                if value.__class__ is list:
+                    children = value
+                elif isinstance(value, ast.AST):
+                    children = (value,)
+                else:
+                    continue
+                for child in children:
+                    if not isinstance(child, ast.AST):
+                        continue
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if caller == module and class_name is None:
+                            inner_caller = f"{module}.{child.name}"
+                        elif caller == f"{module}.{class_name}":
+                            inner_caller = f"{caller}.{child.name}"
+                        else:
+                            inner_caller = caller  # nested defs fold into parent
+                        push((child, inner_caller, None))
+                    elif isinstance(child, ast.ClassDef):
+                        push((child, f"{module}.{child.name}", child.name))
+                    else:
+                        if isinstance(child, ast.Call):
+                            self._add_call(ctx, child, caller, class_name)
+                        push((child, caller, class_name))
+
+    def _enclosing_class(self, caller: str, module: str) -> str | None:
+        remainder = caller[len(module) + 1 :] if caller.startswith(module + ".") else ""
+        parts = remainder.split(".")
+        return parts[0] if len(parts) == 2 else None
+
+    def _add_call(
+        self, ctx: FileContext, call: ast.Call, caller: str, class_name: str | None
+    ) -> None:
+        target = self._resolve_call_target(ctx, call, caller)
+        if target is None:
+            return
+        self.calls.append(CallSite(caller=caller, callee=target, node=call, ctx=ctx))
+        site = self.calls[-1]
+        self._calls_by_caller.setdefault(caller, []).append(site)
+        self._calls_by_callee.setdefault(target, []).append(site)
+
+    def _resolve_call_target(
+        self, ctx: FileContext, call: ast.Call, caller: str
+    ) -> str | None:
+        module = ctx.module_name
+        func = call.func
+        if isinstance(func, ast.Name):
+            # module-local definitions shadow imports of the same name
+            local = self.resolve_function(f"{module}.{func.id}")
+            if local is not None:
+                return local.qualname
+            qualified = ctx.imports.resolve(func)
+            if qualified is not None:
+                info = self.resolve_function(qualified)
+                if info is not None:
+                    return info.qualname
+            return None
+        if isinstance(func, ast.Attribute):
+            # self.method() / cls.method() within the enclosing class
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+            ):
+                enclosing = self._enclosing_class(caller, module)
+                if enclosing is not None:
+                    info = self.resolve_function(
+                        f"{module}.{enclosing}.{func.attr}"
+                    )
+                    if info is not None:
+                        return info.qualname
+                return None
+            qualified = ctx.imports.resolve(func)
+            if qualified is not None:
+                info = self.resolve_function(qualified)
+                if info is not None:
+                    return info.qualname
+        return None
+
+    def calls_to(self, qualname: str) -> list[CallSite]:
+        """Every resolved call site targeting ``qualname``."""
+        return list(self._calls_by_callee.get(qualname, []))
+
+    def calls_from(self, caller: str) -> list[CallSite]:
+        """Every resolved call made from inside ``caller``."""
+        return list(self._calls_by_caller.get(caller, []))
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Qualnames of all functions reachable from ``roots`` (inclusive)."""
+        seen: set[str] = set()
+        queue: deque[str] = deque(roots)
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            for site in self._calls_by_caller.get(current, []):
+                if site.callee not in seen:
+                    queue.append(site.callee)
+        return seen
+
+    # -- export -------------------------------------------------------
+
+    def graph_dict(self) -> dict[str, object]:
+        """JSON-ready call-graph document (stable ordering)."""
+        modules = {
+            name: {
+                "path": ctx.display_path,
+                "functions": sorted(
+                    info.qualname
+                    for info in self.functions.values()
+                    if info.module == name
+                ),
+            }
+            for name, ctx in sorted(self.modules.items())
+        }
+        edges = [
+            {
+                "caller": site.caller,
+                "callee": site.callee,
+                "path": site.ctx.display_path,
+                "line": site.line,
+            }
+            for site in sorted(
+                self.calls, key=lambda s: (s.ctx.display_path, s.line, s.callee)
+            )
+        ]
+        return {
+            "schema_version": GRAPH_SCHEMA_VERSION,
+            "modules": modules,
+            "edges": edges,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.graph_dict(), indent=2)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the resolved call edges."""
+        lines = ["digraph replint {", "  rankdir=LR;", "  node [shape=box];"]
+        seen: set[tuple[str, str]] = set()
+        for site in sorted(self.calls, key=lambda s: (s.caller, s.callee)):
+            edge = (site.caller, site.callee)
+            if edge in seen:
+                continue
+            seen.add(edge)
+            lines.append(f'  "{site.caller}" -> "{site.callee}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Subclasses implement :meth:`check_project` instead of ``check``;
+    violations are still anchored to a concrete file via
+    ``self.violation(info.ctx, node, ...)`` so pragmas and the baseline
+    treat them exactly like file-pass findings.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
+
+
+def project_rule(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator registering a project rule under its ``id``."""
+    instance = cls()
+    if instance.id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate project rule id {instance.id!r}")
+    _PROJECT_REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_project_rules() -> list[ProjectRule]:
+    """Every registered project rule, ordered by id."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return [_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY)]
+
+
+def build_project(contexts: Sequence[FileContext]) -> ProjectContext:
+    """Assemble the whole-program view from the parsed-file cache."""
+    return ProjectContext(contexts)
+
+
+def check_project(
+    contexts: Sequence[FileContext],
+    rules: Iterable[ProjectRule] | None = None,
+) -> list[Violation]:
+    """Run the project pass; returns non-suppressed violations."""
+    active = list(rules) if rules is not None else all_project_rules()
+    if not active:
+        return []
+    project = build_project(contexts)
+    by_path = {ctx.display_path: ctx for ctx in contexts}
+    violations: list[Violation] = []
+    for rule_ in active:
+        for violation in rule_.check_project(project):
+            ctx = by_path.get(violation.path)
+            if ctx is not None and ctx.suppressed(
+                violation.line, violation.rule, violation.end_line
+            ):
+                continue
+            violations.append(violation)
+    return sorted(violations)

@@ -4,17 +4,22 @@ The JSON layout is a stable contract (``schema_version`` guards it) so
 CI and editor integrations can parse it::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "tool": "replint",
       "files_scanned": 102,
       "counts": {"REP001": 2},
       "violations": [
         {"rule": "REP001", "severity": "error", "path": "src/...",
-         "line": 10, "col": 4, "message": "...", "snippet": "..."}
+         "line": 10, "end_line": 12, "col": 4, "message": "...",
+         "snippet": "..."}
       ],
       "baselined_count": 0,
       "exit_code": 1
     }
+
+Schema history: v2 added ``end_line`` (the last physical line of the
+offending statement, for span-aware pragma placement and editor
+integrations).
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from repro.lint.engine import LintResult
 
 __all__ = ["REPORT_SCHEMA_VERSION", "render_json", "render_text"]
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:

@@ -8,20 +8,24 @@ from repro.lint.rules import (
     determinism,
     hotpath,
     metrics,
+    rngflow,
     scenario,
     simapi,
     spans,
     state,
     units,
+    unitsflow,
 )
 
 __all__ = [
     "determinism",
     "hotpath",
     "metrics",
+    "rngflow",
     "scenario",
     "simapi",
     "spans",
     "state",
     "units",
+    "unitsflow",
 ]

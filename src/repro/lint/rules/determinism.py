@@ -71,9 +71,7 @@ class DeterminismRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if ctx.is_module(*_EXEMPT_MODULES):
             return
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.walk(ast.Call):
             qualified = ctx.imports.resolve(node.func)
             if qualified is None or is_sanctioned_rng(qualified):
                 continue

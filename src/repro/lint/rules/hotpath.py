@@ -56,7 +56,7 @@ class ScalarHotPathRule(Rule):
         if not (ctx.in_package_dir("radio") or ctx.in_package_dir("mobility")):
             return
         reported: set[int] = set()
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk(ast.For, ast.AsyncFor, ast.While, *_COMPREHENSIONS):
             if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
                 over_cells = not isinstance(node, ast.While) and _iterates_cells(
                     node.iter

@@ -98,9 +98,7 @@ class MetricNameRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if ctx.in_package_dir("metrics"):
             return  # the registry implementation handles names generically
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.walk(ast.Call):
             name_node = self._metric_name_argument(ctx, node)
             if name_node is None:
                 continue

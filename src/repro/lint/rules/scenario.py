@@ -41,7 +41,7 @@ class AmbientDeploymentRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_package_dir("experiments"):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk(ast.ImportFrom, ast.Attribute):
             if isinstance(node, ast.ImportFrom):
                 yield from self._check_import_from(ctx, node)
             elif isinstance(node, ast.Attribute):

@@ -70,7 +70,7 @@ class SimulatorApiRule(Rule):
     severity = "error"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk(ast.Call, ast.Expr):
             if isinstance(node, ast.Call) and _is_schedule_call(node):
                 yield from self._check_delay(ctx, node)
             if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
@@ -105,9 +105,7 @@ class SimulatorApiRule(Rule):
 
     def _simulator_in_loop(self, ctx: FileContext) -> Iterator[Violation]:
         reported: set[int] = set()
-        for loop in ast.walk(ctx.tree):
-            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
-                continue
+        for loop in ctx.walk(ast.For, ast.AsyncFor, ast.While):
             for node in ast.walk(loop):
                 if node is loop or not isinstance(node, ast.Call):
                     continue

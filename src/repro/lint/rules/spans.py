@@ -75,11 +75,7 @@ class SpanHygieneRule(Rule):
         if ctx.in_package_dir("trace"):
             return
         scopes: list[ast.AST] = [ctx.tree]
-        scopes.extend(
-            node
-            for node in ast.walk(ctx.tree)
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-        )
+        scopes.extend(ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef))
         for scope in scopes:
             yield from self._check_scope(ctx, scope)
 

@@ -60,9 +60,7 @@ class HiddenStateRule(Rule):
             yield from self._module_globals(ctx)
 
     def _mutable_defaults(self, ctx: FileContext) -> Iterator[Violation]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-                continue
+        for node in ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda):
             defaults = list(node.args.defaults) + [
                 default for default in node.args.kw_defaults if default is not None
             ]

@@ -63,14 +63,14 @@ class UnitConsistencyRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         found: list[Violation] = []
         additive_children: set[int] = set()
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        for node in ctx.walk(ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
                 for child in (node.left, node.right):
                     if isinstance(child, ast.BinOp) and isinstance(
                         child.op, (ast.Add, ast.Sub)
                     ):
                         additive_children.add(id(child))
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk(ast.BinOp, ast.AugAssign, ast.Call):
             if (
                 isinstance(node, ast.BinOp)
                 and isinstance(node.op, (ast.Add, ast.Sub))

@@ -141,16 +141,19 @@ class Environment:
     """A propagation environment: buildings plus deterministic shadowing.
 
     Args:
-        buildings: Building map used for LOS tests and penetration loss.
-        rng: Factory seeding the shadowing field.
+        buildings: Building map used for LOS tests and penetration loss
+            (``None`` means an empty map).
+        rng: Factory seeding the shadowing field.  Required — there is
+            no hidden seed-0 fallback, so the shadowing realisation
+            always inherits the campaign seed (REP010).
         los_sigma_db: Shadowing std-dev on LOS links.
         nlos_sigma_db: Shadowing std-dev on NLOS links.
     """
 
     def __init__(
         self,
-        buildings: BuildingMap | None = None,
-        rng: RngFactory | None = None,
+        buildings: BuildingMap | None,
+        rng: RngFactory,
         los_sigma_db: float = LOS_SHADOW_SIGMA_DB,
         nlos_sigma_db: float = NLOS_SHADOW_SIGMA_DB,
         los_exponent: float = _LOS_EXPONENT,
@@ -159,7 +162,7 @@ class Environment:
         clutter_exponent: float = _CLUTTER_EXPONENT,
     ) -> None:
         self.buildings = buildings if buildings is not None else BuildingMap(())
-        self._rng = rng if rng is not None else RngFactory(0)
+        self._rng = rng
         self.los_sigma_db = los_sigma_db
         self.nlos_sigma_db = nlos_sigma_db
         self.los_exponent = los_exponent

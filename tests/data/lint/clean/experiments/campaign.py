@@ -1,0 +1,24 @@
+"""Clean twin of the dirty campaign fixture.
+
+Units agree across the module boundary, the campaign seed threads into
+every generator, and the hand-off log is an explicit local passed to the
+helper that appends to it.
+"""
+
+from repro.core.rng import default_rng
+
+from ..mobility.flow import backoff_ms, draw_samples, guard_ms, hold, record, settle
+
+
+def run(seed=0):
+    rng = default_rng(seed)
+    window_s = 0.04
+    settled = settle(window_s, 3.0)
+    hold(window_s)
+    hold(0.2)
+    delay_ms = backoff_ms(2)
+    guard = guard_ms(window_s)
+    samples = draw_samples(rng)
+    log = []
+    record(log, samples)
+    return settled, delay_ms, guard, log

@@ -1,0 +1,37 @@
+"""Clean twin of the dirty mobility fixture: disciplined units and RNG.
+
+Parameters carry their unit suffix, functions whose names declare a
+unit return that unit, generators are derived from the threaded one via
+``repro.core.rng.derive``, and accumulating state is passed in
+explicitly instead of living at module level.
+"""
+
+from repro.core.rng import derive
+
+#: SHOUTED frozen lookup table — immutable by construction.
+_HO_PHASES = ("prep", "exec", "done")
+
+
+def settle(window_s, margin_db):
+    return window_s * 2
+
+
+def hold(duration_s, hyst_db=3.0):
+    return duration_s
+
+
+def backoff_ms(attempt):
+    return attempt * 500.0
+
+
+def guard_ms(window_s):
+    return window_s * 1000.0
+
+
+def draw_samples(rng):
+    child = derive(rng)
+    return child.normal(size=3)
+
+
+def record(log, event):
+    log.append(event)

@@ -1,0 +1,23 @@
+"""Deliberately dirty fixture: the caller side of the project-pass flows.
+
+``run()`` is an experiment root, so everything it calls in
+``mobility/flow.py`` is experiment-reachable; the ``_ms`` value passed
+positionally into a ``_s`` parameter two modules away is exactly what
+REP009 exists for.  Never imported at runtime: the linter only parses
+it.  Line numbers are asserted by tests/test_lint.py — renumber there
+after editing here.
+"""
+
+from ..mobility.flow import backoff_ms, draw_samples, hold, record, settle
+
+
+def run(seed=0):
+    window_ms = 40.0
+    gap_s = 0.2
+    settled = settle(window_ms, 3.0)
+    hold(window_ms)
+    hold(gap_s)
+    delay_s = backoff_ms(2)
+    samples = draw_samples()
+    record(samples)
+    return settled, delay_s, samples

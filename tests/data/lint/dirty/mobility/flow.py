@@ -1,0 +1,43 @@
+"""Deliberately dirty fixture: the callee side of the project-pass flows.
+
+Every function here is called from ``experiments/campaign.py`` — the
+REP009/REP010 whole-program pass resolves those cross-module edges
+(through a relative import) and flags the unit and RNG-provenance slips
+a per-file rule cannot see.  Never imported at runtime: the linter only
+parses it.  Line numbers are asserted by tests/test_lint.py — renumber
+there after editing here.
+"""
+
+from repro.core.rng import RngFactory, default_rng
+
+_ho_log = []
+
+
+def settle(window_s, margin_db):
+    return window_s * 2
+
+
+def hold(duration, hyst_db=3.0):
+    return duration
+
+
+def backoff_ms(attempt):
+    return attempt * 500.0
+
+
+def guard_ms(window_s):
+    return window_s
+
+
+def draw_samples():
+    factory = RngFactory(42)
+    return factory.stream("bursts")
+
+
+def jitter_s(rng):
+    fresh = default_rng(0)
+    return float(fresh.normal() + rng.normal())
+
+
+def record(event):
+    _ho_log.append(event)

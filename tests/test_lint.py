@@ -14,7 +14,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
-from repro.lint import Baseline, all_rules, lint_paths
+from repro.lint import Baseline, all_project_rules, all_rules, lint_paths
 from repro.lint.baseline import BASELINE_SCHEMA_VERSION
 from repro.lint.report import REPORT_SCHEMA_VERSION
 
@@ -49,26 +49,37 @@ EXPECTED_DIRTY = [
     ("REP008", "survey.py", 11),  # rsrp_map_at per point inside a loop
     ("REP008", "survey.py", 17),  # rsrp_at per cell in a .cells comprehension
     ("REP008", "survey.py", 23),  # sample_at per cell in a .cells loop
+    ("REP009", "campaign.py", 17),  # _ms passed positionally to a _s param
+    ("REP009", "campaign.py", 20),  # _ms-returning call assigned to an _s name
+    ("REP009", "flow.py", 20),  # 'duration' inferred _ms at one site, _s at another
+    ("REP009", "flow.py", 29),  # guard_ms() returns an _s expression
+    ("REP010", "flow.py", 33),  # RngFactory(42) on an experiment-reachable path
+    ("REP010", "flow.py", 38),  # rng param shadowed by default_rng(0)
+    ("REP010", "flow.py", 43),  # module global mutated on a reachable path
 ]
 
 #: Number of python files in each fixture package.
-FIXTURE_FILES = 5
+FIXTURE_FILES = 7
 
 
 class TestRegistry:
-    def test_all_eight_rule_families_registered(self):
+    def test_all_eight_file_rule_families_registered(self):
         assert [r.id for r in all_rules()] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
             "REP008",
         ]
 
+    def test_both_project_rules_registered(self):
+        assert [r.id for r in all_project_rules()] == ["REP009", "REP010"]
+
     def test_severities(self):
-        by_id = {r.id: r.severity for r in all_rules()}
+        by_id = {r.id: r.severity for r in all_rules() + all_project_rules()}
         assert by_id["REP004"] == "warning"
         assert all(
             by_id[i] == "error"
             for i in (
-                "REP001", "REP002", "REP003", "REP005", "REP006", "REP007", "REP008"
+                "REP001", "REP002", "REP003", "REP005", "REP006", "REP007",
+                "REP008", "REP009", "REP010",
             )
         )
 
@@ -84,8 +95,13 @@ class TestFixtures:
         result = lint_paths([DIRTY], root=REPO_ROOT)
         assert result.counts == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
-            "REP006": 6, "REP007": 4, "REP008": 3,
+            "REP006": 6, "REP007": 4, "REP008": 3, "REP009": 4, "REP010": 3,
         }
+
+    def test_file_pass_only_skips_project_rules(self):
+        result = lint_paths([DIRTY], root=REPO_ROOT, project=False)
+        assert not any(v.rule in ("REP009", "REP010") for v in result.violations)
+        assert result.counts["REP001"] == 3
 
     def test_clean_fixture_is_clean(self):
         result = lint_paths([CLEAN], root=REPO_ROOT)
@@ -95,8 +111,8 @@ class TestFixtures:
     def test_violations_carry_snippets_and_display_paths(self):
         result = lint_paths([DIRTY], root=REPO_ROOT)
         first = result.violations[0]
-        assert first.path == "tests/data/lint/dirty/experiments/deployment.py"
-        assert first.snippet == "from repro.core.config import LTE_PROFILE, NR_PROFILE"
+        assert first.path == "tests/data/lint/dirty/experiments/campaign.py"
+        assert first.snippet == "settled = settle(window_ms, 3.0)"
         sweep = next(
             v for v in result.violations if v.path.endswith("sweep.py")
         )
@@ -169,7 +185,9 @@ class TestPragmas:
         source = (DIRTY / "experiments" / "sweep.py").read_text()
         assert "default_rng(1)  # replint: ignore[REP001]" in source
         result = lint_paths([DIRTY], root=REPO_ROOT)
-        assert not any(v.line == 38 for v in result.violations)
+        assert not any(
+            v.line == 38 and v.path.endswith("sweep.py") for v in result.violations
+        )
 
     def test_bare_pragma_suppresses_everything(self, tmp_path):
         target = tmp_path / "mod.py"
@@ -187,6 +205,39 @@ class TestPragmas:
         )
         violations = lint_paths([target], root=tmp_path).violations
         assert [(v.rule, v.line) for v in violations] == [("REP001", 2)]
+
+    def test_pragma_on_continuation_line_of_multiline_statement(self, tmp_path):
+        # The call spans lines 2-4; a pragma on any of them suppresses the
+        # violation anchored at line 2.
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import time\n"
+            "t = time.time(\n"
+            "    # the slow clock\n"
+            ")  # replint: ignore[REP001]\n"
+        )
+        assert lint_paths([target], root=tmp_path).violations == []
+
+    def test_pragma_on_multiline_def_header_suppresses(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def f(\n"
+            "    history=[],  # replint: ignore[REP004]\n"
+            "):\n"
+            "    return history\n"
+        )
+        assert lint_paths([target], root=tmp_path).violations == []
+
+    def test_pragma_inside_def_body_does_not_silence_header_finding(self, tmp_path):
+        # A def-anchored violation ends at the header, so a pragma on the
+        # first body line must not swallow it.
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def f(history=[]):\n"
+            "    return history  # replint: ignore[REP004]\n"
+        )
+        violations = lint_paths([target], root=tmp_path).violations
+        assert [(v.rule, v.line) for v in violations] == [("REP004", 1)]
 
 
 class TestBaseline:
@@ -242,7 +293,7 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "replint: 25 new violation(s)" in out
+        assert "replint: 32 new violation(s)" in out
 
     def test_clean_fixture_passes(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -258,14 +309,15 @@ class TestCli:
         assert payload["files_scanned"] == FIXTURE_FILES
         assert payload["counts"] == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
-            "REP006": 6, "REP007": 4, "REP008": 3,
+            "REP006": 6, "REP007": 4, "REP008": 3, "REP009": 4, "REP010": 3,
         }
         assert payload["baselined_count"] == 0
         assert payload["exit_code"] == 1
         assert len(payload["violations"]) == len(EXPECTED_DIRTY)
         for entry in payload["violations"]:
             assert set(entry) == {
-                "rule", "severity", "path", "line", "col", "message", "snippet"
+                "rule", "severity", "path", "line", "end_line", "col", "message",
+                "snippet",
             }
             assert isinstance(entry["line"], int)
             assert isinstance(entry["col"], int)
@@ -277,11 +329,11 @@ class TestCli:
         assert main(
             ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
         ) == 0
-        assert "wrote 25 grandfathered violation(s)" in capsys.readouterr().out
+        assert "wrote 32 grandfathered violation(s)" in capsys.readouterr().out
         written = json.loads(baseline_path.read_text())
         assert written["schema_version"] == BASELINE_SCHEMA_VERSION
         assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
-        assert "25 baselined" in capsys.readouterr().out
+        assert "32 baselined" in capsys.readouterr().out
 
     def test_missing_path_exits_2(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

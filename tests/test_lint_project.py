@@ -1,0 +1,219 @@
+"""Tests for the whole-program pass: call-graph construction and exports.
+
+The graph tests build tiny throwaway packages under ``tmp_path`` so each
+resolution feature (diamond imports, aliased re-exports, relative
+imports, method calls) is exercised in isolation.  The meta-tests at the
+bottom keep the rule catalogue honest: every registered rule must have
+dirty and clean fixture coverage and a README entry.
+"""
+
+import json
+import re
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import (
+    all_project_rules,
+    all_rules,
+    build_project,
+    lint_paths,
+    parse_files,
+)
+from repro.lint.project import GRAPH_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DIRTY = REPO_ROOT / "tests" / "data" / "lint" / "dirty"
+CLEAN = REPO_ROOT / "tests" / "data" / "lint" / "clean"
+
+
+def build(tmp_path, files):
+    """Write ``files`` (relpath -> source) and build the project view."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    contexts, errors = parse_files([tmp_path], root=tmp_path)
+    assert errors == []
+    return build_project(contexts)
+
+
+class TestCallGraph:
+    def test_direct_cross_module_edge(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "from pkg.a import helper\n"
+                "def caller():\n"
+                "    return helper()\n"
+            ),
+        })
+        callers = [site.caller for site in project.calls_to("pkg.a.helper")]
+        assert callers == ["pkg.b.caller"]
+
+    def test_diamond_imports_resolve_to_one_definition(self, tmp_path):
+        # left and right both re-export base.helper; top calls it through
+        # both paths and each edge must land on the single definition.
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/base.py": "def helper():\n    return 1\n",
+            "pkg/left.py": "from pkg.base import helper\n",
+            "pkg/right.py": "from pkg.base import helper\n",
+            "pkg/top.py": (
+                "from pkg.left import helper as left_helper\n"
+                "from pkg.right import helper as right_helper\n"
+                "def caller():\n"
+                "    return left_helper() + right_helper()\n"
+            ),
+        })
+        sites = project.calls_to("pkg.base.helper")
+        assert [site.caller for site in sites] == ["pkg.top.caller"] * 2
+
+    def test_aliased_reexport_chain(self, tmp_path):
+        # facade renames the re-export; the chain alias -> re-export ->
+        # definition still resolves.
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/impl.py": "def compute():\n    return 1\n",
+            "pkg/facade.py": "from pkg.impl import compute as run_compute\n",
+            "pkg/use.py": (
+                "from pkg.facade import run_compute\n"
+                "def caller():\n"
+                "    return run_compute()\n"
+            ),
+        })
+        assert [s.caller for s in project.calls_to("pkg.impl.compute")] == [
+            "pkg.use.caller"
+        ]
+
+    def test_relative_import_resolves(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/core/__init__.py": "",
+            "pkg/core/util.py": "def helper():\n    return 1\n",
+            "pkg/exp/__init__.py": "",
+            "pkg/exp/job.py": (
+                "from ..core.util import helper\n"
+                "def caller():\n"
+                "    return helper()\n"
+            ),
+        })
+        assert [s.caller for s in project.calls_to("pkg.core.util.helper")] == [
+            "pkg.exp.job.caller"
+        ]
+
+    def test_self_method_resolution(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/runner.py": (
+                "class Runner:\n"
+                "    def step(self):\n"
+                "        return 1\n"
+                "    def run(self):\n"
+                "        return self.step()\n"
+            ),
+        })
+        assert [s.caller for s in project.calls_to("pkg.runner.Runner.step")] == [
+            "pkg.runner.Runner.run"
+        ]
+
+    def test_local_definition_shadows_import(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 1\n",
+            "pkg/b.py": (
+                "from pkg.a import helper\n"
+                "def helper():\n"
+                "    return 2\n"
+                "def caller():\n"
+                "    return helper()\n"
+            ),
+        })
+        assert project.calls_to("pkg.a.helper") == []
+        assert [s.caller for s in project.calls_to("pkg.b.helper")] == [
+            "pkg.b.caller"
+        ]
+
+    def test_reachability_is_transitive_and_inclusive(self, tmp_path):
+        project = build(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/chain.py": (
+                "def c():\n    return 1\n"
+                "def b():\n    return c()\n"
+                "def a():\n    return b()\n"
+                "def orphan():\n    return 9\n"
+            ),
+        })
+        reachable = project.reachable_from(["pkg.chain.a"])
+        assert reachable == {"pkg.chain.a", "pkg.chain.b", "pkg.chain.c"}
+
+
+class TestGraphExports:
+    def test_graph_dict_round_trips_through_json(self):
+        contexts, errors = parse_files([DIRTY], root=REPO_ROOT)
+        assert errors == []
+        project = build_project(contexts)
+        doc = json.loads(project.to_json())
+        assert doc == project.graph_dict()
+        assert doc["schema_version"] == GRAPH_SCHEMA_VERSION
+        modules = doc["modules"]
+        assert "tests.data.lint.dirty.mobility.flow" in modules
+        edges = {(e["caller"], e["callee"]) for e in doc["edges"]}
+        assert (
+            "tests.data.lint.dirty.experiments.campaign.run",
+            "tests.data.lint.dirty.mobility.flow.settle",
+        ) in edges
+
+    def test_dot_export_lists_resolved_edges_once(self):
+        contexts, _ = parse_files([DIRTY], root=REPO_ROOT)
+        dot = build_project(contexts).to_dot()
+        assert dot.startswith("digraph replint {")
+        assert dot.rstrip().endswith("}")
+        edge = (
+            '"tests.data.lint.dirty.experiments.campaign.run" '
+            '-> "tests.data.lint.dirty.mobility.flow.hold";'
+        )
+        assert dot.count(edge) == 1  # two call sites, one dot edge
+
+    def test_cli_graph_json_round_trips(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(DIRTY), "--graph", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == GRAPH_SCHEMA_VERSION
+        assert doc["edges"]
+
+    def test_cli_graph_dot(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", str(DIRTY), "--graph", "dot"]) == 0
+        assert "digraph replint {" in capsys.readouterr().out
+
+
+class TestRuleCatalogueMeta:
+    """Every shipped rule must stay documented and fixture-covered."""
+
+    def _rule_ids(self):
+        return [r.id for r in all_rules() + all_project_rules()]
+
+    def test_every_rule_fires_in_the_dirty_fixture(self):
+        fired = {v.rule for v in lint_paths([DIRTY], root=REPO_ROOT).violations}
+        missing = set(self._rule_ids()) - fired
+        assert not missing, f"rules without dirty-fixture coverage: {sorted(missing)}"
+
+    def test_clean_fixture_exercises_the_same_modules_silently(self):
+        dirty_names = {p.name for p in DIRTY.rglob("*.py")}
+        clean_names = {p.name for p in CLEAN.rglob("*.py")}
+        assert dirty_names == clean_names
+        assert lint_paths([CLEAN], root=REPO_ROOT).violations == []
+
+    def test_every_rule_has_a_readme_catalogue_entry(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for rule_id in self._rule_ids():
+            assert re.search(rf"\b{rule_id}\b", readme), (
+                f"{rule_id} missing from the README rule catalogue"
+            )
+
+    def test_every_rule_has_an_id_name_and_severity(self):
+        for rule_ in all_rules() + all_project_rules():
+            assert re.fullmatch(r"REP\d{3}", rule_.id)
+            assert rule_.name != "unnamed"
+            assert rule_.severity in ("error", "warning")

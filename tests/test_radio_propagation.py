@@ -117,5 +117,5 @@ class TestEnvironment:
         assert max(losses) > min(losses)
 
     def test_empty_environment_defaults(self):
-        env = Environment()
+        env = Environment(None, RngFactory(0))
         assert env.path_loss_db(Point(0, 0), Point(100, 0), 3500.0) > 0
