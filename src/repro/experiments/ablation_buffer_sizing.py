@@ -1,10 +1,13 @@
-"""Ablation: does resizing the wired buffers fix the TCP anomaly?
+"""Ablation: does resizing (or disciplining) the wired buffers fix the anomaly?
 
 Sec. 4.2 proposes two remedies: (i) grow the wireline router buffers
 (the Stanford rule says the 5G path needs ~5x the 4G buffer, i.e. about
 2x what is deployed), or (ii) switch to loss-insensitive probing TCP
 (BBR).  This ablation sweeps the wired buffer multiplier and measures
-Cubic's utilization, with BBR as the no-buffer-change alternative.
+Cubic's utilization, with BBR as the no-buffer-change alternative —
+and adds the third remedy the paper never had hardware for: replacing
+the drop-tail FIFO with an AQM discipline (:mod:`repro.qdisc`) at the
+deployed buffer budget's multiple.
 """
 
 from __future__ import annotations
@@ -17,27 +20,41 @@ from repro.core.rng import default_rng
 from repro.core.config import RadioProfile
 from repro.experiments.common import DEFAULT_SEED
 from repro.net.path import PathConfig, build_cellular_path
+from repro.qdisc import RemedySection
 from repro.scenario import Scenario, resolve_scenario
 from repro.net.sim import Simulator
 from repro.transport.base import TcpConnection
-from repro.transport.iperf import make_cc, run_udp_baseline
+from repro.transport.iperf import make_cc, run_tcp, run_udp_baseline
 
-__all__ = ["BufferAblationResult", "BUFFER_MULTIPLIERS", "run"]
+__all__ = ["BufferAblationResult", "BUFFER_MULTIPLIERS", "QDISC_AXIS", "run"]
 
 BUFFER_MULTIPLIERS: tuple[float, ...] = (1.0, 2.0, 4.0)
+
+#: The queue-discipline axis: each AQM runs at its default (deep)
+#: buffer allocation — the discipline, not the depth, is the variable.
+QDISC_AXIS: tuple[str, ...] = ("codel", "fq-codel", "cake")
 
 
 @dataclass(frozen=True)
 class BufferAblationResult:
-    """Cubic utilization per buffer multiplier, plus the BBR alternative."""
+    """Cubic utilization per buffer multiplier, plus the alternatives."""
 
     cubic_utilization: dict[float, float]
     bbr_utilization_at_1x: float
+    qdisc_utilization: dict[str, float]
 
     @property
     def doubling_helps(self) -> bool:
         """The paper's suggestion: ~2x the wired buffer restores Cubic."""
         return self.cubic_utilization[2.0] > 1.3 * self.cubic_utilization[1.0]
+
+    @property
+    def aqm_beats_deployed_droptail(self) -> bool:
+        """Every AQM discipline outperforms the 1x drop-tail deployment."""
+        return all(
+            self.qdisc_utilization[name] > self.cubic_utilization[1.0]
+            for name in QDISC_AXIS
+        )
 
     def table(self) -> ResultTable:
         """Render the sweep as a text table."""
@@ -48,6 +65,8 @@ class BufferAblationResult:
         for mult in BUFFER_MULTIPLIERS:
             table.add_row([f"{mult:.0f}x deployed", percent(self.cubic_utilization[mult])])
         table.add_row(["(BBR at 1x)", percent(self.bbr_utilization_at_1x)])
+        for name in QDISC_AXIS:
+            table.add_row([f"({name} qdisc)", percent(self.qdisc_utilization[name])])
         return table
 
 
@@ -98,4 +117,18 @@ def run(
         _run_with_buffer(1.0, "bbr", seed + 2 * i, scale, baseline, nr_profile)
         for i in range(repeats)
     ) / repeats
-    return BufferAblationResult(cubic_utilization=cubic, bbr_utilization_at_1x=bbr)
+    qdisc_util: dict[str, float] = {}
+    for name in QDISC_AXIS:
+        config = PathConfig(
+            profile=nr_profile, scale=scale, remedy=RemedySection(qdisc=name)
+        )
+        runs = [
+            run_tcp(
+                config, "cubic", duration_s=30.0, seed=seed + 2 * i, baseline_bps=baseline
+            ).utilization
+            for i in range(repeats)
+        ]
+        qdisc_util[name] = sum(runs) / repeats
+    return BufferAblationResult(
+        cubic_utilization=cubic, bbr_utilization_at_1x=bbr, qdisc_utilization=qdisc_util
+    )

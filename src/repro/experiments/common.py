@@ -24,9 +24,12 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 from functools import lru_cache
 
+from typing import Any
+
 from repro.core.rng import RngFactory
 from repro.geometry.campus import Campus, build_campus
 from repro.metrics import core as metrics
+from repro.net.path import PathConfig
 from repro.radio.cell import RadioNetwork
 from repro.radio.propagation import Environment
 from repro.scenario import Scenario, resolve_scenario
@@ -36,6 +39,7 @@ __all__ = [
     "testbed",
     "warm",
     "testbed_cache_info",
+    "path_config",
     "DEFAULT_SEED",
     "bump_kpi",
     "record_kpi",
@@ -96,6 +100,26 @@ def _build_testbed(seed: int, scenario: Scenario) -> Testbed:
         lte=lte,
         lte_anchors=lte_anchors,
     )
+
+
+def path_config(scenario: Scenario, **overrides: Any) -> PathConfig:
+    """The scenario's end-to-end measurement path, remedies included.
+
+    Collects the :class:`~repro.net.path.PathConfig` fields a scenario
+    determines — NR profile, simulation scale, server topology, and the
+    ``[remedy]`` section — so experiments cannot silently drop the
+    remedy when an operator asks for ``paper-nsa-codel``.  Keyword
+    overrides win (e.g. ``direction="ul"`` or an explicit ``scale``).
+    """
+    settings: dict[str, Any] = {
+        "profile": scenario.radio.nr,
+        "scale": scenario.workload.sim_scale,
+        "server_distance_km": scenario.topology.server_distance_km,
+        "wired_hops": scenario.topology.wired_hops,
+        "remedy": scenario.remedy,
+    }
+    settings.update(overrides)
+    return PathConfig(**settings)
 
 
 def warm(seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None) -> Testbed:

@@ -11,8 +11,7 @@ from dataclasses import dataclass
 
 from repro.core.results import ResultTable
 from repro.core.stats import percent
-from repro.experiments.common import DEFAULT_SEED, record_kpi
-from repro.net.path import PathConfig
+from repro.experiments.common import DEFAULT_SEED, path_config, record_kpi
 from repro.scenario import Scenario, resolve_scenario
 from repro.transport.iperf import CC_ALGORITHMS, run_tcp, run_udp_baseline
 
@@ -63,28 +62,15 @@ def run(
     scn = resolve_scenario(scenario)
     if scale is None:
         scale = scn.workload.sim_scale
-    topo = scn.topology
     algorithms = algorithms if algorithms is not None else tuple(sorted(CC_ALGORITHMS))
     baselines: dict[tuple[str, str], float] = {}
     utilization: dict[tuple[str, str], float] = {}
     for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
         for time_of_day in ("day", "night"):
-            config = PathConfig(
-                profile=profile,
-                scale=scale,
-                time_of_day=time_of_day,
-                server_distance_km=topo.server_distance_km,
-                wired_hops=topo.wired_hops,
-            )
+            config = path_config(scn, profile=profile, scale=scale, time_of_day=time_of_day)
             baseline = run_udp_baseline(config, duration_s=min(duration_s, 15.0), seed=seed)
             baselines[(network, time_of_day)] = baseline / scale
-        day_config = PathConfig(
-            profile=profile,
-            scale=scale,
-            time_of_day="day",
-            server_distance_km=topo.server_distance_km,
-            wired_hops=topo.wired_hops,
-        )
+        day_config = path_config(scn, profile=profile, scale=scale, time_of_day="day")
         day_baseline = baselines[(network, "day")] * scale
         for alg in algorithms:
             runs = [

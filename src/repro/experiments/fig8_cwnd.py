@@ -11,8 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import DEFAULT_SEED
-from repro.net.path import PathConfig
+from repro.experiments.common import DEFAULT_SEED, path_config
 from repro.scenario import Scenario, resolve_scenario
 from repro.transport.iperf import run_tcp
 
@@ -52,12 +51,7 @@ def run(
     scn = resolve_scenario(scenario)
     if scale is None:
         scale = scn.workload.sim_scale
-    config = PathConfig(
-        profile=scn.radio.nr,
-        scale=scale,
-        server_distance_km=scn.topology.server_distance_km,
-        wired_hops=scn.topology.wired_hops,
-    )
+    config = path_config(scn, scale=scale)
     baseline = config.access_rate_bps() * scale
     cubic = run_tcp(config, "cubic", duration_s=duration_s, seed=seed, baseline_bps=baseline)
     bbr = run_tcp(config, "bbr", duration_s=duration_s, seed=seed, baseline_bps=baseline)

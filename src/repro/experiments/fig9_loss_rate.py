@@ -11,8 +11,7 @@ from dataclasses import dataclass
 
 from repro.core.results import ResultTable
 from repro.core.stats import percent
-from repro.experiments.common import DEFAULT_SEED
-from repro.net.path import PathConfig
+from repro.experiments.common import DEFAULT_SEED, path_config
 from repro.scenario import Scenario, resolve_scenario
 from repro.transport.iperf import run_udp, run_udp_baseline
 
@@ -55,12 +54,7 @@ def run(
         scale = scn.workload.sim_scale
     loss_rates: dict[tuple[str, float], float] = {}
     for network, profile in (("4G", scn.radio.lte), ("5G", scn.radio.nr)):
-        config = PathConfig(
-            profile=profile,
-            scale=scale,
-            server_distance_km=scn.topology.server_distance_km,
-            wired_hops=scn.topology.wired_hops,
-        )
+        config = path_config(scn, profile=profile, scale=scale)
         baseline = run_udp_baseline(config, duration_s=duration_s, seed=seed)
         for fraction in LOAD_FRACTIONS:
             result = run_udp(config, baseline * fraction, duration_s=duration_s, seed=seed)

@@ -46,6 +46,8 @@ from repro.experiments import (
     fig21_power_breakdown,
     fig22_energy_per_bit,
     fig23_energy_timeline,
+    remedy_cca_matrix,
+    remedy_comparison,
     sec34_event_mix,
     tab1_physical_info,
     tab2_rsrp_distribution,
@@ -158,6 +160,22 @@ def _describe_fig20(r: Any) -> str:
     )
 
 
+def _describe_remedy(r: Any) -> str:
+    dt = r.goodput_bps.get("droptail", 0.0) / 1e6
+    best = max(
+        (v for v in r.goodput_bps if v != "droptail"),
+        key=lambda v: r.goodput_bps[v],
+        default=None,
+    )
+    if best is None:
+        return f"droptail {dt:.1f} Mbps (no remedies run)"
+    return (
+        f"droptail {dt:.1f} Mbps -> best remedy {best} "
+        f"{r.goodput_bps[best] / 1e6:.1f} Mbps; "
+        f"all headline remedies beat droptail: {r.remedies_beat_droptail}"
+    )
+
+
 def _catalogue() -> dict[str, ExperimentSpec]:
     entries: list[tuple[str, ModuleType, str, Callable[[Any], str] | None]] = [
         ("tab1", tab1_physical_info, "basic physical info of both networks", None),
@@ -194,6 +212,18 @@ def _catalogue() -> dict[str, ExperimentSpec]:
             "4G/5G flows sharing a wireline path",
             None,
         ),
+        (
+            "remedy-comparison",
+            remedy_comparison,
+            "TCP-anomaly remedies: drop-tail vs CoDel/CAKE/PEP",
+            _describe_remedy,
+        ),
+        (
+            "remedy-cca-matrix",
+            remedy_cca_matrix,
+            "remedy × congestion-control goodput matrix",
+            None,
+        ),
         ("cpe-dsl", discussion_cpe_dsl, "5G fixed wireless vs DSL", None),
         ("event-mix", sec34_event_mix, "measurement-event mix along a walk", None),
         (
@@ -219,14 +249,17 @@ def resolve_names(names: Iterable[str], run_all: bool = False) -> list[str]:
     """Validate and dedupe experiment names, preserving first-seen order.
 
     With ``run_all`` the whole catalogue is returned (in catalogue order)
-    and ``names`` is ignored.
+    and ``names`` is ignored.  Underscores normalize to the catalogue's
+    dashes (``remedy_comparison`` == ``remedy-comparison``), matching how
+    people type module names.
 
     Raises:
         UnknownExperimentError: if any name is not in the catalogue.
     """
     if run_all:
         return list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    normalized = [n if n in EXPERIMENTS else n.replace("_", "-") for n in names]
+    unknown = [n for n in normalized if n not in EXPERIMENTS]
     if unknown:
         raise UnknownExperimentError(unknown)
-    return list(dict.fromkeys(names))
+    return list(dict.fromkeys(normalized))

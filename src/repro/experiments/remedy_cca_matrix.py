@@ -1,0 +1,92 @@
+"""Remedy × congestion-control matrix: does the fix generalize?
+
+The remedy comparison (:mod:`repro.experiments.remedy_comparison`) shows
+CoDel/CAKE/PEP rescuing Cubic; this matrix checks the fixes are not a
+Cubic-shaped coincidence by running every congestion-control algorithm
+the paper measured (Reno, Cubic, Vegas, Veno, BBR) against drop-tail,
+CoDel and the split-connection PEP.
+
+The loss-based algorithms (Reno, Cubic, Veno) are the anomaly's victims
+and gain the most; the delay/model-based ones (Vegas, BBR) were already
+insensitive to the burst losses, so the remedies must *not* hurt them —
+"first, do no harm" is the second acceptance axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import ResultTable
+from repro.experiments.common import DEFAULT_SEED, path_config, record_kpi
+from repro.qdisc import RemedySection
+from repro.scenario import Scenario, resolve_scenario
+from repro.transport.iperf import CC_ALGORITHMS, run_tcp
+
+__all__ = ["MATRIX_VARIANTS", "RemedyCcaMatrixResult", "run"]
+
+#: The remedy columns of the matrix (rows are CC algorithms).
+MATRIX_VARIANTS: dict[str, RemedySection] = {
+    "droptail": RemedySection(),
+    "codel": RemedySection(qdisc="codel"),
+    "pep": RemedySection(pep=True),
+}
+
+#: Algorithms the anomaly actually collapses (loss-based AIMD).
+LOSS_BASED = ("reno", "cubic", "veno")
+
+
+@dataclass(frozen=True)
+class RemedyCcaMatrixResult:
+    """Goodput (bits/s) per (algorithm, remedy) cell."""
+
+    goodput_bps: dict[tuple[str, str], float]
+    baseline_bps: float
+
+    def gain(self, algorithm: str, variant: str) -> float:
+        """Goodput ratio of ``variant`` over drop-tail for one algorithm."""
+        return self.goodput_bps[(algorithm, variant)] / self.goodput_bps[(algorithm, "droptail")]
+
+    @property
+    def loss_based_all_recover(self) -> bool:
+        """Every loss-based algorithm gains under both CoDel and PEP."""
+        return all(
+            self.gain(alg, variant) > 1.0
+            for alg in LOSS_BASED
+            for variant in ("codel", "pep")
+        )
+
+    def table(self) -> ResultTable:
+        """Render the matrix as a text table (utilization per cell)."""
+        variants = list(MATRIX_VARIANTS)
+        table = ResultTable(
+            "Remedy × congestion control — utilization of the UDP baseline",
+            ["algorithm"] + variants,
+        )
+        for alg in sorted({a for a, _ in self.goodput_bps}):
+            row = [alg]
+            for variant in variants:
+                row.append(f"{self.goodput_bps[(alg, variant)] / self.baseline_bps:.0%}")
+            table.add_row(row)
+        return table
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 30.0,
+    algorithms: tuple[str, ...] | None = None,
+    scenario: Scenario | str | None = None,
+) -> RemedyCcaMatrixResult:
+    """Fill the (algorithm × remedy) goodput matrix on the fig. 8 workload."""
+    scn = resolve_scenario(scenario)
+    names = algorithms if algorithms is not None else tuple(sorted(CC_ALGORITHMS))
+    baseline = path_config(scn).access_rate_bps() * scn.workload.sim_scale
+    goodput: dict[tuple[str, str], float] = {}
+    for variant, remedy in MATRIX_VARIANTS.items():
+        config = path_config(scn, remedy=remedy)
+        for alg in names:
+            result = run_tcp(
+                config, alg, duration_s=duration_s, seed=seed, baseline_bps=baseline
+            )
+            goodput[(alg, variant)] = result.throughput_bps
+            record_kpi(f"remedy_matrix.goodput.{alg}.{variant}_bps", result.throughput_bps)
+    return RemedyCcaMatrixResult(goodput_bps=goodput, baseline_bps=baseline)

@@ -17,11 +17,15 @@ from repro.core.rng import default_rng
 from repro.analysis.buffer_est import estimate_buffer_packets
 from repro.experiments.common import DEFAULT_SEED
 from repro.net.path import PathConfig, build_cellular_path
+from repro.qdisc import QDISC_NAMES, RemedySection
 from repro.scenario import Scenario, resolve_scenario
 from repro.net.sim import Simulator
 from repro.transport.udp import UdpSender, UdpSink
 
 __all__ = ["Tab3Result", "run"]
+
+#: Queue disciplines enumerated by the occupancy axis (Tab. 3 extension).
+QDISC_AXIS: tuple[str, ...] = QDISC_NAMES
 
 #: Hop-1 (radio access) RTT spread between idle and loaded probes, from
 #: the traceroute statistics of Sec. 4.4 (2.19 +- 0.36 ms on 5G vs
@@ -37,6 +41,9 @@ class Tab3Result:
 
     ran_packets: dict[str, int]
     wired_packets: dict[str, int]
+    #: Peak 5G wired-queue backlog (packets) per queue discipline: what
+    #: the max-min probe would see if the router ran each remedy.
+    wired_occupancy_packets: dict[str, int]
 
     def whole_path_packets(self, network: str) -> int:
         """RAN plus wired buffer estimate for one network."""
@@ -69,6 +76,16 @@ class Tab3Result:
             )
         return table
 
+    def qdisc_table(self) -> ResultTable:
+        """Peak 5G wired backlog under each queue discipline."""
+        table = ResultTable(
+            "Tab. 3 extension — peak wired backlog by queue discipline (5G)",
+            ["qdisc", "peak backlog (pkts)"],
+        )
+        for name, occupancy in self.wired_occupancy_packets.items():
+            table.add_row([name, occupancy])
+        return table
+
 
 def _measure(
     profile: RadioProfile,
@@ -77,6 +94,7 @@ def _measure(
     duration_s: float,
     server_distance_km: float = 30.0,
     wired_hops: int = 4,
+    remedy: RemedySection = RemedySection(),
 ):
     """Saturate one path while sampling per-segment queue occupancy."""
     config = PathConfig(
@@ -84,6 +102,7 @@ def _measure(
         scale=scale,
         server_distance_km=server_distance_km,
         wired_hops=wired_hops,
+        remedy=remedy,
     )
     sim = Simulator()
     rng = default_rng(seed)
@@ -111,6 +130,7 @@ def _measure(
     return {
         "ran": estimate_buffer_packets([base, base + ran_spread]).buffer_packets,
         "wired": estimate_buffer_packets([base, base + wired_queueing]).buffer_packets,
+        "wired_occupancy": max_occupancy["wired"],
     }
 
 
@@ -137,4 +157,21 @@ def run(
         )
         ran[network] = estimates["ran"]
         wired[network] = estimates["wired"]
-    return Tab3Result(ran_packets=ran, wired_packets=wired)
+    # The qdisc axis: what the same saturation probe sees when the 5G
+    # wired router runs each remedy.  The probe is non-responsive UDP,
+    # so AQM disciplines expose their full (aqm_buffer_ratio-deep)
+    # allocation — the max-min method measures *depth*, while the
+    # standing delay TCP experiences is governed by the control law.
+    occupancy: dict[str, int] = {}
+    for name in QDISC_AXIS:
+        estimates = _measure(
+            scn.radio.nr,
+            seed,
+            scale,
+            duration_s,
+            server_distance_km=scn.topology.server_distance_km,
+            wired_hops=scn.topology.wired_hops,
+            remedy=RemedySection(qdisc=name),
+        )
+        occupancy[name] = estimates["wired_occupancy"]
+    return Tab3Result(ran_packets=ran, wired_packets=wired, wired_occupancy_packets=occupancy)

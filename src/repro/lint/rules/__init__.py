@@ -8,6 +8,7 @@ from repro.lint.rules import (
     determinism,
     hotpath,
     metrics,
+    remedy,
     rngflow,
     scenario,
     simapi,
@@ -21,6 +22,7 @@ __all__ = [
     "determinism",
     "hotpath",
     "metrics",
+    "remedy",
     "rngflow",
     "scenario",
     "simapi",

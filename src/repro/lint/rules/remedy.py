@@ -1,0 +1,116 @@
+"""REP011: remedy-config unit suffixes and wall-clock-free controllers.
+
+The ``[remedy]`` scenario section (``repro.qdisc.config.RemedySection``)
+is operator-facing configuration: every numeric knob must say what unit
+it is in (``target_ms``, ``pep_buffer_bytes``) or declare itself
+dimensionless (``_ratio``/``_count``), because a bare ``interval`` field
+silently read as seconds by one caller and milliseconds by another is
+exactly the bug class the unit lattice exists to kill.
+
+The second half of the rule guards the closed-loop controller code:
+everything under a ``qdisc`` package runs on *virtual* time fed in by
+the simulator, so any wall-clock read there — including the monotonic
+clocks (``time.monotonic``, ``time.perf_counter``, ``time.process_time``
+and their ``_ns`` twins) that REP001 deliberately leaves alone for
+benchmarking code — breaks serial/parallel byte-identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.core.units import unit_suffix
+from repro.lint.engine import FileContext, Rule, Violation, rule
+
+#: Dataclass names whose numeric fields must carry unit suffixes.
+_CONFIG_CLASS_NAMES = ("RemedySection",)
+
+#: Suffixes acceptable on dimensionless numeric config fields.
+_DIMENSIONLESS_SUFFIXES = ("_ratio", "_count")
+
+#: Numeric annotations the suffix requirement applies to.
+_NUMERIC_ANNOTATIONS = frozenset({"int", "float"})
+
+#: Wall-clock reads banned inside qdisc/controller packages.  REP001
+#: bans the absolute clocks everywhere; the monotonic family is legal
+#: for benchmarking elsewhere but never inside virtual-time control
+#: loops.
+_BANNED_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+    }
+)
+
+
+def _annotation_name(annotation: ast.AST | None) -> str | None:
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # ``from __future__ import annotations`` leaves plain strings.
+        return annotation.value
+    return None
+
+
+def _field_is_suffixed(name: str) -> bool:
+    if unit_suffix(name) is not None:
+        return True
+    return name.endswith(_DIMENSIONLESS_SUFFIXES)
+
+
+@rule
+class RemedyConfigRule(Rule):
+    """Unit-suffixed remedy knobs; virtual-time-only controller code."""
+
+    id = "REP011"
+    name = "remedy-config"
+    severity = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._check_config_fields(ctx)
+        if ctx.in_package_dir("qdisc"):
+            yield from self._check_wall_clock(ctx)
+
+    def _check_config_fields(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk(ast.ClassDef):
+            if node.name not in _CONFIG_CLASS_NAMES:
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                target = statement.target
+                if not isinstance(target, ast.Name):
+                    continue
+                if _annotation_name(statement.annotation) not in _NUMERIC_ANNOTATIONS:
+                    continue
+                if _field_is_suffixed(target.id):
+                    continue
+                yield self.violation(
+                    ctx,
+                    statement,
+                    f"numeric remedy field {target.id!r} has no unit suffix; "
+                    "name the unit (_ms, _bytes, _bps, ...) or declare it "
+                    "dimensionless (_ratio/_count) so every caller reads "
+                    "the same quantity",
+                )
+
+    def _check_wall_clock(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk(ast.Call):
+            qualified = ctx.imports.resolve(node.func)
+            if qualified in _BANNED_CLOCKS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read {qualified} inside qdisc/controller "
+                    "code; control loops run on virtual time passed in by "
+                    "the simulator (now_s), never the host clock",
+                )

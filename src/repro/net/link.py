@@ -16,23 +16,38 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.net.packet import Packet
 from repro.net.sim import Simulator
+from repro.trace.core import current as _current_tracer
+
+if TYPE_CHECKING:
+    from repro.qdisc.base import Qdisc
 
 __all__ = ["DropTailQueue", "Link", "CrossTraffic", "DelayProcess"]
 
 
 class DropTailQueue:
-    """A finite FIFO of packets; arrivals beyond capacity are dropped."""
+    """A finite FIFO of packets; arrivals beyond capacity are dropped.
 
-    def __init__(self, capacity_packets: int) -> None:
+    Counts both packets and bytes.  ``capacity_bytes`` switches on a
+    byte cap *in addition to* the packet cap — real router buffers are
+    sized in bytes, and the AQM remedies (``repro.qdisc``) reason in
+    bytes, so the baseline they are compared against tracks them too.
+    """
+
+    def __init__(self, capacity_packets: int, capacity_bytes: int | None = None) -> None:
         if capacity_packets < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity_packets}")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError(f"byte capacity must be >= 1, got {capacity_bytes}")
         self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
         self._queue: deque[Packet] = deque()
+        self._bytes = 0
         self.drops = 0
         self.enqueued = 0
 
@@ -41,10 +56,14 @@ class DropTailQueue:
 
     def push(self, packet: Packet) -> bool:
         """Enqueue; returns False (and counts a drop) when full."""
-        if len(self._queue) >= self.capacity_packets:
+        if len(self._queue) >= self.capacity_packets or (
+            self.capacity_bytes is not None
+            and self._bytes + packet.size_bytes > self.capacity_bytes
+        ):
             self.drops += 1
             return False
         self._queue.append(packet)
+        self._bytes += packet.size_bytes
         self.enqueued += 1
         return True
 
@@ -52,12 +71,19 @@ class DropTailQueue:
         """Dequeue the head packet, or None when empty."""
         if not self._queue:
             return None
-        return self._queue.popleft()
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
 
     @property
     def occupancy(self) -> int:
         """Packets currently queued."""
         return len(self._queue)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        """Bytes currently queued."""
+        return self._bytes
 
 
 class CrossTraffic:
@@ -147,6 +173,9 @@ class Link:
         queue_capacity_packets: Router buffer at the link entrance.
         name: Label for diagnostics.
         cross_traffic: Optional background-load modulation.
+        qdisc: Optional queue discipline replacing the DropTail buffer
+            (see :mod:`repro.qdisc`).  ``None`` keeps the seed's exact
+            DropTail event schedule.
     """
 
     def __init__(
@@ -158,6 +187,7 @@ class Link:
         name: str = "link",
         cross_traffic: CrossTraffic | None = None,
         delay_process: "DelayProcess | None" = None,
+        qdisc: "Qdisc | None" = None,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError(f"link rate must be positive, got {rate_bps}")
@@ -166,7 +196,13 @@ class Link:
         self.sim = sim
         self.rate_bps = rate_bps
         self.delay_s = delay_s
-        self.queue = DropTailQueue(queue_capacity_packets)
+        self.qdisc = qdisc
+        if qdisc is not None:
+            # Alias so capacity/drops/occupancy readers see one buffer.
+            self.queue = qdisc
+            qdisc.on_drop = self._record_drop
+        else:
+            self.queue = DropTailQueue(queue_capacity_packets)
         self.name = name
         self.cross_traffic = cross_traffic
         self.sink: Callable[[Packet], None] | None = None
@@ -175,7 +211,11 @@ class Link:
         self.dropped_packets: list[int] = []
         self._busy = False
         self._paused = False
+        self._wake_pending = False
         self._last_delivery_at = 0.0
+        # Like Simulator: with no tracer installed this is the null
+        # tracer and the depth counters compile down to one bool check.
+        self._tracer = _current_tracer()
 
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Set where serialized packets get delivered."""
@@ -185,11 +225,26 @@ class Link:
         """Offer a packet to this hop; drops silently on overflow."""
         if self.sink is None:
             raise RuntimeError(f"link {self.name!r} has no sink connected")
-        if not self.queue.push(packet):
+        if self.qdisc is not None:
+            accepted = self.qdisc.enqueue(packet, self.sim.now)
+        else:
+            accepted = self.queue.push(packet)
+        if not accepted:
             self.dropped_packets.append(packet.packet_id)
             return
+        if self._tracer.enabled:
+            self._tracer.counter(
+                f"link.{self.name}.depth_pkts", self.sim.now, float(self.queue.occupancy)
+            )
+            self._tracer.counter(
+                f"link.{self.name}.depth_bytes", self.sim.now, float(self.queue.occupancy_bytes)
+            )
         if not self._busy and not self._paused:
             self._transmit_next()
+
+    def _record_drop(self, packet: Packet) -> None:
+        """Qdisc callback: an already-queued packet was AQM-dropped."""
+        self.dropped_packets.append(packet.packet_id)
 
     def pause(self) -> None:
         """Stop serving the queue (hand-off outage); packets keep queueing."""
@@ -211,10 +266,20 @@ class Link:
         return rate
 
     def _transmit_next(self) -> None:
-        packet = self.queue.pop()
-        if packet is None:
-            self._busy = False
-            return
+        if self.qdisc is not None:
+            packet = self.qdisc.dequeue(self.sim.now)
+            if packet is None:
+                self._busy = False
+                # Shaped qdiscs may hold packets back; wake up when the
+                # next one becomes eligible instead of going idle.
+                self._schedule_wake()
+                return
+            self.qdisc.stats.dequeued += 1
+        else:
+            packet = self.queue.pop()
+            if packet is None:
+                self._busy = False
+                return
         self._busy = True
         rate = max(self.current_rate_bps(), 1.0)
         serialization = packet.size_bytes * 8 / rate
@@ -231,6 +296,19 @@ class Link:
         if self._paused:
             self._busy = False
         else:
+            self._transmit_next()
+
+    def _schedule_wake(self) -> None:
+        assert self.qdisc is not None
+        ready_s = self.qdisc.next_ready_s(self.sim.now)
+        if ready_s is None or self._wake_pending:
+            return
+        self._wake_pending = True
+        self.sim.schedule_at(max(ready_s, self.sim.now), self._wake)
+
+    def _wake(self) -> None:
+        self._wake_pending = False
+        if not self._busy and not self._paused:
             self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:

@@ -30,9 +30,16 @@ from repro.core.rng import derive
 from repro.net.link import CrossTraffic, DelayProcess, Link
 from repro.net.packet import Packet
 from repro.net.sim import Simulator
+from repro.qdisc import AutorateController, CakeQueue, RemedySection, make_qdisc
 from repro.radio.phy import TRANSPORT_EFFICIENCY, max_phy_bit_rate
 
-__all__ = ["PathConfig", "NetworkPath", "build_cellular_path", "segment_delays_s"]
+__all__ = [
+    "PathConfig",
+    "NetworkPath",
+    "build_cellular_path",
+    "build_split_paths",
+    "segment_delays_s",
+]
 
 #: One-way radio-access latency (Sec. 4.4: RTT 2.19 ms on 5G, 2.6 ms on 4G).
 _RAN_DELAY_S = {5: 0.0011, 4: 0.0013}
@@ -86,6 +93,7 @@ class PathConfig:
     with_scheduling_stalls: bool = True
     rwnd_bytes: int = 25 * 1024 * 1024  # paper sets a 25 MB receive buffer
     mss_bytes: int = 1448
+    remedy: RemedySection = RemedySection()
 
     def __post_init__(self) -> None:
         if self.direction not in ("dl", "ul"):
@@ -144,6 +152,8 @@ class NetworkPath:
         self.reverse = reverse
         self.access_link = access_link
         self.wired_link = wired_link
+        #: Closed-loop shaper controller, when the remedy arms one.
+        self.autorate: AutorateController | None = None
         self._forward_sink = None
         self._reverse_sink = None
         # Chain the links; the last link of each direction feeds the sink.
@@ -306,8 +316,24 @@ def build_cellular_path(
         else None
     )
 
+    remedy = config.remedy
     wired_buffer = max(8, int(_WIRED_BUFFER_PKTS[generation] * scale))
     ran_buffer = max(8, int(_RAN_BUFFER_PKTS[generation] * scale))
+    if remedy.wired_buffer_ratio != 1.0:
+        # Same arithmetic as the historical ablation hack (cap += extra)
+        # so the drop-tail buffer-sizing golden KPIs carry over exactly.
+        wired_buffer += int(wired_buffer * (remedy.wired_buffer_ratio - 1.0))
+
+    wired_qdisc = (
+        make_qdisc(remedy, wired_buffer, wired_rate)
+        if remedy.apply_to in ("wired", "both")
+        else None
+    )
+    access_qdisc = (
+        make_qdisc(remedy, ran_buffer, access_rate)
+        if remedy.apply_to in ("access", "both")
+        else None
+    )
 
     wired = Link(
         sim,
@@ -316,6 +342,7 @@ def build_cellular_path(
         queue_capacity_packets=wired_buffer,
         name="wired-bottleneck",
         cross_traffic=cross,
+        qdisc=wired_qdisc,
     )
     core = Link(
         sim,
@@ -333,6 +360,7 @@ def build_cellular_path(
         delay_process=DelayProcess(derive(rng))
         if config.with_scheduling_stalls
         else None,
+        qdisc=access_qdisc,
     )
 
     if config.with_scheduling_stalls:
@@ -347,4 +375,141 @@ def build_cellular_path(
         Link(sim, ack_rate, link.delay_s, queue_capacity_packets=100_000, name=f"ack-{link.name}")
         for link in reversed(forward)
     ]
-    return NetworkPath(sim, config, forward, reverse, access_link=access, wired_link=wired)
+    path = NetworkPath(sim, config, forward, reverse, access_link=access, wired_link=wired)
+    path.autorate = _arm_autorate(sim, remedy, wired, access)
+    return path
+
+
+def _arm_autorate(
+    sim: Simulator, remedy: RemedySection, wired: Link, access: Link
+) -> AutorateController | None:
+    """Attach the closed-loop controller to the shaped bottleneck, if any."""
+    if not remedy.autorate:
+        return None
+    for link in (wired, access):
+        if isinstance(link.qdisc, CakeQueue):
+            return AutorateController(
+                sim,
+                link,
+                link.qdisc,
+                target_s=remedy.target_ms / 1e3,
+                interval_s=remedy.autorate_interval_ms / 1e3,
+                floor_ratio=remedy.autorate_floor_ratio,
+            )
+    return None
+
+
+def build_split_paths(
+    sim: Simulator,
+    config: PathConfig,
+    rng: np.random.Generator,
+) -> tuple[NetworkPath, NetworkPath]:
+    """The two halves of a split-connection path: (WAN side, RAN side).
+
+    A performance-enhancing proxy at the RAN edge terminates the UE's
+    TCP connection and runs its own on the wireline segment, so the
+    anomaly-prone wired bottleneck and the stall-prone radio link are
+    congestion-controlled independently.  Both halves reuse the exact
+    link parameters of :func:`build_cellular_path` and draw RNG streams
+    in the same order, and each half is oriented in the data direction
+    (``dl``: WAN carries server->proxy, RAN carries proxy->UE).
+
+    The remedy's qdisc settings still apply to the WAN bottleneck, so a
+    PEP can be combined with AQM.
+    """
+    generation = config.profile.generation
+    scale = config.scale
+
+    access_rate = config.access_rate_bps() * scale
+    wired_rate = _WIRED_RATE_BPS * scale
+    ack_rate = max(access_rate, wired_rate)
+
+    wired_delay = (
+        _WIRED_HOP_DELAY_S * config.wired_hops
+        + _FIBER_S_PER_KM * config.server_distance_km
+    )
+    cross = (
+        CrossTraffic(
+            rng,
+            burst_fraction=_CROSS_BURST_FRACTION,
+            mean_on_s=_CROSS_MEAN_ON_S,
+            mean_off_s=_CROSS_MEAN_OFF_S,
+        )
+        if config.with_cross_traffic
+        else None
+    )
+
+    remedy = config.remedy
+    wired_buffer = max(8, int(_WIRED_BUFFER_PKTS[generation] * scale))
+    ran_buffer = max(8, int(_RAN_BUFFER_PKTS[generation] * scale))
+    if remedy.wired_buffer_ratio != 1.0:
+        wired_buffer += int(wired_buffer * (remedy.wired_buffer_ratio - 1.0))
+
+    wired_qdisc = (
+        make_qdisc(remedy, wired_buffer, wired_rate)
+        if remedy.apply_to in ("wired", "both")
+        else None
+    )
+    access_qdisc = (
+        make_qdisc(remedy, ran_buffer, access_rate)
+        if remedy.apply_to in ("access", "both")
+        else None
+    )
+
+    wired = Link(
+        sim,
+        wired_rate,
+        wired_delay,
+        queue_capacity_packets=wired_buffer,
+        name="wired-bottleneck",
+        cross_traffic=cross,
+        qdisc=wired_qdisc,
+    )
+    core = Link(
+        sim,
+        wired_rate * 4,
+        _CORE_DELAY_S[generation],
+        queue_capacity_packets=wired_buffer * 4,
+        name="core",
+    )
+    access = Link(
+        sim,
+        access_rate,
+        _RAN_DELAY_S[generation],
+        queue_capacity_packets=ran_buffer,
+        name="radio-access",
+        delay_process=DelayProcess(derive(rng))
+        if config.with_scheduling_stalls
+        else None,
+        qdisc=access_qdisc,
+    )
+
+    if config.with_scheduling_stalls:
+        _StallProcess(sim, access, derive(rng))
+
+    if config.direction == "dl":
+        wan_forward = [wired, core]
+    else:
+        wan_forward = [core, wired]
+    ran_forward = [access]
+
+    def _acks(forward: list[Link]) -> list[Link]:
+        return [
+            Link(
+                sim,
+                ack_rate,
+                link.delay_s,
+                queue_capacity_packets=100_000,
+                name=f"ack-{link.name}",
+            )
+            for link in reversed(forward)
+        ]
+
+    wan_path = NetworkPath(
+        sim, config, wan_forward, _acks(wan_forward), access_link=core, wired_link=wired
+    )
+    ran_path = NetworkPath(
+        sim, config, ran_forward, _acks(ran_forward), access_link=access, wired_link=access
+    )
+    wan_path.autorate = _arm_autorate(sim, remedy, wired, access)
+    return wan_path, ran_path

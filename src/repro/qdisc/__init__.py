@@ -1,0 +1,76 @@
+"""repro.qdisc — queue disciplines and remedies for the paper's TCP anomaly.
+
+The paper (Sec. 4.2) shows drop-tail buffers far below the 5G
+bandwidth-delay product collapsing TCP; this subsystem supplies the
+remedies the measurement study could only speculate about: AQM at the
+bottleneck (:class:`CoDelQueue`, :class:`FqCodelQueue`,
+:class:`CakeQueue`), a closed-loop shaper controller
+(:class:`AutorateController`), and a split-connection performance
+enhancing proxy (:mod:`repro.qdisc.pep`).  Scenario wiring lives in the
+``[remedy]`` section (:class:`RemedySection`).
+"""
+
+from __future__ import annotations
+
+from repro.qdisc.base import Qdisc, QdiscStats
+from repro.qdisc.codel import CoDelQueue
+from repro.qdisc.config import QDISC_NAMES, REMEDY_APPLY_TO, RemedySection
+from repro.qdisc.fq_codel import FqCodelQueue, flow_hash
+from repro.qdisc.cake import CakeQueue
+from repro.qdisc.autorate import AutorateController, ShaperState
+
+__all__ = [
+    "Qdisc",
+    "QdiscStats",
+    "CoDelQueue",
+    "FqCodelQueue",
+    "CakeQueue",
+    "AutorateController",
+    "ShaperState",
+    "RemedySection",
+    "QDISC_NAMES",
+    "REMEDY_APPLY_TO",
+    "flow_hash",
+    "make_qdisc",
+]
+
+
+def make_qdisc(remedy: RemedySection, capacity_packets: int, link_rate_bps: float) -> Qdisc | None:
+    """Build the configured discipline, or ``None`` for plain drop-tail.
+
+    ``None`` (not a DropTail-flavoured Qdisc) keeps the default path's
+    event schedule byte-identical to the pre-remedy tree: the link only
+    takes the qdisc code path when a remedy is actually configured.
+    """
+    target_s = remedy.target_ms / 1e3
+    interval_s = remedy.interval_ms / 1e3
+    if remedy.qdisc == "droptail":
+        return None
+    # AQM makes deep buffers safe (the control law caps the standing
+    # queue), so every AQM discipline gets ``aqm_buffer_ratio`` times the
+    # drop-tail allocation: the paper's under-buffered routers overflow
+    # in bursts no control law can pre-empt at 1x depth.
+    capacity_packets = max(8, int(capacity_packets * remedy.aqm_buffer_ratio))
+    if remedy.qdisc == "codel":
+        return CoDelQueue(
+            capacity_packets=capacity_packets, target_s=target_s, interval_s=interval_s
+        )
+    if remedy.qdisc == "fq-codel":
+        return FqCodelQueue(
+            capacity_packets=capacity_packets,
+            target_s=target_s,
+            interval_s=interval_s,
+            flows_count=remedy.flows_count,
+            quantum_bytes=remedy.quantum_bytes,
+        )
+    if remedy.qdisc == "cake":
+        return CakeQueue(
+            shaper_rate_bps=remedy.shaper_ratio * link_rate_bps,
+            capacity_packets=capacity_packets,
+            target_s=target_s,
+            interval_s=interval_s,
+            flows_count=remedy.flows_count,
+            hosts_count=remedy.hosts_count,
+            quantum_bytes=remedy.quantum_bytes,
+        )
+    raise ValueError(f"unknown qdisc {remedy.qdisc!r}")

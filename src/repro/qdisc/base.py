@@ -1,0 +1,168 @@
+"""The queue-discipline contract every :class:`repro.net.link.Link` buffer obeys.
+
+The seed network had exactly one buffer type — the DropTail FIFO whose
+under-provisioning *is* the paper's TCP anomaly (Sec. 4.2).  This module
+extracts its implicit interface into an explicit protocol so remedies
+(CoDel, FQ-CoDel, CAKE) plug into the same link machinery:
+
+* ``enqueue(packet, now_s)`` — offer a packet; ``False`` means the
+  arriving packet was tail-dropped (the caller records the loss).
+* ``dequeue(now_s)`` — hand the serializer the next packet, or ``None``.
+  AQM disciplines may drop queued packets *inside* this call (CoDel's
+  head drops); those losses surface through the ``on_drop`` callback,
+  never through the return value.
+* ``next_ready_s(now_s)`` — for shaped disciplines (CAKE), the virtual
+  time at which a withheld packet becomes eligible; the link schedules a
+  wake-up instead of busy-polling.  Work-conserving queues return
+  ``None``.
+
+Both packet and byte occupancy are first-class: AQM control laws reason
+in sojourn time and bytes, while the paper's buffer estimates (Tab. 3)
+are quoted in packets.
+
+Everything here runs on virtual time fed in by the caller and draws no
+randomness, so serial and parallel campaigns stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    # Type-only: a runtime import would cycle through repro.net/__init__
+    # back into this package (net.path builds qdiscs).
+    from repro.net.packet import Packet
+
+__all__ = ["QdiscStats", "Qdisc"]
+
+
+class QdiscStats:
+    """Shared counters and sojourn tracking for queue disciplines.
+
+    ``peak_sojourn_s`` is resettable (:meth:`take_peak_sojourn_s`) so a
+    closed-loop controller can watch per-interval queueing delay without
+    the qdisc holding an unbounded sample list.
+    """
+
+    __slots__ = (
+        "drops",
+        "aqm_drops",
+        "enqueued",
+        "dequeued",
+        "last_sojourn_s",
+        "_peak_sojourn_s",
+        "_sojourn_sum_s",
+        "_sojourn_count",
+    )
+
+    def __init__(self) -> None:
+        self.drops = 0  # arrivals rejected at the tail
+        self.aqm_drops = 0  # queued packets dropped by the control law
+        self.enqueued = 0
+        self.dequeued = 0
+        self.last_sojourn_s = 0.0
+        self._peak_sojourn_s = 0.0
+        self._sojourn_sum_s = 0.0
+        self._sojourn_count = 0
+
+    def note_sojourn(self, sojourn_s: float) -> None:
+        """Record one dequeued packet's time in queue."""
+        self.last_sojourn_s = sojourn_s
+        if sojourn_s > self._peak_sojourn_s:
+            self._peak_sojourn_s = sojourn_s
+        self._sojourn_sum_s += sojourn_s
+        self._sojourn_count += 1
+
+    def take_peak_sojourn_s(self) -> float:
+        """Peak sojourn since the previous call; resets the peak."""
+        peak = self._peak_sojourn_s
+        self._peak_sojourn_s = 0.0
+        return peak
+
+    def take_mean_sojourn_s(self) -> float:
+        """Mean sojourn since the previous call; resets the accumulator.
+
+        An idle interval (no dequeues) reads as zero queueing delay —
+        the right answer for a controller probing for headroom.
+        """
+        if self._sojourn_count == 0:
+            return 0.0
+        mean = self._sojourn_sum_s / self._sojourn_count
+        self._sojourn_sum_s = 0.0
+        self._sojourn_count = 0
+        return mean
+
+
+class Qdisc(ABC):
+    """Base class for queue disciplines (see the module docstring).
+
+    Subclasses implement :meth:`enqueue` and :meth:`dequeue` and keep
+    ``occupancy``/``occupancy_bytes`` coherent.  ``on_drop`` is invoked
+    for every packet discarded *after* it was accepted (AQM head drops,
+    overload reclaims); tail rejections are signalled by ``enqueue``
+    returning ``False``.
+    """
+
+    #: Name under which the factory registers the discipline.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = QdiscStats()
+        self.on_drop: Callable[[Packet], None] | None = None
+
+    # -- the contract ---------------------------------------------------
+
+    @abstractmethod
+    def enqueue(self, packet: Packet, now_s: float) -> bool:
+        """Offer ``packet`` at virtual time ``now_s``; False = tail drop."""
+
+    @abstractmethod
+    def dequeue(self, now_s: float) -> Packet | None:
+        """Next packet to serialize, or ``None`` (empty or shaped-idle)."""
+
+    @property
+    @abstractmethod
+    def occupancy(self) -> int:
+        """Packets currently queued."""
+
+    @property
+    @abstractmethod
+    def occupancy_bytes(self) -> int:
+        """Bytes currently queued."""
+
+    def next_ready_s(self, now_s: float) -> float | None:
+        """When a withheld packet becomes eligible (shaped qdiscs only)."""
+        return None
+
+    # -- shared bookkeeping ---------------------------------------------
+
+    @property
+    def drops(self) -> int:
+        """Total losses: tail rejections plus control-law drops."""
+        return self.stats.drops + self.stats.aqm_drops
+
+    @property
+    def enqueued(self) -> int:
+        """Packets accepted into the queue since construction."""
+        return self.stats.enqueued
+
+    def _discard(self, packet: Packet) -> None:
+        """Count an in-queue drop and notify the owner."""
+        self.stats.aqm_drops += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    def _forward_drop(self, packet: Packet) -> None:
+        """Relay a child qdisc's drop to this qdisc's owner, uncounted.
+
+        Composite disciplines (FQ-CoDel, CAKE) account for sub-queue
+        drops themselves via occupancy deltas; this hook only keeps the
+        owner's callback informed.
+        """
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    def __len__(self) -> int:
+        return self.occupancy

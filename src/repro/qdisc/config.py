@@ -1,0 +1,112 @@
+"""The ``[remedy]`` scenario section: which fix (if any) to deploy.
+
+This module is imported by both :mod:`repro.scenario.core` (as a section
+of :class:`~repro.scenario.core.Scenario`) and :mod:`repro.net.path`
+(to build the configured qdisc), so it deliberately imports nothing from
+either — only the standard library.
+
+All numeric fields carry unit suffixes (enforced project-wide by
+replint REP011): milliseconds for control-law times, bytes for quanta
+and buffers, dimensionless ``_ratio``/``_count`` otherwise.  The
+zero-argument construction means "no remedy" — plain drop-tail, which
+keeps the default ``paper-nsa`` scenario byte-identical to the
+pre-remedy tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RemedySection", "QDISC_NAMES", "REMEDY_APPLY_TO"]
+
+#: Queue disciplines the factory knows how to build.
+QDISC_NAMES = ("droptail", "codel", "fq-codel", "cake")
+
+#: Which link(s) of the cellular path the qdisc replaces the buffer on.
+REMEDY_APPLY_TO = ("wired", "access", "both")
+
+_PEP_CC_NAMES = ("reno", "cubic", "vegas", "veno", "bbr")
+
+
+@dataclass(frozen=True)
+class RemedySection:
+    """Remediation knobs for the paper's TCP anomaly (Sec. 4.2).
+
+    ``qdisc`` selects the buffer discipline at the bottleneck;
+    ``autorate`` arms the wanctl-style closed-loop shaper controller
+    (requires ``qdisc = "cake"``); ``pep`` splits the TCP connection at
+    the RAN edge instead of (or in addition to) fixing the queue.
+    """
+
+    qdisc: str = "droptail"
+    apply_to: str = "wired"
+    # Tuned below the RFC 8289 defaults (5 ms / 100 ms): the anomaly's
+    # queueing episodes are short bursts, so the control law must react
+    # within one burst tail to beat drop-tail on p99 RTT as well as
+    # goodput (see experiments/remedy_comparison.py).
+    target_ms: float = 3.0
+    interval_ms: float = 50.0
+    quantum_bytes: int = 1514
+    flows_count: int = 1024
+    hosts_count: int = 16
+    shaper_ratio: float = 0.95
+    aqm_buffer_ratio: float = 8.0
+    wired_buffer_ratio: float = 1.0
+    autorate: bool = False
+    # Long enough to average over the cross-traffic ON/OFF cycle
+    # (mean ~120 ms); shorter ticks see every burst and over-steer.
+    autorate_interval_ms: float = 500.0
+    autorate_floor_ratio: float = 0.5
+    pep: bool = False
+    pep_wan_cc: str = "cubic"
+    pep_ran_cc: str = "bbr"
+    pep_buffer_bytes: int = 4_194_304
+
+    def __post_init__(self) -> None:
+        if self.qdisc not in QDISC_NAMES:
+            raise ValueError(f"unknown qdisc {self.qdisc!r} (valid: {', '.join(QDISC_NAMES)})")
+        if self.apply_to not in REMEDY_APPLY_TO:
+            raise ValueError(
+                f"remedy.apply_to must be one of {', '.join(REMEDY_APPLY_TO)},"
+                f" got {self.apply_to!r}"
+            )
+        if self.target_ms <= 0 or self.interval_ms <= 0:
+            raise ValueError("remedy target_ms and interval_ms must be positive")
+        if self.quantum_bytes < 1 or self.flows_count < 1 or self.hosts_count < 1:
+            raise ValueError("remedy quantum_bytes/flows_count/hosts_count must be >= 1")
+        if not 0.0 < self.shaper_ratio <= 1.0:
+            raise ValueError(f"remedy.shaper_ratio out of (0, 1]: {self.shaper_ratio}")
+        if self.aqm_buffer_ratio <= 0:
+            raise ValueError(f"remedy.aqm_buffer_ratio must be > 0, got {self.aqm_buffer_ratio}")
+        if self.wired_buffer_ratio <= 0:
+            raise ValueError(
+                f"remedy.wired_buffer_ratio must be > 0, got {self.wired_buffer_ratio}"
+            )
+        if self.autorate and self.qdisc != "cake":
+            raise ValueError("remedy.autorate requires qdisc = 'cake' (it retunes the shaper)")
+        if self.autorate_interval_ms <= 0:
+            raise ValueError("remedy.autorate_interval_ms must be positive")
+        if not 0.0 < self.autorate_floor_ratio <= 1.0:
+            raise ValueError(
+                f"remedy.autorate_floor_ratio out of (0, 1]: {self.autorate_floor_ratio}"
+            )
+        for field_name in ("pep_wan_cc", "pep_ran_cc"):
+            cc = getattr(self, field_name)
+            if cc not in _PEP_CC_NAMES:
+                raise ValueError(
+                    f"remedy.{field_name} must be one of {', '.join(_PEP_CC_NAMES)}, got {cc!r}"
+                )
+        if self.pep_buffer_bytes < 65536:
+            raise ValueError(
+                f"remedy.pep_buffer_bytes must be >= 65536, got {self.pep_buffer_bytes}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when this section changes nothing (pure drop-tail path)."""
+        return (
+            self.qdisc == "droptail"
+            and not self.autorate
+            and not self.pep
+            and self.wired_buffer_ratio == 1.0
+        )

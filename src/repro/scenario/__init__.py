@@ -10,6 +10,7 @@ Public surface:
 - :func:`apply_overrides` + the ``--set`` / sweep parsers.
 """
 
+from repro.qdisc.config import RemedySection
 from repro.scenario.core import (
     EnergySection,
     RadioSection,
@@ -44,6 +45,7 @@ __all__ = [
     "EnergySection",
     "PRESET_NAMES",
     "RadioSection",
+    "RemedySection",
     "Scenario",
     "ScenarioOverrideError",
     "TopologySection",

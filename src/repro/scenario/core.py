@@ -33,6 +33,7 @@ from repro.energy.simulator import (
     WEB_CAPACITIES,
     WorkloadCapacities,
 )
+from repro.qdisc.config import RemedySection
 
 __all__ = [
     "RadioSection",
@@ -125,6 +126,7 @@ class Scenario:
     topology: TopologySection = TopologySection()
     workload: WorkloadSection = WorkloadSection()
     energy: EnergySection = EnergySection()
+    remedy: RemedySection = RemedySection()
 
     def describe(self) -> str:
         """One-line summary for CLI listings."""

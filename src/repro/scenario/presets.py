@@ -2,8 +2,10 @@
 
 ``paper-nsa`` is the deployment the paper measured; the other presets
 are the "alternative deployments" the core config always promised:
-standalone 5G, a densified gNB grid, an mmWave-flavoured carrier and an
-FDD NR allocation.  Presets are plain :class:`~repro.scenario.core.Scenario`
+standalone 5G, a densified gNB grid, an mmWave-flavoured carrier, an
+FDD NR allocation, and three remedied variants of the measured
+deployment (CoDel, CAKE-with-autorate, split-connection PEP) that fix
+the Sec. 4.2 TCP anomaly.  Presets are plain :class:`~repro.scenario.core.Scenario`
 values — every one of them can also be expressed as a TOML file plus
 ``--set`` overrides.
 """
@@ -13,6 +15,7 @@ from __future__ import annotations
 from dataclasses import replace
 from functools import lru_cache
 
+from repro.qdisc.config import RemedySection
 from repro.scenario.core import Scenario
 
 __all__ = [
@@ -68,12 +71,34 @@ def _fdd_nr() -> Scenario:
     return replace(base, name="fdd-nr", radio=replace(base.radio, nr=nr))
 
 
+def _paper_nsa_codel() -> Scenario:
+    """The measured deployment with CoDel at the wireline bottleneck."""
+    return replace(Scenario(), name="paper-nsa-codel", remedy=RemedySection(qdisc="codel"))
+
+
+def _paper_nsa_cake_autorate() -> Scenario:
+    """CAKE shaping plus the closed-loop autorate controller."""
+    return replace(
+        Scenario(),
+        name="paper-nsa-cake-autorate",
+        remedy=RemedySection(qdisc="cake", autorate=True),
+    )
+
+
+def _paper_nsa_pep() -> Scenario:
+    """Split-connection TCP proxy at the RAN edge, buffers untouched."""
+    return replace(Scenario(), name="paper-nsa-pep", remedy=RemedySection(pep=True))
+
+
 _FACTORIES = {
     "paper-nsa": _paper_nsa,
     "sa-mode": _sa_mode,
     "dense-grid": _dense_grid,
     "mmwave-ish": _mmwave_ish,
     "fdd-nr": _fdd_nr,
+    "paper-nsa-codel": _paper_nsa_codel,
+    "paper-nsa-cake-autorate": _paper_nsa_cake_autorate,
+    "paper-nsa-pep": _paper_nsa_pep,
 }
 
 #: Preset names in documentation order.

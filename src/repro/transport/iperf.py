@@ -10,8 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.rng import default_rng
-from repro.net.path import PathConfig, build_cellular_path
+from repro.net.path import PathConfig, build_cellular_path, build_split_paths
 from repro.net.sim import Simulator
+from repro.qdisc.pep import PepRelay
 from repro.transport.base import CongestionControl, TcpConnection
 from repro.transport.bbr import Bbr
 from repro.transport.cubic import Cubic
@@ -28,6 +29,7 @@ __all__ = [
     "run_udp",
     "run_udp_baseline",
     "run_tcp",
+    "run_tcp_pep",
 ]
 
 CC_ALGORITHMS: dict[str, type[CongestionControl]] = {
@@ -137,7 +139,21 @@ def run_tcp(
         baseline_bps: UDP baseline for the utilization ratio; measured on
             the fly when omitted.
         warmup_s: Initial interval excluded from the throughput average.
+
+    When the path's ``[remedy]`` section asks for a split connection
+    (``remedy.pep``), the run dispatches to :func:`run_tcp_pep` with
+    ``algorithm`` as the origin (server-side) congestion controller, so
+    remedied scenarios flow through every TCP experiment unchanged.
     """
+    if config.remedy.pep:
+        return run_tcp_pep(
+            config,
+            duration_s=duration_s,
+            seed=seed,
+            baseline_bps=baseline_bps,
+            warmup_s=warmup_s,
+            origin_algorithm=algorithm,
+        )
     if baseline_bps is None:
         baseline_bps = run_udp_baseline(config, duration_s=min(duration_s, 15.0), seed=seed)
     sim = Simulator()
@@ -158,4 +174,81 @@ def run_tcp(
         fast_retransmits=stats.fast_retransmits,
         cwnd_trace=tuple(stats.cwnd_trace),
         rtt_samples=tuple(stats.rtt_samples),
+    )
+
+
+def _aligned_rtt_sum(
+    outer: list[tuple[float, float]], inner: list[tuple[float, float]]
+) -> tuple[tuple[float, float], ...]:
+    """End-to-end RTT samples for a split connection.
+
+    For each sample of the ``outer`` (UE-facing) connection, add the most
+    recent sample of the ``inner`` (wireline) connection — a stepwise
+    time alignment that composes the two halves' joint delay without
+    inventing cross-products.  Before the inner connection has a sample,
+    the outer sample stands alone (the relay buffer answers from cache,
+    as a real split proxy does during slow start).
+    """
+    combined: list[tuple[float, float]] = []
+    idx = 0
+    current_inner = 0.0
+    for t, rtt in outer:
+        while idx < len(inner) and inner[idx][0] <= t:
+            current_inner = inner[idx][1]
+            idx += 1
+        combined.append((t, rtt + current_inner))
+    return tuple(combined)
+
+
+def run_tcp_pep(
+    config: PathConfig,
+    duration_s: float = 30.0,
+    seed: int = 1,
+    baseline_bps: float | None = None,
+    warmup_s: float = 0.0,
+    transfer_bytes: int | None = None,
+    origin_algorithm: str | None = None,
+) -> TcpRunResult:
+    """Run a split-connection (PEP) transfer and report UE-side delivery.
+
+    The origin half runs ``origin_algorithm`` (defaulting to
+    ``config.remedy.pep_wan_cc``) over the wireline segment, the proxy's
+    half runs ``config.remedy.pep_ran_cc`` over the radio segment (see
+    :class:`repro.qdisc.pep.PepRelay`).  Goodput is what the UE-facing
+    connection delivered; RTT samples compose both halves via stepwise
+    time alignment.
+    """
+    if baseline_bps is None:
+        baseline_bps = run_udp_baseline(config, duration_s=min(duration_s, 15.0), seed=seed)
+    remedy = config.remedy
+    wan_cc = origin_algorithm if origin_algorithm is not None else remedy.pep_wan_cc
+    sim = Simulator()
+    rng = default_rng(seed)
+    wan_path, ran_path = build_split_paths(sim, config, rng)
+    origin_path, egress_path = (
+        (wan_path, ran_path) if config.direction == "dl" else (ran_path, wan_path)
+    )
+    relay = PepRelay(
+        sim,
+        origin_path,
+        egress_path,
+        origin_cc=make_cc(wan_cc, config.mss_bytes, rate_scale=config.scale),
+        egress_cc=make_cc(remedy.pep_ran_cc, config.mss_bytes, rate_scale=config.scale),
+        buffer_bytes=remedy.pep_buffer_bytes,
+        transfer_bytes=transfer_bytes,
+    )
+    relay.start()
+    sim.run(until=duration_s)
+    egress_stats = relay.egress.stats
+    origin_stats = relay.origin.stats
+    throughput = egress_stats.throughput_bps(duration_s, from_s=warmup_s)
+    return TcpRunResult(
+        algorithm=f"pep:{wan_cc}+{remedy.pep_ran_cc}",
+        throughput_bps=throughput,
+        utilization=throughput / baseline_bps if baseline_bps > 0 else 0.0,
+        retransmissions=origin_stats.retransmissions + egress_stats.retransmissions,
+        timeouts=origin_stats.timeouts + egress_stats.timeouts,
+        fast_retransmits=origin_stats.fast_retransmits + egress_stats.fast_retransmits,
+        cwnd_trace=tuple(origin_stats.cwnd_trace),
+        rtt_samples=_aligned_rtt_sum(egress_stats.rtt_samples, origin_stats.rtt_samples),
     )

@@ -1,0 +1,17 @@
+"""Clean twin: suffixed remedy knobs, virtual-time control loop."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RemedySection:
+    qdisc: str = "codel"
+    target_ms: float = 5.0
+    buffer_limit_pkts: int = 25
+    shaper_ratio: float = 0.95
+
+
+def tick(cake, now_s: float, target_ms: float) -> float:
+    if cake.stats.last_sojourn_s * 1e3 > target_ms:
+        cake.shaper_rate_bps *= 0.9
+    return now_s

@@ -1,0 +1,19 @@
+"""Dirty fixture for REP011: unsuffixed remedy knobs, wall-clock control loop."""
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RemedySection:
+    qdisc: str = "codel"
+    target: float = 5.0
+    buffer_limit: int = 25
+    shaper_ratio: float = 0.95
+
+
+def tick(cake, target_ms: float) -> float:
+    started = time.monotonic()
+    if cake.stats.last_sojourn_s * 1e3 > target_ms:
+        cake.shaper_rate_bps *= 0.9
+    return time.perf_counter() - started

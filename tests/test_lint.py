@@ -56,17 +56,21 @@ EXPECTED_DIRTY = [
     ("REP010", "flow.py", 33),  # RngFactory(42) on an experiment-reachable path
     ("REP010", "flow.py", 38),  # rng param shadowed by default_rng(0)
     ("REP010", "flow.py", 43),  # module global mutated on a reachable path
+    ("REP011", "controller.py", 10),  # numeric remedy field without unit suffix
+    ("REP011", "controller.py", 11),  # second unsuffixed numeric field
+    ("REP011", "controller.py", 16),  # time.monotonic() in qdisc code
+    ("REP011", "controller.py", 19),  # time.perf_counter() in qdisc code
 ]
 
 #: Number of python files in each fixture package.
-FIXTURE_FILES = 7
+FIXTURE_FILES = 8
 
 
 class TestRegistry:
-    def test_all_eight_file_rule_families_registered(self):
+    def test_all_nine_file_rule_families_registered(self):
         assert [r.id for r in all_rules()] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008",
+            "REP008", "REP011",
         ]
 
     def test_both_project_rules_registered(self):
@@ -79,7 +83,7 @@ class TestRegistry:
             by_id[i] == "error"
             for i in (
                 "REP001", "REP002", "REP003", "REP005", "REP006", "REP007",
-                "REP008", "REP009", "REP010",
+                "REP008", "REP009", "REP010", "REP011",
             )
         )
 
@@ -96,6 +100,7 @@ class TestFixtures:
         assert result.counts == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
             "REP006": 6, "REP007": 4, "REP008": 3, "REP009": 4, "REP010": 3,
+            "REP011": 4,
         }
 
     def test_file_pass_only_skips_project_rules(self):
@@ -293,7 +298,7 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "replint: 32 new violation(s)" in out
+        assert "replint: 36 new violation(s)" in out
 
     def test_clean_fixture_passes(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -310,6 +315,7 @@ class TestCli:
         assert payload["counts"] == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
             "REP006": 6, "REP007": 4, "REP008": 3, "REP009": 4, "REP010": 3,
+            "REP011": 4,
         }
         assert payload["baselined_count"] == 0
         assert payload["exit_code"] == 1
@@ -329,11 +335,11 @@ class TestCli:
         assert main(
             ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
         ) == 0
-        assert "wrote 32 grandfathered violation(s)" in capsys.readouterr().out
+        assert "wrote 36 grandfathered violation(s)" in capsys.readouterr().out
         written = json.loads(baseline_path.read_text())
         assert written["schema_version"] == BASELINE_SCHEMA_VERSION
         assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
-        assert "32 baselined" in capsys.readouterr().out
+        assert "36 baselined" in capsys.readouterr().out
 
     def test_missing_path_exits_2(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

@@ -1,0 +1,216 @@
+"""Tests for the remedy layer: presets, PEP transport, remedy experiments.
+
+The full-length acceptance runs (45 s, all six variants) live in the
+benchmark suite; these tests exercise the same code paths at small
+durations and check the structural invariants — scenario plumbing,
+split-connection mechanics, determinism, and that every congestion
+control algorithm the paper measured survives every remedy.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import NR_PROFILE
+from repro.experiments import remedy_cca_matrix, remedy_comparison
+from repro.experiments.registry import resolve_names
+from repro.net import PathConfig
+from repro.qdisc import RemedySection
+from repro.scenario import apply_overrides, preset, resolve_scenario, scenario_digest
+from repro.transport import CC_ALGORITHMS, run_tcp
+
+
+def anomaly_config(**overrides):
+    """A small-scale path that still reproduces the TCP anomaly."""
+    defaults = dict(profile=NR_PROFILE, scale=0.05)
+    defaults.update(overrides)
+    return PathConfig(**defaults)
+
+
+class TestRemedySection:
+    def test_default_is_noop(self):
+        section = RemedySection()
+        assert section.is_noop
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(qdisc="codel"),
+            dict(autorate=True, qdisc="cake"),
+            dict(pep=True),
+            dict(wired_buffer_ratio=4.0),
+        ],
+    )
+    def test_any_remedy_clears_noop(self, kwargs):
+        assert not RemedySection(**kwargs).is_noop
+
+    def test_unknown_qdisc_rejected(self):
+        with pytest.raises(ValueError, match="unknown qdisc"):
+            RemedySection(qdisc="red")
+
+    def test_autorate_requires_cake(self):
+        with pytest.raises(ValueError, match="autorate"):
+            RemedySection(qdisc="codel", autorate=True)
+
+    def test_pep_cc_names_validated(self):
+        with pytest.raises(ValueError, match="pep_ran_cc"):
+            RemedySection(pep=True, pep_ran_cc="turbo")
+
+    def test_unit_bounds(self):
+        with pytest.raises(ValueError):
+            RemedySection(target_ms=0.0)
+        with pytest.raises(ValueError):
+            RemedySection(shaper_ratio=1.5)
+        with pytest.raises(ValueError):
+            RemedySection(pep=True, pep_buffer_bytes=1024)
+
+
+class TestRemedyPresets:
+    def test_codel_preset(self):
+        scn = preset("paper-nsa-codel")
+        assert scn.remedy.qdisc == "codel"
+        assert not scn.remedy.pep
+
+    def test_cake_autorate_preset(self):
+        scn = preset("paper-nsa-cake-autorate")
+        assert scn.remedy.qdisc == "cake"
+        assert scn.remedy.autorate
+
+    def test_pep_preset(self):
+        scn = preset("paper-nsa-pep")
+        assert scn.remedy.pep
+        assert scn.remedy.qdisc == "droptail"
+
+    def test_default_scenario_remedy_free(self):
+        # The paper's measured deployment: any remedy here would break
+        # byte-identity with the pre-remedy tree.
+        assert resolve_scenario(None).remedy.is_noop
+
+    def test_remedy_presets_have_distinct_digests(self):
+        names = ("paper-nsa", "paper-nsa-codel", "paper-nsa-cake-autorate", "paper-nsa-pep")
+        digests = {scenario_digest(preset(n)) for n in names}
+        assert len(digests) == len(names)
+
+    def test_overrides_reach_remedy_section(self):
+        scn = apply_overrides(
+            resolve_scenario(None), {"remedy.qdisc": "codel", "remedy.target_ms": "7.5"}
+        )
+        assert scn.remedy.qdisc == "codel"
+        assert scn.remedy.target_ms == 7.5
+
+    def test_override_validation_propagates(self):
+        with pytest.raises(ValueError):
+            apply_overrides(resolve_scenario(None), {"remedy.qdisc": "wondershaper"})
+
+
+class TestPepTransport:
+    def test_pep_run_reports_split_algorithm(self):
+        config = anomaly_config(remedy=RemedySection(pep=True))
+        result = run_tcp(config, "cubic", duration_s=3.0, seed=3)
+        assert result.algorithm == "pep:cubic+bbr"
+        assert result.throughput_bps > 0
+        assert result.rtt_samples
+
+    def test_pep_ran_cc_configurable(self):
+        config = anomaly_config(remedy=RemedySection(pep=True, pep_ran_cc="cubic"))
+        result = run_tcp(config, "reno", duration_s=2.0, seed=3)
+        assert result.algorithm == "pep:reno+cubic"
+
+    def test_pep_end_to_end_rtt_exceeds_segment_rtt(self):
+        # The e2e sample is the time-aligned sum of both halves, so it
+        # must dominate a single segment's base RTT.
+        config = anomaly_config(remedy=RemedySection(pep=True))
+        result = run_tcp(config, "cubic", duration_s=3.0, seed=3)
+        min_rtt_s = min(rtt for _, rtt in result.rtt_samples)
+        assert min_rtt_s > 0.001
+
+    def test_pep_deterministic(self):
+        config = anomaly_config(remedy=RemedySection(pep=True))
+        a = run_tcp(config, "cubic", duration_s=2.0, seed=5)
+        b = run_tcp(config, "cubic", duration_s=2.0, seed=5)
+        assert a == b
+
+
+class TestRemedyVsCca:
+    """Every CCA the paper measured must survive CoDel and the PEP."""
+
+    @pytest.mark.parametrize("algorithm", sorted(CC_ALGORITHMS))
+    @pytest.mark.parametrize("remedy_name", ["codel", "pep"])
+    def test_cca_recovers_under_remedy(self, algorithm, remedy_name):
+        remedy = (
+            RemedySection(qdisc="codel") if remedy_name == "codel" else RemedySection(pep=True)
+        )
+        result = run_tcp(anomaly_config(remedy=remedy), algorithm, duration_s=3.0, seed=3)
+        assert result.throughput_bps > 0
+        assert result.cwnd_trace
+        # cwnd recovery: the window grows again after its deepest cut.
+        cwnds = [c for _, c in result.cwnd_trace]
+        trough = min(cwnds)
+        assert max(cwnds[cwnds.index(trough):]) > trough
+
+    @pytest.mark.parametrize("algorithm", sorted(CC_ALGORITHMS))
+    def test_cca_remedy_runs_deterministic(self, algorithm):
+        config = anomaly_config(remedy=RemedySection(qdisc="codel"))
+        a = run_tcp(config, algorithm, duration_s=2.0, seed=7)
+        b = run_tcp(config, algorithm, duration_s=2.0, seed=7)
+        assert a == b
+
+
+class TestRemedyComparison:
+    def test_percentile_ms(self):
+        samples = tuple((float(i), i / 1000.0) for i in range(1, 101))
+        assert remedy_comparison.percentile_ms(samples, 0.0) == pytest.approx(1.0)
+        assert remedy_comparison.percentile_ms(samples, 0.99) == pytest.approx(100.0)
+        assert remedy_comparison.percentile_ms((), 0.5) != remedy_comparison.percentile_ms((), 0.5)
+
+    def test_variant_registry(self):
+        assert set(remedy_comparison.HEADLINE_VARIANTS) <= set(remedy_comparison.REMEDY_VARIANTS)
+        assert "droptail" in remedy_comparison.REMEDY_VARIANTS
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown remedy variant"):
+            remedy_comparison.run(duration_s=1.0, variants=("droptail", "wondershaper"))
+
+    def test_structure_and_determinism(self):
+        kwargs = dict(seed=3, duration_s=3.0, variants=("droptail", "codel"))
+        a = remedy_comparison.run(**kwargs)
+        b = remedy_comparison.run(**kwargs)
+        assert a == b
+        assert set(a.goodput_bps) == {"droptail", "codel"}
+        assert a.baseline_bps > 0
+        assert all(v > 0 for v in a.goodput_bps.values())
+        table = a.table()
+        assert len(table.rows) == 2
+        assert a.bufferbloat_ms("codel") == a.p99_rtt_ms["codel"] - a.min_rtt_ms["codel"]
+
+    def test_registry_names_resolve(self):
+        assert resolve_names(["remedy-comparison"]) == ["remedy-comparison"]
+        # Underscore spellings normalize (CLI ergonomics).
+        assert resolve_names(["remedy_comparison"]) == ["remedy-comparison"]
+
+
+class TestRemedyCcaMatrix:
+    def test_matrix_structure(self):
+        result = remedy_cca_matrix.run(seed=3, duration_s=2.0, algorithms=("reno",))
+        assert set(result.goodput_bps) == {
+            ("reno", v) for v in remedy_cca_matrix.MATRIX_VARIANTS
+        }
+        assert result.gain("reno", "droptail") == pytest.approx(1.0)
+        table = result.table()
+        assert len(table.rows) == 1
+
+    def test_matrix_deterministic(self):
+        a = remedy_cca_matrix.run(seed=4, duration_s=2.0, algorithms=("cubic",))
+        b = remedy_cca_matrix.run(seed=4, duration_s=2.0, algorithms=("cubic",))
+        assert a == b
+
+
+class TestRemedyScenarioThreading:
+    def test_remedy_rides_any_scenario(self):
+        # remedy_comparison overrides the scenario's own [remedy] per
+        # variant, so a remedied preset as the base changes nothing else.
+        base = dataclasses.replace(preset("paper-nsa"), remedy=RemedySection(qdisc="cake"))
+        result = remedy_comparison.run(
+            seed=3, duration_s=2.0, variants=("droptail",), scenario=base
+        )
+        assert "droptail" in result.goodput_bps
