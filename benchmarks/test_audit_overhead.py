@@ -1,0 +1,130 @@
+"""Audit overhead benchmark: conservation ledgers must be near-free.
+
+Two measurements, mirroring ``test_trace_overhead``:
+
+* the dispatch loop with auditing disabled vs. a local replica of the
+  uninstrumented seed loop — with no auditor installed the only addition
+  is one ``auditor.enabled`` check per ``run()`` call, so the ratio must
+  stay under 3%;
+* fig11 (the UDP bursty-loss sweep, the audit-heaviest catalogue entry:
+  ~30 link ledgers and ~100k idle-path checks per run) audited vs.
+  unaudited — the enabled path registers watches and flags violations
+  inline, so it may cost real time, but the books must balance at the
+  checkpoint, the result must stay byte-identical, and the wall-clock
+  ratio must stay under the 10% guard.
+
+Run with plain ``pytest benchmarks/test_audit_overhead.py -s`` (these
+tests time themselves and do not use the pytest-benchmark fixture).
+"""
+
+import heapq
+import pickle
+import time
+
+from repro.audit import Auditor, auditing
+from repro.experiments import fig11_bursty_loss
+from repro.net.sim import Simulator
+
+#: Replica's own module global, so the counter increment compiles to the
+#: same LOAD_GLOBAL/STORE_GLOBAL bytecode as the seed loop's.
+_replica_executed = 0
+
+
+def _seed_loop(sim, until=None):
+    """Verbatim replica of the pre-instrumentation ``Simulator.run`` loop."""
+    global _replica_executed
+    heap = sim._heap
+    while heap:
+        event = heap[0]
+        if until is not None and event.time > until:
+            break
+        heapq.heappop(heap)
+        if event.cancelled:
+            continue
+        event.sim = None
+        sim._pending -= 1
+        sim.events_executed += 1
+        _replica_executed += 1
+        sim.now = event.time
+        event.callback(*event.args)
+    if until is not None and sim.now < until:
+        sim.now = until
+
+
+def _noop():
+    pass
+
+
+def _filled_simulator(num_events):
+    sim = Simulator()
+    for i in range(num_events):
+        sim.schedule(i * 1e-6, _noop)
+    return sim
+
+
+def test_disabled_path_overhead_vs_seed_loop():
+    num_events, rounds = 100_000, 5
+    # Interleave the two variants so clock drift hits both equally; time
+    # only the drain, not the heap construction.
+    real_times, replica_times = [], []
+    for _ in range(rounds):
+        sim = _filled_simulator(num_events)
+        started = time.perf_counter()
+        sim.run()
+        real_times.append(time.perf_counter() - started)
+        sim = _filled_simulator(num_events)
+        started = time.perf_counter()
+        _seed_loop(sim)
+        replica_times.append(time.perf_counter() - started)
+    real, replica = min(real_times), min(replica_times)
+    ratio = real / replica
+    rate = num_events / real / 1e6
+    print(f"\ndisabled-path dispatch: {rate:.2f} M events/s, "
+          f"vs seed loop x{ratio:.3f}")
+    assert ratio < 1.03, (
+        f"disabled auditing costs {(ratio - 1) * 100:.1f}% over the seed loop"
+    )
+
+
+def test_fig11_audited_vs_unaudited():
+    rounds = 5
+    fig11_bursty_loss.run(7)  # warm caches before timing anything
+
+    unaudited_times, audited_times = [], []
+    plain = audited = None
+    checkpoint_auditor = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        plain = fig11_bursty_loss.run(7)
+        unaudited_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        with auditing(Auditor()) as auditor:
+            audited = fig11_bursty_loss.run(7)
+            auditor.checkpoint("bench-end")
+        audited_times.append(time.perf_counter() - started)
+        checkpoint_auditor = auditor
+
+    unaudited_s, audited_s = min(unaudited_times), min(audited_times)
+    ratio = audited_s / unaudited_s
+    stats = checkpoint_auditor.stats()
+    print(f"\nfig11: unaudited {unaudited_s:.2f}s, audited {audited_s:.2f}s "
+          f"(x{ratio:.2f}), {stats.checks} checks, "
+          f"{len(checkpoint_auditor.ledger_totals())} ledgers")
+    # Auditing must never perturb the physics.
+    assert pickle.dumps(audited) == pickle.dumps(plain)
+    # ...and the books must actually balance (the bench doubles as an
+    # end-to-end conservation regression for the hottest experiment).
+    assert checkpoint_auditor.violation_count == 0
+    assert stats.checks > 0
+    assert any(
+        name.startswith("audit.link.")
+        for name in checkpoint_auditor.ledger_totals()
+    )
+    # Ledgers are watch closures evaluated at checkpoints plus inline
+    # flag-on-violation guards on the hot paths, so the enabled run must
+    # stay within 10% of the unaudited one (min-of-rounds on both sides
+    # to suppress scheduler noise).
+    assert ratio < 1.10, (
+        f"enabled auditing costs {(ratio - 1) * 100:.1f}% over an unaudited run"
+    )

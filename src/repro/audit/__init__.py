@@ -1,0 +1,64 @@
+"""Runtime verification: conservation ledgers, invariant probes, a flight recorder.
+
+Quick start::
+
+    from repro import audit
+
+    with audit.auditing() as auditor:
+        result = fig7.run(seed=7)
+        residuals = auditor.checkpoint("run-end")
+    auditor.assert_clean("fig7 seed 7")
+    audit.write_jsonl(auditor, "fig7.audit.jsonl")
+
+Components capture :func:`current` once at construction, so the per-call
+cost with no auditor installed is a no-op method on the shared
+:data:`NULL_AUDITOR`.  Set ``REPRO_NO_AUDIT=1`` to keep runner-managed
+runs on the null path entirely.
+
+See :mod:`repro.audit.core` for the recording model,
+:mod:`repro.audit.export` for the byte-deterministic JSONL dumps, and
+:mod:`repro.audit.analysis` for ``repro audit show|diff`` queries.
+"""
+
+from repro.audit.analysis import AuditDiff, diff_audits, summary_table, violations_table
+from repro.audit.core import (
+    NULL_AUDITOR,
+    AuditError,
+    AuditEvent,
+    AuditStats,
+    Auditor,
+    NullAuditor,
+    auditing,
+    audits_enabled,
+    current,
+    install,
+    uninstall,
+)
+from repro.audit.export import (
+    dump_basename,
+    load_audit,
+    to_jsonl_lines,
+    write_jsonl,
+)
+
+__all__ = [
+    "NULL_AUDITOR",
+    "AuditDiff",
+    "AuditError",
+    "AuditEvent",
+    "AuditStats",
+    "Auditor",
+    "NullAuditor",
+    "auditing",
+    "audits_enabled",
+    "current",
+    "diff_audits",
+    "dump_basename",
+    "install",
+    "load_audit",
+    "summary_table",
+    "to_jsonl_lines",
+    "uninstall",
+    "violations_table",
+    "write_jsonl",
+]

@@ -1,0 +1,107 @@
+"""Query helpers over flight-recorder dumps: summaries and diffs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.audit.core import AuditEvent
+from repro.core.results import ResultTable
+
+__all__ = ["AuditDiff", "diff_audits", "summary_table", "violations_table"]
+
+
+def _fmt_args(event: AuditEvent, limit: int = 60) -> str:
+    text = ", ".join(f"{key}={value!r}" for key, value in event.args)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def summary_table(header: dict[str, Any], events: list[AuditEvent]) -> ResultTable:
+    """Per-name aggregates of one dump: counts, kinds, last residual."""
+    table = ResultTable(
+        f"Audit dump ({header.get('notes', 0)} note(s), "
+        f"{header.get('violations', 0)} violation(s), "
+        f"{header.get('checks', 0)} check(s))",
+        ["name", "kind", "events", "first (s)", "last (s)", "last args"],
+    )
+    order: list[tuple[str, str]] = []
+    grouped: dict[tuple[str, str], list[AuditEvent]] = {}
+    for event in events:
+        key = (event.name, event.kind)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(event)
+    # Violations first — they are what the reader opened the dump for.
+    order.sort(key=lambda key: (key[1] != "violation", key[0]))
+    for name, kind in order:
+        group = grouped[(name, kind)]
+        table.add_row(
+            [
+                name,
+                kind,
+                len(group),
+                f"{group[0].time_s:g}",
+                f"{group[-1].time_s:g}",
+                _fmt_args(group[-1]),
+            ]
+        )
+    if not events:
+        table.add_row(["(no events)", "", "", "", "", ""])
+    return table
+
+
+def violations_table(events: list[AuditEvent]) -> ResultTable:
+    """Every violation in emission order, verbatim."""
+    table = ResultTable("Audit violations", ["name", "time (s)", "args"])
+    for event in events:
+        if event.kind == "violation":
+            table.add_row([event.name, f"{event.time_s:g}", _fmt_args(event, limit=80)])
+    return table
+
+
+@dataclass(frozen=True)
+class AuditDiff:
+    """Comparison of two flight-recorder dumps."""
+
+    identical: bool
+    differences: list[str]
+
+    def table(self) -> ResultTable:
+        table = ResultTable("Audit diff", ["difference"])
+        if self.identical:
+            table.add_row(["(identical)"])
+        else:
+            for line in self.differences:
+                table.add_row([line])
+        return table
+
+
+def diff_audits(
+    a: tuple[dict[str, Any], list[AuditEvent]],
+    b: tuple[dict[str, Any], list[AuditEvent]],
+) -> AuditDiff:
+    """Compare two dumps event-for-event.
+
+    A deterministic run dumps byte-identical flight recorders, so any
+    difference — counts, ordering, residual values — is reportable.
+    """
+    header_a, events_a = a
+    header_b, events_b = b
+    differences: list[str] = []
+    for field in ("notes", "violations", "checks", "dropped"):
+        va, vb = header_a.get(field, 0), header_b.get(field, 0)
+        if va != vb:
+            differences.append(f"header {field}: {va} != {vb}")
+    if len(events_a) != len(events_b):
+        differences.append(f"event count: {len(events_a)} != {len(events_b)}")
+    for index, (ea, eb) in enumerate(zip(events_a, events_b)):
+        if ea != eb:
+            differences.append(
+                f"event {index}: {ea.kind} {ea.name}@{ea.time_s:g} != "
+                f"{eb.kind} {eb.name}@{eb.time_s:g}"
+            )
+            if len(differences) >= 10:
+                differences.append("... (further differences suppressed)")
+                break
+    return AuditDiff(identical=not differences, differences=differences)

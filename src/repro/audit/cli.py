@@ -1,0 +1,108 @@
+"""The ``repro audit`` subcommand.
+
+Usage::
+
+    python -m repro audit show run.audit.jsonl            # per-name aggregates
+    python -m repro audit show run.audit.jsonl --violations
+    python -m repro audit diff a.audit.jsonl b.audit.jsonl  # exit 1 on drift
+    python -m repro audit stalls .repro_audit --stall-timeout 300
+
+Flight-recorder dumps come from failed/violating runs (written under
+``$REPRO_AUDIT_DIR``, default ``.repro_audit`` for CLI runs) or from
+``repro run --audit-dump DIR`` (every run).  ``diff`` exits 1 when two
+dumps differ — a deterministic run dumps byte-identical recorders, so it
+doubles as the parallel-vs-serial identity gate in CI.  ``stalls`` scans
+worker heartbeat files and reports runs that look hung.
+
+Missing, empty or truncated dumps fail fast: a one-line message on
+stderr and exit code 1, never a stack trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.audit.analysis import diff_audits, summary_table, violations_table
+from repro.audit.export import load_audit
+
+__all__ = ["add_audit_arguments", "run_audit"]
+
+
+def add_audit_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the audit sub-subcommands to a (sub)parser."""
+    sub = parser.add_subparsers(dest="audit_command", required=True)
+    show = sub.add_parser("show", help="summarise a flight-recorder dump")
+    show.add_argument("audit_file", help="audit dump (.audit.jsonl)")
+    show.add_argument("--violations", action="store_true",
+                      help="list every violation verbatim instead of aggregating")
+    diff = sub.add_parser("diff", help="compare two dumps; exit 1 if they differ")
+    diff.add_argument("audit_a", help="first audit dump")
+    diff.add_argument("audit_b", help="second audit dump")
+    stalls = sub.add_parser(
+        "stalls", help="scan worker heartbeats for hung parallel runs"
+    )
+    stalls.add_argument("heartbeat_dir", nargs="?", default=".repro_audit",
+                        help="heartbeat directory (default: .repro_audit)")
+    stalls.add_argument("--stall-timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="age beyond which a live heartbeat counts as "
+                             "stalled (default: 300)")
+
+
+def _load(path: str):
+    if not Path(path).exists():
+        print(f"repro audit: no such file: {path}", file=sys.stderr)
+        return None
+    try:
+        return load_audit(path)
+    except ValueError as exc:
+        print(f"repro audit: {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def run_audit(args: argparse.Namespace) -> int:
+    """Execute an audit subcommand; returns the process exit code."""
+    if args.audit_command == "show":
+        loaded = _load(args.audit_file)
+        if loaded is None:
+            return 1
+        header, events = loaded
+        if args.violations:
+            print(violations_table(events).render())
+        else:
+            print(summary_table(header, events).render())
+        return 0
+    if args.audit_command == "diff":
+        loaded_a = _load(args.audit_a)
+        loaded_b = _load(args.audit_b)
+        if loaded_a is None or loaded_b is None:
+            return 1
+        diff = diff_audits(loaded_a, loaded_b)
+        print(diff.table().render())
+        return 0 if diff.identical else 1
+    if args.audit_command == "stalls":
+        # Imported here: the runner pulls in the experiment catalogue,
+        # which `audit show/diff` should not pay for.
+        from repro.runner.worker import scan_stalls
+
+        if not Path(args.heartbeat_dir).is_dir():
+            print(f"repro audit: no heartbeat directory: {args.heartbeat_dir}",
+                  file=sys.stderr)
+            return 1
+        stalls = scan_stalls(
+            args.heartbeat_dir, time.monotonic(), args.stall_timeout
+        )
+        if not stalls:
+            print("no stalled workers")
+            return 0
+        for stall in stalls:
+            print(
+                f"worker pid {stall['pid']} stalled on "
+                f"{stall['experiment']!r} (seed {stall['seed']}) — busy "
+                f"{stall['busy_s']:.0f}s > {args.stall_timeout:.0f}s"
+            )
+        return 1
+    raise AssertionError(f"unknown audit command {args.audit_command!r}")

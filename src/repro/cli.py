@@ -30,6 +30,15 @@ merged KPI registry (``repro metrics show|export|diff`` inspects it),
 ``run --profile PATH`` wraps each run in cProfile and dumps a combined
 pstats file, and ``repro bench`` records BENCH_<date>.json performance
 trajectory points gated against ``benchmarks/bench-baseline.json``.
+
+Runs execute under the :mod:`repro.audit` runtime-verification layer by
+default: conservation ledgers and invariant probes run alongside the
+simulation, a probe violation fails the run, and the flight recorder of
+a failed run is dumped under ``.repro_audit/`` (override with
+``$REPRO_AUDIT_DIR``) for ``repro audit show|diff``.  ``--no-audit``
+disables the layer, ``--audit-dump DIR`` dumps every run's flight
+recorder, and ``--stall-timeout N`` arms a heartbeat watchdog that
+reports parallel workers busy longer than N seconds.
 """
 
 from __future__ import annotations
@@ -37,12 +46,14 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import Any
 
 import numpy as np
 
 from repro import trace
+from repro.audit.cli import add_audit_arguments, run_audit
 from repro.core.results import ResultTable
 from repro.experiments.registry import EXPERIMENTS, UnknownExperimentError
 from repro.lint.cli import add_lint_arguments, run_lint
@@ -143,23 +154,29 @@ def _cli_scenario(args: argparse.Namespace) -> Scenario:
 
 
 def _timings_table(outcomes: list[CampaignOutcome]) -> ResultTable:
-    table = ResultTable(
-        "Campaign timings (slowest first)",
-        ["experiment", "wall (s)", "cached", "events run", "rng streams",
-         "peak RSS (MiB)", "RSS growth (MiB)"],
-    )
-    for record in campaign_timings(outcomes):
-        table.add_row(
-            [
-                record.experiment,
-                f"{record.wall_time_s:.2f}",
-                "yes" if record.cached else "no",
-                record.events_executed,
-                record.rng_streams_drawn,
-                f"{record.peak_rss_kib / 1024:.0f}",
-                f"{record.rss_growth_kib / 1024:.0f}",
-            ]
-        )
+    records = campaign_timings(outcomes)
+    # Heartbeats exist only for worker-executed runs under an audit dir;
+    # the column would be all "-" for serial/cached campaigns.
+    with_heartbeats = any(r.heartbeat_finished_s for r in records)
+    columns = ["experiment", "wall (s)", "cached", "events run", "rng streams",
+               "peak RSS (MiB)", "RSS growth (MiB)"]
+    if with_heartbeats:
+        columns.append("worker busy (s)")
+    table = ResultTable("Campaign timings (slowest first)", columns)
+    for record in records:
+        row = [
+            record.experiment,
+            f"{record.wall_time_s:.2f}",
+            "yes" if record.cached else "no",
+            record.events_executed,
+            record.rng_streams_drawn,
+            f"{record.peak_rss_kib / 1024:.0f}",
+            f"{record.rss_growth_kib / 1024:.0f}",
+        ]
+        if with_heartbeats:
+            busy = record.heartbeat_finished_s - record.heartbeat_started_s
+            row.append(f"{busy:.2f}" if record.heartbeat_finished_s else "-")
+        table.add_row(row)
     return table
 
 
@@ -204,6 +221,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (UnknownScenarioError, ScenarioOverrideError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.no_audit:
+        os.environ["REPRO_NO_AUDIT"] = "1"
+    else:
+        # CLI runs always have somewhere to drop a failing run's flight
+        # recorder; library/pytest callers must opt in via the env var.
+        os.environ.setdefault("REPRO_AUDIT_DIR", ".repro_audit")
+        if args.audit_dump is not None:
+            os.environ["REPRO_AUDIT_DUMP"] = args.audit_dump
     non_default = scenario_digest(scenario) != scenario_digest(default_scenario())
     if non_default:
         print(f"scenario: {scenario.describe()}\n")
@@ -253,6 +278,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 run_all=args.run_all,
                 progress=progress,
                 scenario=scenario,
+                stall_timeout_s=args.stall_timeout,
             )
         finally:
             if collector is not None:
@@ -265,6 +291,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     except ExperimentFailure as exc:
         print(str(exc), file=sys.stderr)
+        if exc.audit_dump_path:
+            print(
+                f"inspect with: python -m repro audit show {exc.audit_dump_path}",
+                file=sys.stderr,
+            )
         return 1
 
     if not serial:
@@ -428,6 +459,16 @@ def main(argv: list[str] | None = None) -> int:
                             help="profile each run under cProfile and dump a "
                                  "combined pstats file; forces serial, uncached "
                                  "execution")
+    run_parser.add_argument("--no-audit", action="store_true",
+                            help="disable the runtime verification layer "
+                                 "(conservation ledgers, invariant probes)")
+    run_parser.add_argument("--audit-dump", default=None, metavar="DIR",
+                            help="dump every run's flight recorder (JSONL) "
+                                 "under DIR, violating or not")
+    run_parser.add_argument("--stall-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="parallel runs only: warn when a worker's "
+                                 "heartbeat shows one run busy longer than this")
     sweep_parser = sub.add_parser(
         "sweep",
         help="run experiments under every point of a scenario parameter grid",
@@ -471,6 +512,12 @@ def main(argv: list[str] | None = None) -> int:
         help="inspect metrics files from `run --metrics` (show, export, diff)",
     )
     add_metrics_arguments(metrics_parser)
+    audit_parser = sub.add_parser(
+        "audit",
+        help="inspect flight-recorder dumps and worker heartbeats "
+             "(show, diff, stalls)",
+    )
+    add_audit_arguments(audit_parser)
     bench_parser = sub.add_parser(
         "bench",
         help="write a BENCH_<date>.json trajectory point and gate it against "
@@ -497,6 +544,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_trace(args)
     if args.command == "metrics":
         return run_metrics(args)
+    if args.command == "audit":
+        return run_audit(args)
     if args.command == "bench":
         return run_bench(args)
     parser.error(f"unknown command {args.command!r}")

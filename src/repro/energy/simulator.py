@@ -17,6 +17,7 @@ from repro.energy.drx import (
     TimelineSegment,
     Transfer,
 )
+from repro.audit.core import current as _current_auditor
 from repro.trace.core import current as _current_tracer
 
 __all__ = [
@@ -48,6 +49,53 @@ def _trace_segments(model_name: str, result: EnergyResult) -> EnergyResult:
                 model=model_name,
                 power_w=seg.power_w,
             )
+    return _audit_segments(model_name, result)
+
+
+def _audit_segments(model_name: str, result: EnergyResult) -> EnergyResult:
+    """Energy-ledger checks over one model's timeline (read-only).
+
+    The timeline must be gap-free (every simulated second is priced in
+    exactly one radio state), total dwell must equal the timeline span,
+    and the per-state energy decomposition must re-sum to the total —
+    residuals beyond float accumulation noise mean a state was dropped
+    or double-billed.
+    """
+    auditor = _current_auditor()
+    if not auditor.enabled or not result.segments:
+        return result
+    segments = result.segments
+    end_s = segments[-1].end_s
+    max_gap = 0.0
+    for prev, seg in zip(segments, segments[1:]):
+        gap = abs(seg.start_s - prev.end_s)
+        if gap > max_gap:
+            max_gap = gap
+    auditor.probe(
+        "audit.energy.segment_gap_s",
+        max_gap <= 1e-9,
+        end_s,
+        model=model_name,
+        max_gap_s=max_gap,
+    )
+    span = end_s - segments[0].start_s
+    dwell = sum(seg.duration_s for seg in segments)
+    auditor.observe(
+        "audit.energy.dwell_residual_s",
+        span - dwell,
+        time_s=end_s,
+        tol=1e-6 * max(1.0, span),
+        model=model_name,
+    )
+    total = result.total_energy_j
+    by_state = sum(result.energy_by_state().values())
+    auditor.observe(
+        "audit.energy.state_residual_j",
+        by_state - total,
+        time_s=end_s,
+        tol=1e-9 * max(1.0, abs(total)),
+        model=model_name,
+    )
     return result
 
 

@@ -5,6 +5,7 @@ it below — the engine, CLI, baseline and report layers need no changes.
 """
 
 from repro.lint.rules import (
+    audit,
     determinism,
     hotpath,
     metrics,
@@ -19,6 +20,7 @@ from repro.lint.rules import (
 )
 
 __all__ = [
+    "audit",
     "determinism",
     "hotpath",
     "metrics",

@@ -16,6 +16,7 @@ from repro.metrics.core import (
     NullRegistry,
     collecting,
     current,
+    fold_metric_name,
     install,
     merge_snapshots,
     summarize_entry,
@@ -47,6 +48,7 @@ __all__ = [
     "collecting",
     "current",
     "diff_snapshots",
+    "fold_metric_name",
     "install",
     "load_snapshot",
     "merge_snapshots",

@@ -52,6 +52,7 @@ __all__ = [
     "SNAPSHOT_SCHEMA_VERSION",
     "collecting",
     "current",
+    "fold_metric_name",
     "install",
     "merge_snapshots",
     "summarize_entry",
@@ -70,6 +71,20 @@ def _check_name(name: str) -> str:
             "(lowercase dotted, unit-suffixed — see REP006)"
         )
     return name
+
+
+def fold_metric_name(name: str, prefix: str = "") -> str:
+    """Map an arbitrary label to a valid metric name.
+
+    Characters outside ``[a-z0-9_.]`` fold to ``_`` after lowercasing, so
+    user-facing labels ("wired-bottleneck", span names) become stable
+    registry keys.  ``prefix`` is joined with a dot when given.
+    """
+    folded = "".join(
+        ch if (ch.isascii() and (ch.islower() or ch.isdigit() or ch in "._")) else "_"
+        for ch in name.lower()
+    )
+    return f"{prefix}.{folded}" if prefix else folded
 
 
 class Counter:

@@ -20,6 +20,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.audit.core import current as _current_auditor
+from repro.metrics.core import fold_metric_name
 from repro.net.packet import Packet
 from repro.net.sim import Simulator
 from repro.trace.core import current as _current_tracer
@@ -50,6 +52,9 @@ class DropTailQueue:
         self._bytes = 0
         self.drops = 0
         self.enqueued = 0
+        self.dequeued = 0
+        self.enqueued_bytes = 0
+        self.dequeued_bytes = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -65,6 +70,7 @@ class DropTailQueue:
         self._queue.append(packet)
         self._bytes += packet.size_bytes
         self.enqueued += 1
+        self.enqueued_bytes += packet.size_bytes
         return True
 
     def pop(self) -> Packet | None:
@@ -73,6 +79,8 @@ class DropTailQueue:
             return None
         packet = self._queue.popleft()
         self._bytes -= packet.size_bytes
+        self.dequeued += 1
+        self.dequeued_bytes += packet.size_bytes
         return packet
 
     @property
@@ -208,14 +216,92 @@ class Link:
         self.sink: Callable[[Packet], None] | None = None
         self.delay_process = delay_process
         self.delivered = 0
+        self.delivered_bytes = 0
         self.dropped_packets: list[int] = []
         self._busy = False
         self._paused = False
         self._wake_pending = False
         self._last_delivery_at = 0.0
+        self._in_transit = 0
+        self._in_transit_bytes = 0
         # Like Simulator: with no tracer installed this is the null
         # tracer and the depth counters compile down to one bool check.
         self._tracer = _current_tracer()
+        self._auditor = _current_auditor()
+        self._audit_idle_name = ""
+        if self._auditor.enabled:
+            self._register_audit()
+
+    def _register_audit(self) -> None:
+        """Register this hop's conservation ledgers with the active auditor.
+
+        Each watch is a closure re-evaluated at audit checkpoints; a
+        nonzero residual means a packet or byte was created or destroyed
+        outside the enqueue/dequeue/drop bookkeeping.
+        """
+        auditor = self._auditor
+        n = fold_metric_name(self.name)
+        self._audit_idle_name = f"audit.link.{n}.idle_occupancy_pkts"
+        queue = self.queue
+        if self.qdisc is not None:
+            qdisc = self.qdisc
+            stats = qdisc.stats
+            auditor.watch(
+                f"audit.link.{n}.queue_residual_pkts",
+                lambda: stats.enqueued - stats.dequeued - stats.aqm_drops - qdisc.occupancy,
+            )
+            auditor.watch(
+                f"audit.link.{n}.queue_residual_bytes",
+                lambda: stats.enqueued_bytes
+                - stats.dequeued_bytes
+                - stats.aqm_dropped_bytes
+                - qdisc.occupancy_bytes,
+            )
+            auditor.watch(
+                f"audit.link.{n}.occupancy_residual_pkts",
+                lambda: qdisc.occupancy_residual()[0],
+            )
+            auditor.watch(
+                f"audit.link.{n}.occupancy_residual_bytes",
+                lambda: qdisc.occupancy_residual()[1],
+            )
+            auditor.watch(
+                f"audit.link.{n}.sojourn_bounds_s",
+                lambda: max(0.0, -stats.last_sojourn_s),
+            )
+        else:
+            auditor.watch(
+                f"audit.link.{n}.queue_residual_pkts",
+                lambda: queue.enqueued - queue.dequeued - queue.occupancy,
+            )
+            auditor.watch(
+                f"audit.link.{n}.queue_residual_bytes",
+                lambda: queue.enqueued_bytes - queue.dequeued_bytes - queue.occupancy_bytes,
+            )
+        capacity = getattr(queue, "capacity_packets", None)
+        if capacity is not None:
+            auditor.watch(
+                f"audit.link.{n}.occupancy_bounds_pkts",
+                lambda: max(0, -queue.occupancy) + max(0, queue.occupancy - capacity),
+            )
+        auditor.watch(
+            f"audit.link.{n}.transit_residual_pkts",
+            lambda: self._dequeued_total() - self.delivered - self._in_transit,
+        )
+        auditor.watch(
+            f"audit.link.{n}.transit_residual_bytes",
+            lambda: self._dequeued_total_bytes() - self.delivered_bytes - self._in_transit_bytes,
+        )
+
+    def _dequeued_total(self) -> int:
+        return self.qdisc.stats.dequeued if self.qdisc is not None else self.queue.dequeued
+
+    def _dequeued_total_bytes(self) -> int:
+        return (
+            self.qdisc.stats.dequeued_bytes
+            if self.qdisc is not None
+            else self.queue.dequeued_bytes
+        )
 
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Set where serialized packets get delivered."""
@@ -273,13 +359,30 @@ class Link:
                 # Shaped qdiscs may hold packets back; wake up when the
                 # next one becomes eligible instead of going idle.
                 self._schedule_wake()
+                # Inline occupancy test: links go idle ~100k times per run,
+                # so the helper (and its kwargs) run only on violation.
+                if (
+                    self._auditor.enabled
+                    and not self._wake_pending
+                    and self.queue.occupancy
+                ):
+                    self._audit_idle_probe()
                 return
             self.qdisc.stats.dequeued += 1
+            self.qdisc.stats.dequeued_bytes += packet.size_bytes
         else:
             packet = self.queue.pop()
             if packet is None:
                 self._busy = False
+                # pop() returning None already proves the deque is empty,
+                # so the only book that can drift here is the byte counter;
+                # an int attribute load keeps the ~100k-per-run idle path
+                # free of property-call overhead.
+                if self._auditor.enabled and self.queue._bytes:
+                    self._audit_idle_probe()
                 return
+        self._in_transit += 1
+        self._in_transit_bytes += packet.size_bytes
         self._busy = True
         rate = max(self.current_rate_bps(), 1.0)
         serialization = packet.size_bytes * 8 / rate
@@ -311,7 +414,24 @@ class Link:
         if not self._busy and not self._paused:
             self._transmit_next()
 
+    def _audit_idle_probe(self) -> None:
+        """Going idle must mean an empty book: dequeue() said "no packet"
+        with no shaped hold-back pending, so a nonzero occupancy book is
+        an accounting leak (the structure is empty, the counter is not).
+        Callers inline the occupancy test, so reaching here *is* the
+        violation."""
+        self._auditor.flag(
+            self._audit_idle_name,
+            self.sim.now,
+            occupancy=self.queue.occupancy,
+            occupancy_bytes=self.queue.occupancy_bytes,
+            link=self.name,
+        )
+
     def _deliver(self, packet: Packet) -> None:
         self.delivered += 1
+        self.delivered_bytes += packet.size_bytes
+        self._in_transit -= 1
+        self._in_transit_bytes -= packet.size_bytes
         assert self.sink is not None
         self.sink(packet)

@@ -19,6 +19,7 @@ import heapq
 from collections.abc import Callable
 from typing import Any, NamedTuple
 
+from repro.audit import core as audit
 from repro.trace import core as trace
 
 __all__ = ["Event", "SimCounters", "Simulator", "global_counters"]
@@ -105,6 +106,7 @@ class Simulator:
         # Captured once at construction: with no tracer installed this is the
         # module-level null tracer and run() takes the untraced loop.
         self.tracer = trace.current()
+        self.auditor = audit.current()
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -138,10 +140,13 @@ class Simulator:
         With ``until`` set, simulation time always advances exactly to
         ``until`` even if the heap drains earlier.
 
-        The loop is duplicated rather than branching per event: tracing is
-        decided once per ``run()`` call, so with tracing disabled the hot
-        path is identical to the uninstrumented loop.
+        The loop is duplicated rather than branching per event: tracing and
+        auditing are decided once per ``run()`` call, so with both disabled
+        the hot path is identical to the uninstrumented loop.
         """
+        if self.auditor.enabled:
+            self._run_audited(until)
+            return
         if self.tracer.enabled:
             self._run_traced(until)
             return
@@ -188,6 +193,50 @@ class Simulator:
             label = getattr(callback, "__qualname__", None) or type(callback).__name__
             tracer.complete("sim.dispatch", event.time, self.now, callback=label)
             tracer.counter("sim.queue_depth", self.now, float(self._pending))
+        if until is not None and self.now < until:
+            self.now = until
+
+    def _run_audited(self, until: float | None) -> None:
+        """The ``run`` loop with a virtual-time monotonicity probe.
+
+        ``schedule()`` rejects negative delays, so a dispatch time behind
+        ``now`` can only come from a future bookkeeping regression (heap
+        corruption, a mutated ``Event.time``); the probe turns that from
+        silent causality violation into a flagged audit event.  Tracing,
+        when also active, emits the same records as :meth:`_run_traced`.
+        """
+        global _total_executed
+        heap = self._heap
+        tracer = self.tracer
+        auditor = self.auditor
+        traced = tracer.enabled
+        now = self.now  # local mirror: one compare per event, no attr load
+        while heap:
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            event.sim = None
+            self._pending -= 1
+            self.events_executed += 1
+            _total_executed += 1
+            etime = event.time
+            if etime < now:
+                auditor.flag(
+                    "audit.sim.time_regression_s",
+                    etime,
+                    regression_s=now - etime,
+                )
+            now = etime
+            self.now = etime
+            callback = event.callback
+            callback(*event.args)
+            if traced:
+                label = getattr(callback, "__qualname__", None) or type(callback).__name__
+                tracer.complete("sim.dispatch", event.time, self.now, callback=label)
+                tracer.counter("sim.queue_depth", self.now, float(self._pending))
         if until is not None and self.now < until:
             self.now = until
 

@@ -51,6 +51,9 @@ class QdiscStats:
         "aqm_drops",
         "enqueued",
         "dequeued",
+        "enqueued_bytes",
+        "dequeued_bytes",
+        "aqm_dropped_bytes",
         "last_sojourn_s",
         "_peak_sojourn_s",
         "_sojourn_sum_s",
@@ -62,6 +65,9 @@ class QdiscStats:
         self.aqm_drops = 0  # queued packets dropped by the control law
         self.enqueued = 0
         self.dequeued = 0
+        self.enqueued_bytes = 0
+        self.dequeued_bytes = 0
+        self.aqm_dropped_bytes = 0
         self.last_sojourn_s = 0.0
         self._peak_sojourn_s = 0.0
         self._sojourn_sum_s = 0.0
@@ -148,9 +154,25 @@ class Qdisc(ABC):
         """Packets accepted into the queue since construction."""
         return self.stats.enqueued
 
+    def occupancy_residual(self) -> tuple[int, int]:
+        """Book-vs-recount drift as ``(packets, bytes)``; zero when sound.
+
+        Walks the live queue structure (:meth:`_recount`) and subtracts
+        the recount from the incrementally maintained ``occupancy`` /
+        ``occupancy_bytes`` books.  O(queued packets) — call it from
+        audit checkpoints, not per-packet hot paths.
+        """
+        pkts, size_bytes = self._recount()
+        return self.occupancy - pkts, self.occupancy_bytes - size_bytes
+
+    def _recount(self) -> tuple[int, int]:
+        """Ground-truth ``(packets, bytes)`` from the live queue structure."""
+        raise NotImplementedError(f"{type(self).__name__} does not support recount")
+
     def _discard(self, packet: Packet) -> None:
         """Count an in-queue drop and notify the owner."""
         self.stats.aqm_drops += 1
+        self.stats.aqm_dropped_bytes += packet.size_bytes
         if self.on_drop is not None:
             self.on_drop(packet)
 

@@ -128,6 +128,7 @@ class CakeQueue(Qdisc):
         self._pkts += 1
         self._bytes += packet.size_bytes
         self.stats.enqueued += 1
+        self.stats.enqueued_bytes += packet.size_bytes
         if not flow.active:
             flow.active = True
             flow.deficit_bytes = self.quantum_bytes
@@ -172,6 +173,7 @@ class CakeQueue(Qdisc):
                 host.ring.rotate(-1)
                 continue
             before = flow.codel.occupancy
+            before_aqm_bytes = flow.codel.stats.aqm_dropped_bytes
             packet = flow.codel.dequeue(now_s)
             dropped = before - flow.codel.occupancy - (1 if packet is not None else 0)
             if dropped:
@@ -185,6 +187,9 @@ class CakeQueue(Qdisc):
                     # add it back so that subtraction lands on zero.
                     self._bytes += packet.size_bytes
                 self.stats.aqm_drops += dropped
+                self.stats.aqm_dropped_bytes += (
+                    flow.codel.stats.aqm_dropped_bytes - before_aqm_bytes
+                )
             if packet is None:
                 host.ring.popleft()
                 flow.active = False
@@ -193,6 +198,16 @@ class CakeQueue(Qdisc):
             self.stats.note_sojourn(flow.codel.stats.last_sojourn_s)
             return packet
         return None
+
+    def _recount(self) -> tuple[int, int]:
+        pkts = 0
+        size_bytes = 0
+        for host in self._hosts.values():
+            for flow in host.flows.values():
+                flow_pkts, flow_bytes = flow.codel._recount()
+                pkts += flow_pkts
+                size_bytes += flow_bytes
+        return pkts, size_bytes
 
     def next_ready_s(self, now_s: float) -> float | None:
         if self._pkts and now_s < self._time_next_packet_s:

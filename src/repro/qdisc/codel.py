@@ -40,6 +40,12 @@ class CoDelQueue(Qdisc):
 
     name = "codel"
 
+    #: Test-only fault hook: when set to N > 0 (class or instance), every
+    #: Nth dequeue silently loses its head packet — no stats, no byte
+    #: book-keeping beyond the raw removal — so the audit ledgers have a
+    #: real accounting bug to catch.  Never set outside tests/CI demos.
+    _fault_leak_every = 0
+
     def __init__(
         self,
         capacity_packets: int = 1000,
@@ -60,6 +66,7 @@ class CoDelQueue(Qdisc):
         self.mtu_bytes = mtu_bytes
         self._queue: deque[tuple[Packet, float]] = deque()
         self._bytes = 0
+        self._fault_tick = 0
         # Control-law state (RFC 8289 pseudocode names).
         self._first_above_time_s = 0.0
         self._drop_next_s = 0.0
@@ -79,6 +86,7 @@ class CoDelQueue(Qdisc):
         self._queue.append((packet, now_s))
         self._bytes += packet.size_bytes
         self.stats.enqueued += 1
+        self.stats.enqueued_bytes += packet.size_bytes
         return True
 
     def _pop_head(self, now_s: float) -> Packet | None:
@@ -112,7 +120,20 @@ class CoDelQueue(Qdisc):
             return False
         return now_s >= self._first_above_time_s
 
+    def _recount(self) -> tuple[int, int]:
+        return len(self._queue), sum(p.size_bytes for p, _ in self._queue)
+
     def dequeue(self, now_s: float) -> Packet | None:
+        if self._fault_leak_every > 0 and self._queue:
+            self._fault_tick += 1
+            if self._fault_tick % self._fault_leak_every == 0:
+                # Injected accounting bug (see _fault_leak_every): the
+                # head packet vanishes without touching any counter.
+                lost, _ = self._queue.popleft()
+                self._bytes -= lost.size_bytes
+                if not self._queue:
+                    self._dropping = False
+                    return None
         packet = self._pop_head(now_s)
         if packet is None:
             self._dropping = False

@@ -103,6 +103,7 @@ class FqCodelQueue(Qdisc):
         self._pkts += 1
         self._bytes += packet.size_bytes
         self.stats.enqueued += 1
+        self.stats.enqueued_bytes += packet.size_bytes
         if not flow.active:
             # Sparse-flow credit: newly-active flows are served first.
             flow.active = True
@@ -122,11 +123,14 @@ class FqCodelQueue(Qdisc):
                 self._old_flows.append(bucket)
                 continue
             before = flow.codel.occupancy
+            before_aqm_bytes = flow.codel.stats.aqm_dropped_bytes
             packet = flow.codel.dequeue(now_s)
             # Surface the sub-queue's control-law drops at this level.
             dropped = before - flow.codel.occupancy - (1 if packet is not None else 0)
             if dropped:
-                self._account_aqm_drops(flow, dropped)
+                self._account_aqm_drops(
+                    flow, dropped, flow.codel.stats.aqm_dropped_bytes - before_aqm_bytes
+                )
             if packet is None:
                 # Queue drained: a new flow that empties within its first
                 # quantum stays "sparse" — it re-enters via new_flows on
@@ -145,11 +149,21 @@ class FqCodelQueue(Qdisc):
             return packet
         return None
 
-    def _account_aqm_drops(self, flow: _Flow, dropped: int) -> None:
+    def _account_aqm_drops(self, flow: _Flow, dropped: int, dropped_bytes: int) -> None:
         self._pkts -= dropped
         # Sub-queue byte occupancy is authoritative; recompute the total.
         self._bytes = sum(f.codel.occupancy_bytes for f in self._flows.values())
         self.stats.aqm_drops += dropped
+        self.stats.aqm_dropped_bytes += dropped_bytes
+
+    def _recount(self) -> tuple[int, int]:
+        pkts = 0
+        size_bytes = 0
+        for flow in self._flows.values():
+            flow_pkts, flow_bytes = flow.codel._recount()
+            pkts += flow_pkts
+            size_bytes += flow_bytes
+        return pkts, size_bytes
 
     @property
     def occupancy(self) -> int:

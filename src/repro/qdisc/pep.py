@@ -28,6 +28,7 @@ deterministic as single-connection ones.
 
 from __future__ import annotations
 
+from repro.audit import core as audit
 from repro.net.packet import Packet
 from repro.net.path import NetworkPath
 from repro.net.sim import Simulator
@@ -108,6 +109,7 @@ class PepRelay:
         self.sim = sim
         self.buffer_bytes = buffer_bytes
         self._config_rwnd_bytes = origin_path.config.rwnd_bytes
+        self._auditor = audit.current()
         self.ingress = PepIngress(sim, origin_path, flow_id, relay=self)
         self.origin = TcpSender(sim, origin_path, origin_cc, flow_id, transfer_bytes=transfer_bytes)
         self.egress = PepEgressSender(sim, egress_path, egress_cc, flow_id, relay=self)
@@ -145,3 +147,32 @@ class PepRelay:
     def _update_backpressure(self) -> None:
         headroom = self.buffer_bytes - self.backlog_bytes
         self.origin.rwnd_bytes = min(self._config_rwnd_bytes, max(headroom, 0))
+        if self._auditor.enabled:
+            self._audit_backpressure()
+
+    def _audit_backpressure(self) -> None:
+        """Bounds probes on the relay's backpressure coupling (read-only).
+
+        The advertised window must stay inside [0, configured rwnd], and
+        the backlog inside [0, buffer + configured rwnd] — the origin may
+        legitimately overshoot the buffer by at most the window it was
+        advertised *before* the buffer filled.
+        """
+        auditor = self._auditor
+        now = self.sim.now
+        rwnd = self.origin.rwnd_bytes
+        backlog = self.backlog_bytes
+        auditor.probe(
+            "audit.pep.rwnd_bounds_bytes",
+            0 <= rwnd <= self._config_rwnd_bytes,
+            now,
+            rwnd=rwnd,
+            config_rwnd=self._config_rwnd_bytes,
+        )
+        auditor.probe(
+            "audit.pep.backlog_bounds_bytes",
+            0 <= backlog <= self.buffer_bytes + self._config_rwnd_bytes,
+            now,
+            backlog=backlog,
+            buffer=self.buffer_bytes,
+        )

@@ -32,7 +32,7 @@ from repro.runner.campaign import (
 from repro.runner.instrument import RunRecord, instrumented_call, streams_by_worker
 from repro.runner.profiling import ProfileCollector
 from repro.runner.sweep import SweepPoint, run_sweep
-from repro.runner.worker import ExperimentFailure, execute_experiment
+from repro.runner.worker import ExperimentFailure, execute_experiment, scan_stalls
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -50,6 +50,7 @@ __all__ = [
     "merged_metrics",
     "run_campaign",
     "run_sweep",
+    "scan_stalls",
     "source_hash",
     "streams_by_worker",
 ]

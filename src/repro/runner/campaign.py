@@ -10,6 +10,9 @@ caller's request order regardless of completion order.
 
 from __future__ import annotations
 
+import os
+import sys
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Sequence
@@ -20,10 +23,13 @@ from repro.experiments.registry import resolve_names
 from repro.metrics.core import merge_snapshots
 from repro.runner.cache import ResultCache
 from repro.runner.instrument import RunRecord
-from repro.runner.worker import execute_experiment, warm_worker
+from repro.runner.worker import AUDIT_DIR_ENV, execute_experiment, scan_stalls, warm_worker
 from repro.scenario import Scenario, resolve_scenario, scenario_digest
 
 __all__ = ["CampaignOutcome", "campaign_timings", "merged_metrics", "run_campaign"]
+
+#: How often the parallel wait loop wakes to scan worker heartbeats.
+_WATCHDOG_POLL_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,7 @@ def run_campaign(
     run_all: bool = False,
     progress: Callable[[CampaignOutcome], None] | None = None,
     scenario: Scenario | str | None = None,
+    stall_timeout_s: float | None = None,
 ) -> list[CampaignOutcome]:
     """Run a set of catalogue experiments and return outcomes in request order.
 
@@ -58,6 +65,11 @@ def run_campaign(
         scenario: deployment to run under — anything
             :func:`repro.scenario.resolve_scenario` accepts.  Resolved
             once here; workers receive the concrete value.
+        stall_timeout_s: parallel campaigns only — a run busy longer
+            than this (per the worker heartbeats under
+            ``$REPRO_AUDIT_DIR``) is reported on stderr as a suspected
+            hang.  None (or no heartbeat directory) disables the
+            watchdog.  Advisory: nothing is killed.
 
     Raises:
         UnknownExperimentError: for names outside the catalogue.
@@ -105,8 +117,29 @@ def run_campaign(
                 for name in misses
             }
             pending = set(futures)
+            heartbeat_dir = os.environ.get(AUDIT_DIR_ENV, "")
+            watchdog = stall_timeout_s is not None and bool(heartbeat_dir)
+            reported: set[int] = set()
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, pending = wait(
+                    pending,
+                    timeout=_WATCHDOG_POLL_S if watchdog else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                if watchdog and not done:
+                    for stall in scan_stalls(
+                        heartbeat_dir, time.monotonic(), stall_timeout_s
+                    ):
+                        if stall["pid"] in reported:
+                            continue
+                        reported.add(stall["pid"])
+                        print(
+                            f"warning: worker pid {stall['pid']} busy "
+                            f"{stall['busy_s']:.0f}s on {stall['experiment']!r} "
+                            f"(seed {stall['seed']}) — possible hang; see "
+                            f"`repro audit stalls {heartbeat_dir}`",
+                            file=sys.stderr,
+                        )
                 for future in done:
                     result, record = future.result()
                     record_outcome(futures[future], result, record)

@@ -21,10 +21,13 @@ import dataclasses
 import os
 import sys
 import time
+import traceback as traceback_module
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
+from repro.audit import core as audit
+from repro.audit.export import dump_basename, write_jsonl
 from repro.core import rng
 from repro.metrics import core as metrics
 from repro.net import sim
@@ -77,6 +80,13 @@ class RunRecord:
     :class:`~repro.runner.profiling.ProfileCollector` was installed.
     ``scenario_digest`` identifies the :class:`repro.scenario.Scenario`
     the run executed under (empty for pre-scenario records).
+    ``failure_traceback`` carries the full formatted traceback when the
+    run raised (empty for successful runs) and ``audit_dump_path`` the
+    flight-recorder dump written for a failed or violating run, so
+    parallel-campaign failures are debuggable post-hoc.  The heartbeat
+    pair are this worker's ``time.monotonic()`` stamps around the run
+    (0.0 outside heartbeat-tracked campaigns) — the stall watchdog reads
+    the same stamps from disk while the run is still in flight.
     """
 
     experiment: str
@@ -94,6 +104,10 @@ class RunRecord:
     trace_summary: dict[str, int] | None = None
     metrics: dict[str, Any] | None = None
     profile_top: list[dict[str, Any]] | None = None
+    failure_traceback: str = ""
+    audit_dump_path: str = ""
+    heartbeat_started_s: float = 0.0
+    heartbeat_finished_s: float = 0.0
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON export."""
@@ -122,6 +136,13 @@ def streams_by_worker(records: Iterable[RunRecord]) -> dict[int, int]:
     return dict(sorted(totals.items()))
 
 
+def _audit_dump(auditor: audit.Auditor, experiment: str, seed: int, directory: str) -> str:
+    """Write the flight recorder under ``directory``; returns the path."""
+    path = os.path.join(directory, dump_basename(experiment, seed))
+    write_jsonl(auditor, path, meta={"experiment": experiment, "seed": seed})
+    return path
+
+
 def instrumented_call(
     experiment: str, seed: int, fn: Callable[[], T], scenario_digest: str = ""
 ) -> tuple[T, RunRecord]:
@@ -130,47 +151,116 @@ def instrumented_call(
     Simulator/RNG figures are deltas of the process-wide counters, so the
     record reflects exactly the work done between entry and exit — including
     any simulators the experiment created internally.
+
+    Unless ``REPRO_NO_AUDIT=1``, the run executes under a per-run
+    :class:`repro.audit.Auditor`: components register conservation
+    ledgers at construction, residuals are asserted at the run-end
+    checkpoint, and ``audit.*`` KPIs are exported into the run's metric
+    registry.  A probe violation raises :class:`repro.audit.AuditError`
+    (the run *fails*); when the run raises — for any reason — the flight
+    recorder is dumped under ``$REPRO_AUDIT_DIR`` (if set) and a failure
+    :class:`RunRecord` plus the dump path are attached to the exception
+    for post-hoc debugging.  ``$REPRO_AUDIT_DUMP`` dumps every run,
+    violating or not (the determinism gate in CI).
     """
     sim_before = sim.global_counters()
     rng_before = rng.streams_drawn()
     rss_before = peak_rss_kib()
     tracer = trace.current()
     trace_before = summarize(tracer) if tracer.enabled else None
+    auditor = audit.install(audit.Auditor()) if audit.audits_enabled() else None
     registry = metrics.install(metrics.MetricRegistry(origin=f"{experiment}:{seed}"))
     collector = profiling.active()
     started = time.perf_counter()
+
+    def make_record(
+        wall: float, failure_traceback: str = "", audit_dump_path: str = ""
+    ) -> RunRecord:
+        sim_after = sim.global_counters()
+        rss_after = peak_rss_kib()
+        trace_summary = None
+        if trace_before is not None:
+            trace_after = summarize(tracer)
+            trace_summary = {
+                key: trace_after[key] - trace_before[key] for key in trace_after
+            }
+        snapshot = registry.snapshot()
+        return RunRecord(
+            experiment=experiment,
+            seed=seed,
+            cached=False,
+            wall_time_s=wall,
+            events_scheduled=sim_after.scheduled - sim_before.scheduled,
+            events_executed=sim_after.executed - sim_before.executed,
+            events_cancelled=sim_after.cancelled - sim_before.cancelled,
+            rng_streams_drawn=rng.streams_drawn() - rng_before,
+            peak_rss_kib=rss_after,
+            worker_pid=os.getpid(),
+            rss_growth_kib=max(rss_after - rss_before, 0),
+            scenario_digest=scenario_digest,
+            trace_summary=trace_summary,
+            metrics=snapshot if snapshot["metrics"] else None,
+            profile_top=profile_top,
+            failure_traceback=failure_traceback,
+            audit_dump_path=audit_dump_path,
+        )
+
     try:
         if collector is not None:
             result, profile_top = profiling.profiled_call(experiment, collector, fn)
         else:
             result = fn()
             profile_top = None
+    except Exception as exc:
+        profile_top = None
+        if auditor is not None:
+            auditor.note(
+                "audit.run.exception_count", 0.0, experiment=experiment,
+                error=type(exc).__name__,
+            )
+            dump_dir = os.environ.get("REPRO_AUDIT_DIR", "")
+            dump_path = (
+                _audit_dump(auditor, experiment, seed, dump_dir) if dump_dir else ""
+            )
+            # Best-effort attach for post-hoc debugging; an exception type
+            # with __slots__ simply travels without the extras.
+            try:
+                exc.audit_dump_path = dump_path
+                exc.run_record = make_record(
+                    time.perf_counter() - started,
+                    failure_traceback=traceback_module.format_exc(),
+                    audit_dump_path=dump_path,
+                )
+            except Exception:
+                pass
+        raise
     finally:
         wall = time.perf_counter() - started
         metrics.uninstall(registry)
-    snapshot = registry.snapshot()
-    metrics_snapshot = snapshot if snapshot["metrics"] else None
-    sim_after = sim.global_counters()
-    rss_after = peak_rss_kib()
-    trace_summary = None
-    if trace_before is not None:
-        trace_after = summarize(tracer)
-        trace_summary = {key: trace_after[key] - trace_before[key] for key in trace_after}
-    record = RunRecord(
-        experiment=experiment,
-        seed=seed,
-        cached=False,
-        wall_time_s=wall,
-        events_scheduled=sim_after.scheduled - sim_before.scheduled,
-        events_executed=sim_after.executed - sim_before.executed,
-        events_cancelled=sim_after.cancelled - sim_before.cancelled,
-        rng_streams_drawn=rng.streams_drawn() - rng_before,
-        peak_rss_kib=rss_after,
-        worker_pid=os.getpid(),
-        rss_growth_kib=max(rss_after - rss_before, 0),
-        scenario_digest=scenario_digest,
-        trace_summary=trace_summary,
-        metrics=metrics_snapshot,
-        profile_top=profile_top,
-    )
+        if auditor is not None:
+            audit.uninstall(auditor)
+    if auditor is not None:
+        auditor.checkpoint("run-end")
+        dump_dir = os.environ.get("REPRO_AUDIT_DUMP", "")
+        dump_path = _audit_dump(auditor, experiment, seed, dump_dir) if dump_dir else ""
+        if auditor.violation_count:
+            if not dump_path:
+                fail_dir = os.environ.get("REPRO_AUDIT_DIR", "")
+                if fail_dir:
+                    dump_path = _audit_dump(auditor, experiment, seed, fail_dir)
+            try:
+                auditor.assert_clean(f"{experiment} seed {seed}", dump_path)
+            except audit.AuditError as error:
+                try:
+                    error.audit_dump_path = dump_path
+                    error.run_record = make_record(
+                        wall,
+                        failure_traceback=traceback_module.format_exc(),
+                        audit_dump_path=dump_path,
+                    )
+                except Exception:
+                    pass
+                raise
+        auditor.export_kpis(registry)
+    record = make_record(wall)
     return result, record

@@ -4,10 +4,23 @@ Everything here must stay picklable/top-level: these functions cross the
 ``ProcessPoolExecutor`` boundary.  A worker loads from the shared on-disk
 cache, runs the experiment under instrumentation on a miss, stores the
 fresh result, and ships (result, record) back to the coordinator.
+
+When ``$REPRO_AUDIT_DIR`` is set, workers also maintain a *heartbeat
+file* (``hb-<pid>.json``) around each run: start stamp when the run
+begins, finish stamp when it ends.  The coordinator's stall watchdog
+(:func:`scan_stalls`, surfaced via ``repro audit stalls`` and the
+parallel campaign loop) reads those files to tell a slow campaign from a
+hung worker.  Stamps are ``time.monotonic()`` — they order events within
+one machine boot, never leave the machine, and are kept out of every
+deterministic artifact.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
+import time
 import traceback
 from typing import Any
 
@@ -17,19 +30,99 @@ from repro.runner.cache import ResultCache
 from repro.runner.instrument import RunRecord, instrumented_call
 from repro.scenario import Scenario, resolve_scenario, scenario_digest
 
-__all__ = ["ExperimentFailure", "execute_experiment", "warm_worker"]
+__all__ = ["ExperimentFailure", "execute_experiment", "scan_stalls", "warm_worker"]
+
+#: Environment variable naming the heartbeat/flight-recorder directory.
+AUDIT_DIR_ENV = "REPRO_AUDIT_DIR"
 
 
 class ExperimentFailure(RuntimeError):
-    """An experiment raised inside a worker; carries the remote traceback."""
+    """An experiment raised inside a worker; carries the remote traceback.
 
-    def __init__(self, name: str, remote_traceback: str) -> None:
+    ``record`` is the failure :class:`RunRecord` the instrumentation
+    attached (None when the failure predates instrumentation, e.g. a
+    cache error), and ``audit_dump_path`` the flight-recorder dump
+    written for the failed run ("" when auditing was off or no dump
+    directory was configured).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        remote_traceback: str,
+        record: RunRecord | None = None,
+        audit_dump_path: str = "",
+    ) -> None:
         super().__init__(name, remote_traceback)
         self.name = name
         self.remote_traceback = remote_traceback
+        self.record = record
+        self.audit_dump_path = audit_dump_path
 
     def __str__(self) -> str:
-        return f"experiment {self.name!r} failed in worker:\n{self.remote_traceback}"
+        text = f"experiment {self.name!r} failed in worker:\n{self.remote_traceback}"
+        if self.audit_dump_path:
+            text += f"\nflight recorder: {self.audit_dump_path}"
+        return text
+
+    def __reduce__(self):
+        # Default BaseException pickling replays __init__ with the
+        # original two positional args, dropping record/dump path; keep
+        # all four so failures stay debuggable across the pool boundary.
+        return (
+            type(self),
+            (self.name, self.remote_traceback, self.record, self.audit_dump_path),
+        )
+
+
+def _heartbeat_path(directory: str) -> str:
+    return os.path.join(directory, f"hb-{os.getpid()}.json")
+
+
+def _write_heartbeat(directory: str, payload: dict[str, Any]) -> None:
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with open(_heartbeat_path(directory), "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+    except OSError:
+        pass  # heartbeats are advisory; never fail the run over them
+
+
+def scan_stalls(
+    directory: str, now_mono_s: float, stall_timeout_s: float
+) -> list[dict[str, Any]]:
+    """Heartbeat files whose run started > ``stall_timeout_s`` ago and
+    never finished, as ``{pid, experiment, seed, busy_s}`` dicts.
+
+    Pure over the directory contents and the caller-supplied clock, so
+    the watchdog logic is unit-testable without sleeping.
+    """
+    stalls: list[dict[str, Any]] = []
+    try:
+        entries = sorted(os.listdir(directory))
+    except OSError:
+        return stalls
+    for entry in entries:
+        if not (entry.startswith("hb-") and entry.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(directory, entry), encoding="utf-8") as fh:
+                beat = json.load(fh)
+        except (OSError, ValueError):
+            continue  # mid-write or stale garbage: not evidence of a stall
+        if beat.get("finished_mono_s", 0.0):
+            continue
+        busy_s = now_mono_s - beat.get("started_mono_s", now_mono_s)
+        if busy_s > stall_timeout_s:
+            stalls.append(
+                {
+                    "pid": beat.get("pid", 0),
+                    "experiment": beat.get("experiment", "?"),
+                    "seed": beat.get("seed", -1),
+                    "busy_s": busy_s,
+                }
+            )
+    return stalls
 
 
 def warm_worker(seed: int, scenario: Scenario | None = None) -> None:
@@ -52,7 +145,8 @@ def execute_experiment(
     Raises:
         ExperimentFailure: if the experiment itself raised; the original
             traceback travels along as a string (remote tracebacks do not
-            survive pickling).
+            survive pickling), together with the failure record and
+            flight-recorder dump path when instrumentation attached them.
     """
     spec = EXPERIMENTS[name]
     scenario = resolve_scenario(scenario)
@@ -62,12 +156,49 @@ def execute_experiment(
         hit = cache.load(name, seed, scenario_digest=digest)
         if hit is not None:
             return hit.result, hit.record
+    heartbeat_dir = os.environ.get(AUDIT_DIR_ENV, "")
+    started_mono_s = time.monotonic()
+    if heartbeat_dir:
+        _write_heartbeat(
+            heartbeat_dir,
+            {
+                "pid": os.getpid(),
+                "experiment": name,
+                "seed": seed,
+                "started_mono_s": started_mono_s,
+                "finished_mono_s": 0.0,
+            },
+        )
     try:
         result, record = instrumented_call(
             name, seed, lambda: spec.run(seed, scenario), scenario_digest=digest
         )
     except Exception as exc:
-        raise ExperimentFailure(name, traceback.format_exc()) from exc
+        raise ExperimentFailure(
+            name,
+            traceback.format_exc(),
+            record=getattr(exc, "run_record", None),
+            audit_dump_path=getattr(exc, "audit_dump_path", "")
+            or getattr(exc, "dump_path", ""),
+        ) from exc
+    finally:
+        if heartbeat_dir:
+            _write_heartbeat(
+                heartbeat_dir,
+                {
+                    "pid": os.getpid(),
+                    "experiment": name,
+                    "seed": seed,
+                    "started_mono_s": started_mono_s,
+                    "finished_mono_s": time.monotonic(),
+                },
+            )
+    if heartbeat_dir:
+        record = dataclasses.replace(
+            record,
+            heartbeat_started_s=started_mono_s,
+            heartbeat_finished_s=time.monotonic(),
+        )
     if cache is not None:
         cache.store(name, seed, result, record, scenario_digest=digest)
     return result, record

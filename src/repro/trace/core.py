@@ -186,12 +186,9 @@ class Tracer:
     def _metric_name(self, name: str) -> str:
         cached = self._metric_names.get(name)
         if cached is None:
-            folded = "".join(
-                ch if (ch.isascii() and (ch.islower() or ch.isdigit() or ch in "._"))
-                else "_"
-                for ch in name.lower()
-            )
-            cached = f"{self._metric_prefix}.{folded}"
+            from repro.metrics.core import fold_metric_name
+
+            cached = fold_metric_name(name, prefix=self._metric_prefix)
             self._metric_names[name] = cached
         return cached
 

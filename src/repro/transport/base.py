@@ -14,6 +14,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from repro.audit import core as audit
 from repro.net.packet import ACK, DATA, Packet
 from repro.net.path import NetworkPath
 from repro.net.sim import Event, Simulator
@@ -201,7 +202,27 @@ class TcpSender:
 
         self.stats = FlowStats()
         self._tracer = trace.current()
+        self._auditor = audit.current()
+        if self._auditor.enabled:
+            self._register_audit()
         path.on_reverse_delivery(self._on_ack)
+
+    def _register_audit(self) -> None:
+        """Register sequence-conservation ledgers with the active auditor.
+
+        ``in_flight_bytes`` clamps its subtraction at zero, so the
+        sequence residual is nonzero exactly when the books claim more
+        bytes were acknowledged than were ever sent — the clamp engaging
+        is the anomaly, not a rounding artifact.
+        """
+        self._auditor.watch(
+            "audit.tcp.sequence_residual_bytes",
+            lambda: self.next_seq - self.cum_ack - self._sacked_bytes - self.in_flight_bytes,
+        )
+        self._auditor.watch(
+            "audit.tcp.delivered_residual_bytes",
+            lambda: self.delivered_bytes - self.cum_ack,
+        )
 
     # -- public API ----------------------------------------------------
 
@@ -297,6 +318,18 @@ class TcpSender:
             return
         ack = packet.meta["ack"]
         now = self.sim.now
+        # Per-ACK hot path: inline comparison, flag only on violation (the
+        # simulator's time-monotonicity probe uses the same pattern).  A
+        # probe() call per ACK — even a passing one — costs a method call
+        # plus kwargs construction, which is measurable at ~100k ACKs/run.
+        if ack > self.high_water and self._auditor.enabled:
+            self._auditor.flag(
+                "audit.tcp.ack_bounds_bytes",
+                now,
+                ack=ack,
+                high_water=self.high_water,
+                flow=self.flow_id,
+            )
 
         self._sacked_bytes = packet.meta.get("sacked", 0)
         if ack > self.cum_ack:
