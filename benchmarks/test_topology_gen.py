@@ -1,0 +1,56 @@
+"""Topology generation stays cheap: a district-scale map in under 2 s.
+
+Times :func:`repro.topology.generate_world` on the largest committed
+preset (``urban-canyon``: 1.5 x 1.5 km, split-segment road grid, full
+urban-canyon building stock, road-following 5G plus co-sited 4G) and on
+a deliberately oversized 3 x 3 km stress district.  Generation is pure
+Python over numpy draws and measures in single-digit milliseconds; the
+2 s budget is the contract that keeps world building negligible next to
+the surveys it feeds (ROADMAP item 4's acceptance bar).
+
+Run with plain ``pytest benchmarks/test_topology_gen.py -s`` (this test
+times itself and does not use the pytest-benchmark fixture).
+"""
+
+import time
+
+from repro.scenario import preset
+from repro.scenario.core import TopologySection
+from repro.topology import generate_world
+
+#: Wall-clock budget per generated district.
+BUDGET_S = 2.0
+
+#: Stress district: 9 km^2, denser road pitch than any committed preset.
+STRESS_SECTION = TopologySection(
+    generator="grid",
+    width_m=3000.0,
+    height_m=3000.0,
+    road_pitch_m=120.0,
+    road_jitter_ratio=0.15,
+    density_class="urban-canyon",
+    site_policy="road-following",
+    gnb_site_count=40,
+    enb_site_count=50,
+)
+
+
+def _time_generation(section) -> float:
+    start = time.perf_counter()
+    world = generate_world(7, section)
+    elapsed_s = time.perf_counter() - start
+    assert world.roads and world.gnb_sites
+    assert world.road_graph.is_connected()
+    return elapsed_s
+
+
+def test_urban_canyon_preset_generates_under_budget():
+    elapsed_s = _time_generation(preset("urban-canyon").topology)
+    print(f"\nurban-canyon generation: {elapsed_s * 1e3:.1f} ms")
+    assert elapsed_s < BUDGET_S
+
+
+def test_stress_district_generates_under_budget():
+    elapsed_s = _time_generation(STRESS_SECTION)
+    print(f"\n3x3 km stress district generation: {elapsed_s * 1e3:.1f} ms")
+    assert elapsed_s < BUDGET_S

@@ -1,11 +1,12 @@
 """Shared context for the experiment modules.
 
-Every experiment builds on the same campus, propagation environment and
-radio networks; this module constructs them once per (seed, scenario)
+Every experiment builds on the same world model, propagation environment
+and radio networks; this module constructs them once per (seed, scenario)
 and caches the result, mirroring how the measurement campaign reused one
 testbed.  The scenario decides the deployment — radio profiles, anchor
-gain, grid densification — so alternative deployments flow through every
-experiment without touching the physics code.
+gain, and the topology generator that produces the world (the hand-crafted
+paper campus or a seeded procedural district) — so alternative deployments
+flow through every experiment without touching the physics code.
 
 It also hosts the KPI helpers (:func:`record_kpi`,
 :func:`record_kpi_samples`, :func:`bump_kpi`): thin wrappers over the
@@ -27,12 +28,13 @@ from functools import lru_cache
 from typing import Any
 
 from repro.core.rng import RngFactory
-from repro.geometry.campus import Campus, build_campus
+from repro.geometry.world import WorldModel
 from repro.metrics import core as metrics
 from repro.net.path import PathConfig
 from repro.radio.cell import RadioNetwork
 from repro.radio.propagation import Environment
 from repro.scenario import Scenario, resolve_scenario
+from repro.topology import generate_world
 
 __all__ = [
     "Testbed",
@@ -51,15 +53,20 @@ DEFAULT_SEED = 7
 
 @dataclass(frozen=True)
 class Testbed:
-    """The measurement testbed: campus plus both radio networks."""
+    """The measurement testbed: the world model plus both radio networks."""
 
     seed: int
     scenario: Scenario
-    campus: Campus
+    world: WorldModel
     environment: Environment
     nr: RadioNetwork
     lte: RadioNetwork
     lte_anchors: RadioNetwork
+
+    @property
+    def campus(self) -> WorldModel:
+        """Back-compat alias of :attr:`world` (the paper's map was a campus)."""
+        return self.world
 
     @property
     def rng_factory(self) -> RngFactory:
@@ -80,13 +87,13 @@ def testbed(seed: int = DEFAULT_SEED, scenario: Scenario | str | None = None) ->
 
 @lru_cache(maxsize=4)
 def _build_testbed(seed: int, scenario: Scenario) -> Testbed:
-    campus = build_campus(extra_gnb_sites=scenario.topology.extra_gnb_sites)
+    world = generate_world(seed, scenario.topology)
     rngf = RngFactory(seed)
-    environment = Environment(campus.buildings, rngf)
-    nr = RadioNetwork.from_campus(campus, scenario.radio.nr, environment)
-    lte = RadioNetwork.from_campus(campus, scenario.radio.lte, environment)
+    environment = Environment(world.buildings, rngf)
+    nr = RadioNetwork.from_world(world, scenario.radio.nr, environment)
+    lte = RadioNetwork.from_world(world, scenario.radio.lte, environment)
     lte_anchors = RadioNetwork.from_sites(
-        campus.co_sited_enbs(),
+        world.co_sited_enbs(),
         scenario.radio.lte,
         environment,
         max_gain_dbi=scenario.topology.lte_anchor_max_gain_dbi,
@@ -94,7 +101,7 @@ def _build_testbed(seed: int, scenario: Scenario) -> Testbed:
     return Testbed(
         seed=seed,
         scenario=scenario,
-        campus=campus,
+        world=world,
         environment=environment,
         nr=nr,
         lte=lte,

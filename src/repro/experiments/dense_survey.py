@@ -72,7 +72,7 @@ def run(
     """
     bed = testbed(seed, scenario)
     locations = grid_locations(
-        bed.campus.width_m, bed.campus.height_m, grid_spacing_m
+        bed.world.width_m, bed.world.height_m, grid_spacing_m
     )
     points = survey_at_locations(bed.nr, locations)
     holes = coverage_hole_fraction(points)

@@ -49,7 +49,7 @@ def run(
 ) -> Fig2Result:
     """Survey the whole campus (Fig. 2a) and grid cell 72 (Fig. 2b)."""
     bed = testbed(seed, scenario)
-    locations = road_locations(bed.campus, num_map_points, bed.rng_factory.stream("fig2"))
+    locations = road_locations(bed.world, num_map_points, bed.rng_factory.stream("fig2"))
     map_points = survey_at_locations(bed.nr, locations)
 
     grid = cell_grid_survey(bed.nr, 72, grid_spacing_m=grid_spacing_m, radius_m=250.0)

@@ -53,7 +53,7 @@ def _aggregate(bed: Testbed, network: RadioNetwork, pcis, pairs_per_cell: int, t
         try:
             gap = indoor_outdoor_gap(
                 network,
-                bed.campus,
+                bed.world,
                 pci,
                 pairs_per_cell,
                 bed.rng_factory.stream(f"fig3:{tag}:{pci}"),
@@ -83,7 +83,7 @@ def run(
         bed, bed.nr, [c.pci for c in bed.nr.cells], pairs_per_cell, "5G"
     )
     anchor_pcis = [
-        sector.pci for site in bed.campus.co_sited_enbs() for sector in site.sectors
+        sector.pci for site in bed.world.co_sited_enbs() for sector in site.sectors
     ]
     lte_out, lte_in = _aggregate(bed, bed.lte, anchor_pcis, pairs_per_cell, "4G")
     return Fig3Result(

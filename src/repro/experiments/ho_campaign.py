@@ -41,7 +41,7 @@ def _run_campaign(seed: int, duration_s: float, scenario: Scenario) -> HandoffCa
     bed = testbed(seed, scenario)
     rngf = bed.rng_factory
     walker = RouteWalker(
-        bed.campus, rngf.stream("ho-walk"), speed_kmh=scenario.workload.walk_speed_kmh
+        bed.world, rngf.stream("ho-walk"), speed_kmh=scenario.workload.walk_speed_kmh
     )
     engine = HandoffEngine(
         bed.nr,

@@ -53,6 +53,7 @@ from repro.experiments import (
     tab2_rsrp_distribution,
     tab3_buffer_size,
     tab4_energy_models,
+    world_survey,
 )
 
 __all__ = [
@@ -230,6 +231,12 @@ def _catalogue() -> dict[str, ExperimentSpec]:
             "dense-survey",
             dense_survey,
             "full-campus grid survey on the densified 5G topology",
+            None,
+        ),
+        (
+            "world-survey",
+            world_survey,
+            "district survey + workload synthesis on a generated topology",
             None,
         ),
         ("appendix", appendix_tables, "appendix tables 5/6/7", None),

@@ -53,7 +53,7 @@ def run(
     """Survey both networks and assemble Tab. 1."""
     bed = testbed(seed, scenario)
     lte, nr = bed.scenario.radio.lte, bed.scenario.radio.nr
-    locations = road_locations(bed.campus, num_points, bed.rng_factory.stream("tab1"))
+    locations = road_locations(bed.world, num_points, bed.rng_factory.stream("tab1"))
     nr_points = survey_at_locations(bed.nr, locations)
     lte_points = survey_at_locations(bed.lte, locations)
     return Tab1Result(
@@ -65,8 +65,8 @@ def run(
             nr.carrier_mhz,
             nr.carrier_mhz + nr.bandwidth_mhz,
         ),
-        lte_cells=bed.campus.cell_count("4G"),
-        nr_cells=bed.campus.cell_count("5G"),
+        lte_cells=bed.world.cell_count("4G"),
+        nr_cells=bed.world.cell_count("5G"),
         lte_rsrp=summarize(p.rsrp_dbm for p in lte_points),
         nr_rsrp=summarize(p.rsrp_dbm for p in nr_points),
     )

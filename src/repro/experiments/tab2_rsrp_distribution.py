@@ -59,7 +59,7 @@ def run(
     the full count for the closest replication.
     """
     bed = testbed(seed, scenario)
-    locations = road_locations(bed.campus, num_points, bed.rng_factory.stream("tab2"))
+    locations = road_locations(bed.world, num_points, bed.rng_factory.stream("tab2"))
     nr_points = survey_at_locations(bed.nr, locations)
     lte_points = survey_at_locations(bed.lte, locations)
     anchor_points = survey_at_locations(bed.lte_anchors, locations)

@@ -1,0 +1,115 @@
+"""District survey over a procedurally generated world.
+
+The generated-topology twin of :mod:`repro.experiments.dense_survey`:
+surveys the whole extent of a :mod:`repro.topology` world on a uniform
+grid through the batched radio core, synthesizes the scenario's user
+population over the generated road graph, and walks one synthesized user
+to exercise mobility on split-segment procedural roads.  The default
+scenario is the ``urban-canyon`` district — the acceptance workload of
+ROADMAP item 4 — but any preset works, including ``paper-nsa``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+
+from repro.core.results import ResultTable
+from repro.core.stats import percent
+from repro.experiments.common import DEFAULT_SEED, record_kpi, testbed
+from repro.experiments.dense_survey import grid_locations
+from repro.radio.coverage import coverage_hole_fraction, survey_at_locations
+from repro.scenario import Scenario
+from repro.topology.workload import synthesize_workload, walker_for_user
+
+__all__ = ["WorldSurveyResult", "run"]
+
+#: Seconds of one synthesized user's walk sampled per run (mobility probe).
+_WALK_PROBE_S = 60.0
+
+
+@dataclass(frozen=True)
+class WorldSurveyResult:
+    """Aggregate picture of one generated district."""
+
+    scenario_name: str
+    area_km2: float
+    road_length_km: float
+    buildings_count: int
+    sites_count: int
+    grid_spacing_m: float
+    points_count: int
+    holes_ratio: float
+    rsrp_mean_dbm: float
+    indoor_ratio: float
+    users_count: int
+    offered_load_mbps: float
+    walk_points_count: int
+
+    def table(self) -> ResultTable:
+        """Render the district summary as a text table."""
+        table = ResultTable(f"World survey ({self.scenario_name})", ["quantity", "value"])
+        table.add_row(["area", f"{self.area_km2:.2f} km^2"])
+        table.add_row(["roads", f"{self.road_length_km:.1f} km"])
+        table.add_row(["buildings", str(self.buildings_count)])
+        table.add_row(["sites (5G+4G)", str(self.sites_count)])
+        table.add_row(["grid spacing", f"{self.grid_spacing_m:.0f} m"])
+        table.add_row(["survey points", str(self.points_count)])
+        table.add_row(["coverage holes", percent(self.holes_ratio)])
+        table.add_row(["mean RSRP", f"{self.rsrp_mean_dbm:.1f} dBm"])
+        table.add_row(["indoor points", percent(self.indoor_ratio)])
+        table.add_row(["users", str(self.users_count)])
+        table.add_row(["offered load", f"{self.offered_load_mbps:.0f} Mbit/s"])
+        return table
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    grid_spacing_m: float = 30.0,
+    scenario: Scenario | str | None = "urban-canyon",
+) -> WorldSurveyResult:
+    """Survey a generated district's 5G layer and synthesize its workload.
+
+    The default 30 m spacing keeps the bench-gated run under a couple of
+    seconds on the 2.25 km^2 urban canyon; the CI acceptance job drops
+    the spacing to reach >= 10^4 points on the same district.
+    """
+    bed = testbed(seed, scenario)
+    world = bed.world
+    locations = grid_locations(world.width_m, world.height_m, grid_spacing_m)
+    points = survey_at_locations(bed.nr, locations)
+    holes = coverage_hole_fraction(points)
+    rsrp_mean = fmean(p.rsrp_dbm for p in points)
+    indoor = sum(1 for p in points if p.indoor) / len(points)
+
+    rngf = bed.rng_factory
+    population = synthesize_workload(
+        world, bed.scenario.workload, rngf.stream("world-survey.population")
+    )
+    probe_user = population.users[0]
+    walker = walker_for_user(world, probe_user, rngf.stream("world-survey.walk"))
+    walk_points = sum(1 for _ in walker.trajectory(_WALK_PROBE_S, dt_s=0.5))
+
+    record_kpi("world_survey.points_count", len(points))
+    record_kpi("world_survey.holes_ratio", holes)
+    record_kpi("world_survey.rsrp_mean_dbm", rsrp_mean)
+    record_kpi("world_survey.indoor_ratio", indoor)
+    record_kpi("world_survey.road_length_km", world.road_length_km)
+    record_kpi("world_survey.buildings_count", len(world.buildings))
+    record_kpi("world_survey.users_count", len(population.users))
+    record_kpi("world_survey.offered_load_mbps", population.total_offered_load_mbps)
+    return WorldSurveyResult(
+        scenario_name=bed.scenario.name,
+        area_km2=world.area_km2,
+        road_length_km=world.road_length_km,
+        buildings_count=len(world.buildings),
+        sites_count=len(world.gnb_sites) + len(world.enb_sites),
+        grid_spacing_m=grid_spacing_m,
+        points_count=len(points),
+        holes_ratio=holes,
+        rsrp_mean_dbm=rsrp_mean,
+        indoor_ratio=indoor,
+        users_count=len(population.users),
+        offered_load_mbps=population.total_offered_load_mbps,
+        walk_points_count=walk_points,
+    )

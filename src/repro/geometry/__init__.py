@@ -1,18 +1,38 @@
-"""Planar geometry, buildings and the synthetic measurement campus."""
+"""Planar geometry, buildings and the abstract world model.
 
-from repro.geometry.buildings import Building, BuildingMap
-from repro.geometry.campus import Campus, SectorSpec, SiteSpec, build_campus
+``SectorSpec``/``SiteSpec`` and the map type itself live in
+:mod:`repro.geometry.world`; :mod:`repro.geometry.campus` merely produces
+the hand-crafted paper replica (``Campus`` is an alias of ``WorldModel``).
+"""
+
+from repro.geometry.buildings import WALL_LOSS_CLASSES, Building, BuildingMap
+from repro.geometry.campus import Campus, build_campus
 from repro.geometry.points import GeoPoint, Point, Segment, haversine_km
+from repro.geometry.world import (
+    JUNCTION_TOLERANCE_M,
+    RoadGraph,
+    SectorSpec,
+    SiteSpec,
+    WorldModel,
+    distance_point_to_segment,
+    world_to_dict,
+)
 
 __all__ = [
     "Building",
     "BuildingMap",
     "Campus",
     "GeoPoint",
+    "JUNCTION_TOLERANCE_M",
     "Point",
+    "RoadGraph",
     "SectorSpec",
     "Segment",
     "SiteSpec",
+    "WALL_LOSS_CLASSES",
+    "WorldModel",
     "build_campus",
+    "distance_point_to_segment",
     "haversine_km",
+    "world_to_dict",
 ]

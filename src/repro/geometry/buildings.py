@@ -16,7 +16,12 @@ import numpy as np
 
 from repro.geometry.points import Point
 
-__all__ = ["Building", "BuildingMap"]
+__all__ = ["WALL_LOSS_CLASSES", "Building", "BuildingMap"]
+
+#: Recognised wall construction classes, in increasing penetration loss.
+#: The paper's campus is brick-and-concrete; procedural stocks draw from
+#: the full set by density class.
+WALL_LOSS_CLASSES: tuple[str, ...] = ("timber", "glass", "brick", "concrete")
 
 
 @dataclass(frozen=True)
@@ -26,6 +31,9 @@ class Building:
     Attributes:
         x_min, y_min, x_max, y_max: Footprint bounds in meters.
         name: Optional label for debugging / map rendering.
+        height_m: Roof height; metadata for generated stocks (the planar
+            radio model does not ray-trace in elevation).
+        wall_loss_class: Construction class from :data:`WALL_LOSS_CLASSES`.
     """
 
     x_min: float
@@ -33,6 +41,8 @@ class Building:
     x_max: float
     y_max: float
     name: str = ""
+    height_m: float = 12.0
+    wall_loss_class: str = "brick"
 
     def __post_init__(self) -> None:
         if self.x_min >= self.x_max or self.y_min >= self.y_max:
@@ -40,6 +50,22 @@ class Building:
                 f"degenerate building bounds: "
                 f"({self.x_min}, {self.y_min})..({self.x_max}, {self.y_max})"
             )
+        if self.height_m <= 0.0:
+            raise ValueError(f"building height must be positive, got {self.height_m}")
+        if self.wall_loss_class not in WALL_LOSS_CLASSES:
+            raise ValueError(
+                f"unknown wall loss class {self.wall_loss_class!r}; "
+                f"expected one of {WALL_LOSS_CLASSES}"
+            )
+
+    def overlaps(self, other: "Building") -> bool:
+        """True when the two footprints share interior area (not mere touch)."""
+        return (
+            self.x_min < other.x_max
+            and other.x_min < self.x_max
+            and self.y_min < other.y_max
+            and other.y_min < self.y_max
+        )
 
     def contains(self, p: Point) -> bool:
         """True if ``p`` lies inside (or on the boundary of) the footprint."""
@@ -155,6 +181,14 @@ class BuildingMap:
 
     def __iter__(self):
         return iter(self._buildings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BuildingMap):
+            return NotImplemented
+        return self._buildings == other._buildings
+
+    def __hash__(self) -> int:
+        return hash(self._buildings)
 
     @property
     def buildings(self) -> Sequence[Building]:

@@ -10,14 +10,19 @@ aggregate statistics so coverage experiments run against comparable geometry:
 * gNB density 6 / 0.46 km^2 = 13.0 per km^2 (paper: 12.99),
 * eNB density 13 / 0.46 km^2 = 28.3 per km^2 (paper: 28.14),
 * road network ~6.0 km.
+
+The map type itself lives in :mod:`repro.geometry.world`: :class:`Campus`
+is an alias of :class:`~repro.geometry.world.WorldModel`, and this module
+is the producer behind the ``paper-campus`` topology generator preset
+(:mod:`repro.topology.generate`).  Procedural districts come from the other
+presets; everything downstream consumes the abstract world model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.geometry.buildings import Building, BuildingMap
 from repro.geometry.points import Point, Segment
+from repro.geometry.world import SectorSpec, SiteSpec, WorldModel
 
 __all__ = ["SectorSpec", "SiteSpec", "Campus", "build_campus"]
 
@@ -25,86 +30,9 @@ __all__ = ["SectorSpec", "SiteSpec", "Campus", "build_campus"]
 WIDTH_M = 500.0
 HEIGHT_M = 920.0
 
-
-@dataclass(frozen=True)
-class SectorSpec:
-    """One sector (cell) of a base-station site.
-
-    Attributes:
-        pci: Physical cell identifier.
-        azimuth_deg: Boresight azimuth (0 = north / +y, clockwise).
-    """
-
-    pci: int
-    azimuth_deg: float
-
-
-@dataclass(frozen=True)
-class SiteSpec:
-    """A base-station site: a position plus its sectors.
-
-    ``power_class`` distinguishes full macro sites from the low-power
-    street-level small cells that densify the 4G layer: the six NSA anchor
-    eNBs are macros (which is why the paper's 6-eNB subset still covers
-    better than the 6 gNBs, Tab. 2), while the seven 4G-only infill sites
-    are micros.
-    """
-
-    name: str
-    position: Point
-    sectors: tuple[SectorSpec, ...]
-    power_class: str = "macro"
-
-    def __post_init__(self) -> None:
-        if not self.sectors:
-            raise ValueError(f"site {self.name!r} must have at least one sector")
-        if self.power_class not in ("macro", "micro"):
-            raise ValueError(f"unknown power class {self.power_class!r}")
-
-
-@dataclass(frozen=True)
-class Campus:
-    """The full campus geometry used by the coverage experiments."""
-
-    width_m: float
-    height_m: float
-    roads: tuple[Segment, ...]
-    buildings: BuildingMap
-    gnb_sites: tuple[SiteSpec, ...]
-    enb_sites: tuple[SiteSpec, ...]
-    landmarks: dict[str, Point] = field(default_factory=dict)
-
-    @property
-    def area_km2(self) -> float:
-        """Campus area in square kilometers."""
-        return (self.width_m / 1000.0) * (self.height_m / 1000.0)
-
-    @property
-    def road_length_km(self) -> float:
-        """Total road length in kilometers."""
-        return sum(seg.length for seg in self.roads) / 1000.0
-
-    @property
-    def gnb_density_per_km2(self) -> float:
-        """5G site density."""
-        return len(self.gnb_sites) / self.area_km2
-
-    @property
-    def enb_density_per_km2(self) -> float:
-        """4G site density."""
-        return len(self.enb_sites) / self.area_km2
-
-    def cell_count(self, network: str) -> int:
-        """Total sector count for ``network`` in {'5G', '4G'}."""
-        sites = self.gnb_sites if network == "5G" else self.enb_sites
-        return sum(len(site.sectors) for site in sites)
-
-    def co_sited_enbs(self) -> tuple[SiteSpec, ...]:
-        """The 4G sites sharing a mast with a 5G gNB (NSA anchors)."""
-        gnb_positions = {(s.position.x, s.position.y) for s in self.gnb_sites}
-        return tuple(
-            s for s in self.enb_sites if (s.position.x, s.position.y) in gnb_positions
-        )
+#: The hand-crafted campus is a plain world model; the alias survives for
+#: callers (and papers) that think in terms of "the campus".
+Campus = WorldModel
 
 
 def _grid_roads() -> tuple[Segment, ...]:

@@ -1,0 +1,321 @@
+"""The abstract world model consumed by every experiment layer.
+
+Historically the repo had exactly one map: the hand-crafted campus replica
+in :mod:`repro.geometry.campus`.  :class:`WorldModel` extracts the contract
+that map satisfied — planar extent, a road network, a building stock and
+two radio layers of sites — so the same radio core, mobility model and
+survey machinery run unchanged on procedurally generated districts
+(:mod:`repro.topology`).  The hand-crafted map is now just one producer of
+this type (the ``paper-campus`` generator preset).
+
+:class:`RoadGraph` precomputes junction adjacency over the road segments:
+which roads are reachable when a walker stands at a segment endpoint.  It
+uses the same ``< 15 m`` proximity predicate the original nearest-segment
+scan in :class:`repro.mobility.walker.RouteWalker` used, so trajectories on
+the paper campus stay byte-identical while turn decisions become O(1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.geometry.buildings import BuildingMap
+from repro.geometry.points import Point, Segment
+
+__all__ = [
+    "JUNCTION_TOLERANCE_M",
+    "RoadGraph",
+    "SectorSpec",
+    "SiteSpec",
+    "WorldModel",
+    "distance_point_to_segment",
+    "world_to_dict",
+]
+
+#: A road is incident to a junction node when it passes within this distance.
+#: This is the historical RouteWalker turn radius; changing it would change
+#: every committed trajectory.
+JUNCTION_TOLERANCE_M = 15.0
+
+
+@dataclass(frozen=True)
+class SectorSpec:
+    """One sector (cell) of a base-station site.
+
+    Attributes:
+        pci: Physical cell identifier.
+        azimuth_deg: Boresight azimuth (0 = north / +y, clockwise).
+    """
+
+    pci: int
+    azimuth_deg: float
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """A base-station site: a position plus its sectors.
+
+    ``power_class`` distinguishes full macro sites from the low-power
+    street-level small cells that densify the 4G layer: the six NSA anchor
+    eNBs are macros (which is why the paper's 6-eNB subset still covers
+    better than the 6 gNBs, Tab. 2), while the seven 4G-only infill sites
+    are micros.
+    """
+
+    name: str
+    position: Point
+    sectors: tuple[SectorSpec, ...]
+    power_class: str = "macro"
+
+    def __post_init__(self) -> None:
+        if not self.sectors:
+            raise ValueError(f"site {self.name!r} must have at least one sector")
+        if self.power_class not in ("macro", "micro"):
+            raise ValueError(f"unknown power class {self.power_class!r}")
+
+
+def distance_point_to_segment(p: Point, seg: Segment) -> float:
+    """Shortest distance from ``p`` to ``seg`` in meters."""
+    dx = seg.end.x - seg.start.x
+    dy = seg.end.y - seg.start.y
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return p.distance_to(seg.start)
+    t = ((p.x - seg.start.x) * dx + (p.y - seg.start.y) * dy) / length_sq
+    t = min(1.0, max(0.0, t))
+    return p.distance_to(Point(seg.start.x + t * dx, seg.start.y + t * dy))
+
+
+def _ccw(a: Point, b: Point, c: Point) -> float:
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def _segments_cross(s1: Segment, s2: Segment) -> bool:
+    """True when the two segments share at least one point (incl. touching)."""
+    d1 = _ccw(s2.start, s2.end, s1.start)
+    d2 = _ccw(s2.start, s2.end, s1.end)
+    d3 = _ccw(s1.start, s1.end, s2.start)
+    d4 = _ccw(s1.start, s1.end, s2.end)
+    if ((d1 > 0) != (d2 > 0) or d1 == 0 or d2 == 0) and (
+        (d3 > 0) != (d4 > 0) or d3 == 0 or d4 == 0
+    ):
+        # Proper crossings pass both straddle tests; collinear/touching
+        # cases (some d == 0) still need a bounding-box overlap check.
+        return (
+            min(s1.start.x, s1.end.x) <= max(s2.start.x, s2.end.x)
+            and min(s2.start.x, s2.end.x) <= max(s1.start.x, s1.end.x)
+            and min(s1.start.y, s1.end.y) <= max(s2.start.y, s2.end.y)
+            and min(s2.start.y, s2.end.y) <= max(s1.start.y, s1.end.y)
+        )
+    return False
+
+
+class RoadGraph:
+    """Junction adjacency over a road network.
+
+    ``roads_at(node)`` answers "standing at this point, which road segments
+    can I continue on?" using the historical ``< 15 m`` proximity predicate,
+    precomputed once per endpoint instead of rescanned every turn.  Indices
+    are returned in road-tuple order, which keeps the RNG-driven turn choice
+    of :class:`repro.mobility.walker.RouteWalker` byte-compatible with the
+    old linear scan.
+    """
+
+    def __init__(
+        self,
+        roads: tuple[Segment, ...],
+        junction_tolerance_m: float = JUNCTION_TOLERANCE_M,
+    ) -> None:
+        self._roads = tuple(roads)
+        self._tolerance_m = float(junction_tolerance_m)
+        self._incidence: dict[tuple[float, float], tuple[int, ...]] = {}
+        for seg in self._roads:
+            for node in (seg.start, seg.end):
+                key = (node.x, node.y)
+                if key not in self._incidence:
+                    self._incidence[key] = self._scan(node)
+
+    @property
+    def roads(self) -> tuple[Segment, ...]:
+        """The road segments this graph indexes."""
+        return self._roads
+
+    @property
+    def junction_tolerance_m(self) -> float:
+        """Incidence radius in meters."""
+        return self._tolerance_m
+
+    def _scan(self, node: Point) -> tuple[int, ...]:
+        return tuple(
+            i
+            for i, seg in enumerate(self._roads)
+            if distance_point_to_segment(node, seg) < self._tolerance_m
+        )
+
+    def roads_at(self, node: Point) -> tuple[int, ...]:
+        """Indices of roads passing within the junction tolerance of ``node``."""
+        key = (node.x, node.y)
+        cached = self._incidence.get(key)
+        if cached is None:
+            cached = self._scan(node)
+            self._incidence[key] = cached
+        return cached
+
+    def is_connected(self) -> bool:
+        """True when every road is reachable from every other.
+
+        Two roads are joined when an endpoint of one lies within the
+        junction tolerance of the other (shared or near-shared nodes) or
+        when the segments cross mid-span (the paper campus's full-length
+        avenues intersect without sharing endpoints).
+        """
+        n = len(self._roads)
+        if n <= 1:
+            return True
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            ri, rj = find(i), find(j)
+            if ri != rj:
+                parent[rj] = ri
+
+        for i, seg in enumerate(self._roads):
+            for node in (seg.start, seg.end):
+                for j in self.roads_at(node):
+                    union(i, j)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if find(i) != find(j) and _segments_cross(self._roads[i], self._roads[j]):
+                    union(i, j)
+        root = find(0)
+        return all(find(i) == root for i in range(n))
+
+
+@dataclass(frozen=True)
+class WorldModel:
+    """A complete simulated deployment area.
+
+    Attributes:
+        width_m, height_m: Planar extent in meters (origin at south-west).
+        roads: Walkable road segments.
+        buildings: Building stock (blockage + indoor penetration).
+        gnb_sites: 5G NR sites.
+        enb_sites: 4G LTE sites.
+        landmarks: Named points of interest (paper locations, hotspots).
+    """
+
+    width_m: float
+    height_m: float
+    roads: tuple[Segment, ...]
+    buildings: BuildingMap
+    gnb_sites: tuple[SiteSpec, ...]
+    enb_sites: tuple[SiteSpec, ...]
+    landmarks: dict[str, Point] = field(default_factory=dict)
+
+    @property
+    def area_km2(self) -> float:
+        """Deployment area in square kilometers, derived from the extent."""
+        return (self.width_m / 1000.0) * (self.height_m / 1000.0)
+
+    @property
+    def road_length_km(self) -> float:
+        """Total road length in kilometers."""
+        return sum(seg.length for seg in self.roads) / 1000.0
+
+    @property
+    def gnb_density_per_km2(self) -> float:
+        """5G site density."""
+        return len(self.gnb_sites) / self.area_km2
+
+    @property
+    def enb_density_per_km2(self) -> float:
+        """4G site density."""
+        return len(self.enb_sites) / self.area_km2
+
+    def cell_count(self, network: str) -> int:
+        """Total sector count for ``network`` in {'5G', '4G'}."""
+        sites = self.gnb_sites if network == "5G" else self.enb_sites
+        return sum(len(site.sectors) for site in sites)
+
+    def co_sited_enbs(self) -> tuple[SiteSpec, ...]:
+        """The 4G sites sharing a mast with a 5G gNB (NSA anchors)."""
+        gnb_positions = {(s.position.x, s.position.y) for s in self.gnb_sites}
+        return tuple(
+            s for s in self.enb_sites if (s.position.x, s.position.y) in gnb_positions
+        )
+
+    def contains(self, p: Point) -> bool:
+        """True when ``p`` falls inside the extent (boundary inclusive)."""
+        return 0.0 <= p.x <= self.width_m and 0.0 <= p.y <= self.height_m
+
+    @cached_property
+    def road_graph(self) -> RoadGraph:
+        """Junction adjacency over :attr:`roads` (built once, cached)."""
+        return RoadGraph(self.roads)
+
+
+def _round(value: float) -> float:
+    """Canonical float for serialization: exact, but -0.0 folded to 0.0."""
+    return value + 0.0 if value != 0.0 else 0.0
+
+
+def world_to_dict(world: WorldModel) -> dict:
+    """A JSON-able, byte-stable description of ``world``.
+
+    Used by the golden-file tests: serializing the same ``(seed, section)``
+    world in two different processes must produce identical bytes, and the
+    ``paper-campus`` generator preset must reproduce ``build_campus()``
+    exactly.  Floats are emitted verbatim (``repr`` round-trip via
+    ``json``), so any numeric drift fails the comparison.
+    """
+    if math.isnan(world.width_m) or math.isnan(world.height_m):  # pragma: no cover
+        raise ValueError("world extent is NaN")
+    return {
+        "width_m": _round(world.width_m),
+        "height_m": _round(world.height_m),
+        "roads": [
+            {
+                "start": [_round(seg.start.x), _round(seg.start.y)],
+                "end": [_round(seg.end.x), _round(seg.end.y)],
+            }
+            for seg in world.roads
+        ],
+        "buildings": [
+            {
+                "x_min": _round(b.x_min),
+                "y_min": _round(b.y_min),
+                "x_max": _round(b.x_max),
+                "y_max": _round(b.y_max),
+                "name": b.name,
+                "height_m": _round(b.height_m),
+                "wall_loss_class": b.wall_loss_class,
+            }
+            for b in world.buildings
+        ],
+        "gnb_sites": [_site_to_dict(site) for site in world.gnb_sites],
+        "enb_sites": [_site_to_dict(site) for site in world.enb_sites],
+        "landmarks": {
+            name: [_round(p.x), _round(p.y)]
+            for name, p in sorted(world.landmarks.items())
+        },
+    }
+
+
+def _site_to_dict(site: SiteSpec) -> dict:
+    return {
+        "name": site.name,
+        "position": [_round(site.position.x), _round(site.position.y)],
+        "power_class": site.power_class,
+        "sectors": [
+            {"pci": sec.pci, "azimuth_deg": _round(sec.azimuth_deg)}
+            for sec in site.sectors
+        ],
+    }

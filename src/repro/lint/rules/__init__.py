@@ -15,6 +15,7 @@ from repro.lint.rules import (
     simapi,
     spans,
     state,
+    topology,
     units,
     unitsflow,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "simapi",
     "spans",
     "state",
+    "topology",
     "units",
     "unitsflow",
 ]

@@ -1,0 +1,121 @@
+"""REP013: topology-generator hygiene — suffixed knobs, injected RNG.
+
+The :mod:`repro.topology` generators are the seam between scenario
+configuration and the simulated world, so their parameters are
+operator-facing: every numeric knob must say what unit it is in
+(``pitch_m``, ``extent_m``) or declare itself dimensionless
+(``_ratio``/``_count``), exactly like the scenario sections REP011
+guards.  ``seed`` is the one sanctioned bare name — it is the
+campaign-wide entropy label, not a physical quantity.
+
+The second half of the rule enforces the package's reproducibility
+contract: generator code may only *consume* randomness from a generator
+injected by its caller (or split off one with
+:func:`repro.core.rng.derive`), never mint its own.  Constructing
+``RngFactory``/``default_rng`` mid-generator would silently fork the
+stream tree and break the ``(seed, TopologySection) -> world``
+byte-identity the golden files pin.  ``topology/generate.py`` is the
+single documented seam where the root stream is created.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.core.units import unit_suffix
+from repro.lint.engine import FileContext, Rule, Violation, rule
+
+#: Suffixes acceptable on dimensionless numeric generator parameters.
+_DIMENSIONLESS_SUFFIXES = ("_ratio", "_count")
+
+#: Bare parameter names exempt from the suffix requirement.
+_BARE_NAME_ALLOWLIST = frozenset({"seed"})
+
+#: Numeric annotations the suffix requirement applies to.
+_NUMERIC_ANNOTATIONS = frozenset({"int", "float"})
+
+#: RNG constructors banned inside topology generators.  ``derive`` is
+#: deliberately absent: splitting a child off an *injected* generator is
+#: the sanctioned way to fan out streams.
+_BANNED_RNG_CONSTRUCTORS = frozenset(
+    {
+        "repro.core.rng.RngFactory",
+        "repro.core.rng.default_rng",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "random.Random",
+    }
+)
+
+#: The one module allowed to mint the root stream from the seed.
+_RNG_SEAM_MODULES = ("topology/generate.py",)
+
+
+def _annotation_name(annotation: ast.AST | None) -> str | None:
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # ``from __future__ import annotations`` leaves plain strings.
+        return annotation.value
+    return None
+
+
+def _param_is_suffixed(name: str) -> bool:
+    if name in _BARE_NAME_ALLOWLIST:
+        return True
+    if unit_suffix(name) is not None:
+        return True
+    return name.endswith(_DIMENSIONLESS_SUFFIXES)
+
+
+@rule
+class TopologyGeneratorRule(Rule):
+    """Unit-suffixed generator knobs; randomness only via injected rng."""
+
+    id = "REP013"
+    name = "topology-generator"
+    severity = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_package_dir("topology"):
+            return
+        yield from self._check_parameter_suffixes(ctx)
+        if not ctx.is_module(*_RNG_SEAM_MODULES):
+            yield from self._check_rng_construction(ctx)
+
+    def _check_parameter_suffixes(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+            if node.name.startswith("_"):
+                continue
+            arguments = node.args
+            for arg in (*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs):
+                if arg.arg in ("self", "cls"):
+                    continue
+                if _annotation_name(arg.annotation) not in _NUMERIC_ANNOTATIONS:
+                    continue
+                if _param_is_suffixed(arg.arg):
+                    continue
+                yield self.violation(
+                    ctx,
+                    arg,
+                    f"numeric generator parameter {arg.arg!r} of {node.name}() "
+                    "has no unit suffix; name the unit (_m, _kmh, _mhz, ...) "
+                    "or declare it dimensionless (_ratio/_count) so scenario "
+                    "knobs and generator arguments stay in the same lattice",
+                )
+
+    def _check_rng_construction(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ctx.walk(ast.Call):
+            qualified = ctx.imports.resolve(node.func)
+            if qualified in _BANNED_RNG_CONSTRUCTORS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"RNG constructed via {qualified} inside topology "
+                    "generator code; generators must draw from the injected "
+                    "generator (or a repro.core.rng.derive child of it) so "
+                    "(seed, TopologySection) reproduces byte-identically — "
+                    "only topology/generate.py mints the root stream",
+                )

@@ -1,9 +1,10 @@
-"""Pedestrian mobility along the campus road network.
+"""Pedestrian mobility along the world's road network.
 
 The hand-off campaign (Sec. 3.4) was collected while walking/bicycling at
 3-10 km/h along campus roads; :class:`RouteWalker` reproduces that: it
 wanders the road graph at a configurable speed and emits a time-stamped
-position trace.
+position trace.  Any :class:`~repro.geometry.world.WorldModel` works — the
+hand-crafted paper campus and procedurally generated districts alike.
 """
 
 from __future__ import annotations
@@ -13,8 +14,8 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.geometry.campus import Campus
 from repro.geometry.points import Point, Segment
+from repro.geometry.world import WorldModel
 
 __all__ = ["TrajectoryPoint", "RouteWalker"]
 
@@ -32,17 +33,22 @@ class TrajectoryPoint:
 
 
 class RouteWalker:
-    """Walks the campus roads, turning at intersections at random.
+    """Walks the world's roads, turning at intersections at random.
+
+    Turn decisions consult the precomputed :class:`~repro.geometry.world.RoadGraph`
+    junction adjacency — O(degree) per turn instead of a distance scan over
+    every segment — while preserving the historical candidate order, so
+    trajectories on the paper campus are byte-identical to the old scan.
 
     Args:
-        campus: Road network to walk.
+        world: Road network to walk.
         rng: Randomness source (turn choices, speed jitter).
         speed_kmh: Walking speed; jittered per segment within +-20%.
     """
 
     def __init__(
         self,
-        campus: Campus,
+        world: WorldModel,
         rng: np.random.Generator,
         speed_kmh: float = 5.0,
     ) -> None:
@@ -51,12 +57,13 @@ class RouteWalker:
                 f"speed must be within the campaign range "
                 f"[{MIN_SPEED_KMH}, {MAX_SPEED_KMH}] km/h, got {speed_kmh}"
             )
-        self._campus = campus
+        self._world = world
+        self._graph = world.road_graph
         self._rng = rng
         self._speed_mps = speed_kmh / 3.6
 
     def _random_road(self) -> Segment:
-        roads = self._campus.roads
+        roads = self._world.roads
         return roads[int(self._rng.integers(len(roads)))]
 
     def trajectory(self, duration_s: float, dt_s: float = 0.040) -> Iterator[TrajectoryPoint]:
@@ -81,8 +88,8 @@ class RouteWalker:
             step_fraction = speed * dt_s / max(road.length, 1e-9)
             fraction += step_fraction if heading_to_end else -step_fraction
             if fraction > 1.0 or fraction < 0.0:
-                # Reached the end of the road: turn onto a random new road,
-                # entering at the end nearest to the current position.
+                # Reached the end of the road: turn onto a random incident
+                # road, entering at the end nearest to the current position.
                 end = road.end if fraction > 1.0 else road.start
                 road = self._pick_next_road(end)
                 start_dist = end.distance_to(road.start)
@@ -92,23 +99,14 @@ class RouteWalker:
             time_s += dt_s
 
     def _pick_next_road(self, at: Point) -> Segment:
-        """Choose the next road, preferring ones passing near ``at``."""
-        nearby = [
-            seg
-            for seg in self._campus.roads
-            if _distance_point_to_segment(at, seg) < 15.0
-        ]
-        candidates = nearby if nearby else list(self._campus.roads)
-        return candidates[int(self._rng.integers(len(candidates)))]
+        """Choose the next road among those incident to the junction ``at``.
 
-
-def _distance_point_to_segment(p: Point, seg: Segment) -> float:
-    """Shortest distance from ``p`` to ``seg``."""
-    dx = seg.end.x - seg.start.x
-    dy = seg.end.y - seg.start.y
-    length_sq = dx * dx + dy * dy
-    if length_sq == 0.0:
-        return p.distance_to(seg.start)
-    t = ((p.x - seg.start.x) * dx + (p.y - seg.start.y) * dy) / length_sq
-    t = min(1.0, max(0.0, t))
-    return p.distance_to(Point(seg.start.x + t * dx, seg.start.y + t * dy))
+        Falls back to the whole network when the junction is isolated
+        (mirrors the old nearest-segment scan's fallback, and keeps the RNG
+        draw count identical in both branches).
+        """
+        roads = self._world.roads
+        incident = self._graph.roads_at(at)
+        if incident:
+            return roads[incident[int(self._rng.integers(len(incident)))]]
+        return roads[int(self._rng.integers(len(roads)))]

@@ -80,27 +80,48 @@ def path_loss_matrix_db(
     y = vm.as_float_array(y)
     n, c = len(x), len(tx_x)
 
-    tx_row_x = tx_x[np.newaxis, :]
-    tx_row_y = tx_y[np.newaxis, :]
+    # Co-sited sectors share a mast, so every geometry term — the wall
+    # crossings that dominate dense surveys especially — is evaluated
+    # once per distinct transmitter position and fanned out to the sector
+    # columns.  Each lane runs the exact IEEE ops the full (N, C)
+    # evaluation would, so the fan-out is bit-identical.
+    position_index: dict[tuple[float, float], int] = {}
+    col_to_site = np.empty(c, dtype=np.int64)
+    for col, tx in enumerate(tx_points):
+        key = (tx.x, tx.y)
+        if key not in position_index:
+            position_index[key] = len(position_index)
+        col_to_site[col] = position_index[key]
+    site_x = np.array([key[0] for key in position_index], dtype=np.float64)
+    site_y = np.array([key[1] for key in position_index], dtype=np.float64)
+
+    site_row_x = site_x[np.newaxis, :]
+    site_row_y = site_y[np.newaxis, :]
     rx_col_x = x[:, np.newaxis]
     rx_col_y = y[:, np.newaxis]
 
-    distance = vm.hypot(tx_row_x - rx_col_x, tx_row_y - rx_col_y)
-    crossings = buildings.wall_crossings_counts(tx_row_x, tx_row_y, rx_col_x, rx_col_y)
+    site_distance = vm.hypot(site_row_x - rx_col_x, site_row_y - rx_col_y)
+    site_crossings = buildings.wall_crossings_counts(
+        site_row_x, site_row_y, rx_col_x, rx_col_y
+    )
 
     # Indoor receivers: subtract the own building's crossings from the
     # LOS test and charge one wall of penetration unless the transmitter
     # shares the building — exactly Environment.breakdown's accounting.
     own_index = buildings.building_indices(x, y)
-    tx_inside_own = np.zeros((n, c), dtype=bool)
+    site_inside_own = np.zeros((n, len(site_x)), dtype=bool)
     for i, building in enumerate(buildings):
         rows = own_index == i
         if not rows.any():
             continue
-        crossings[rows] -= building.wall_crossings_counts(
-            tx_row_x, tx_row_y, x[rows][:, np.newaxis], y[rows][:, np.newaxis]
+        site_crossings[rows] -= building.wall_crossings_counts(
+            site_row_x, site_row_y, x[rows][:, np.newaxis], y[rows][:, np.newaxis]
         )
-        tx_inside_own[rows] = building.contains_mask(tx_x, tx_y)
+        site_inside_own[rows] = building.contains_mask(site_x, site_y)
+
+    distance = site_distance[:, col_to_site]
+    crossings = site_crossings[:, col_to_site]
+    tx_inside_own = site_inside_own[:, col_to_site]
 
     los = crossings == 0
     f_ghz = carrier_mhz / 1000.0

@@ -16,7 +16,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.core.config import RadioProfile
-from repro.geometry.campus import Campus, SiteSpec
+from repro.geometry.world import SiteSpec, WorldModel
 from repro.geometry.points import Point
 from repro.radio import batch
 from repro.radio.antenna import SectorAntenna
@@ -159,21 +159,32 @@ class RadioNetwork:
         return cls(cells, profile, environment, **kwargs)
 
     @classmethod
-    def from_campus(
+    def from_world(
         cls,
-        campus: Campus,
+        world: WorldModel,
         profile: RadioProfile,
         environment: Environment,
         **kwargs: float,
     ) -> "RadioNetwork":
-        """Build the 4G or 5G campus network according to the profile.
+        """Build the world's 4G or 5G network according to the profile.
 
         gNB sectors default to a 24 dBi massive-MIMO beamformed panel, eNB
         sectors to a conventional 15 dBi passive antenna.
         """
-        sites = campus.gnb_sites if profile.generation == 5 else campus.enb_sites
+        sites = world.gnb_sites if profile.generation == 5 else world.enb_sites
         kwargs.setdefault("max_gain_dbi", 24.0 if profile.generation == 5 else 15.0)
         return cls.from_sites(sites, profile, environment, **kwargs)
+
+    @classmethod
+    def from_campus(
+        cls,
+        campus: WorldModel,
+        profile: RadioProfile,
+        environment: Environment,
+        **kwargs: float,
+    ) -> "RadioNetwork":
+        """Back-compat alias of :meth:`from_world`."""
+        return cls.from_world(campus, profile, environment, **kwargs)
 
     def cell(self, pci: int) -> Cell:
         """Look a cell up by PCI."""

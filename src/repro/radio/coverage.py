@@ -10,7 +10,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.stats import histogram_counts
-from repro.geometry.campus import Campus
+from repro.geometry.world import WorldModel
 from repro.geometry.points import Point
 from repro.radio import batch
 from repro.radio.cell import Cell, RadioNetwork
@@ -77,7 +77,7 @@ def _survey_at(
 
 
 def road_locations(
-    campus: Campus, num_points: int, rng: np.random.Generator
+    world: WorldModel, num_points: int, rng: np.random.Generator
 ) -> list[Point]:
     """Draw ``num_points`` random outdoor sampling locations on the roads.
 
@@ -86,21 +86,21 @@ def road_locations(
     """
     if num_points <= 0:
         raise ValueError(f"num_points must be positive, got {num_points}")
-    lengths = np.array([seg.length for seg in campus.roads])
+    lengths = np.array([seg.length for seg in world.roads])
     weights = lengths / lengths.sum()
-    choices = rng.choice(len(campus.roads), size=num_points, p=weights)
+    choices = rng.choice(len(world.roads), size=num_points, p=weights)
     fractions = rng.random(num_points)
-    return [campus.roads[i].interpolate(f) for i, f in zip(choices, fractions)]
+    return [world.roads[i].interpolate(f) for i, f in zip(choices, fractions)]
 
 
 def road_survey(
     network: RadioNetwork,
-    campus: Campus,
+    world: WorldModel,
     num_points: int,
     rng: np.random.Generator,
 ) -> list[SurveyPoint]:
     """The blanket road survey of Sec. 3.1 for one network."""
-    return survey_at_locations(network, road_locations(campus, num_points, rng))
+    return survey_at_locations(network, road_locations(world, num_points, rng))
 
 
 def survey_at_locations(
@@ -257,7 +257,7 @@ class IndoorOutdoorGap:
 
 def indoor_outdoor_gap(
     network: RadioNetwork,
-    campus: Campus,
+    world: WorldModel,
     pci: int,
     num_pairs: int,
     rng: np.random.Generator,

@@ -75,6 +75,7 @@ QUICK_EXPERIMENTS: tuple[str, ...] = (
     "fig22",
     "tab4",
     "dense-survey",
+    "world-survey",
     "remedy-comparison",
 )
 

@@ -36,6 +36,9 @@ from repro.energy.simulator import (
 from repro.qdisc.config import RemedySection
 
 __all__ = [
+    "DENSITY_CLASS_NAMES",
+    "SITE_POLICY_NAMES",
+    "TOPOLOGY_GENERATOR_NAMES",
     "RadioSection",
     "TopologySection",
     "WorkloadSection",
@@ -47,6 +50,17 @@ __all__ = [
     "scenario_digest",
     "scenario_to_dict",
 ]
+
+#: World producers understood by :func:`repro.topology.generate_world`.
+#: ``paper-campus`` is the hand-crafted replica; ``grid`` is the seeded
+#: procedural block-plan generator.
+TOPOLOGY_GENERATOR_NAMES: tuple[str, ...] = ("paper-campus", "grid")
+
+#: Building-stock density classes of the procedural generator.
+DENSITY_CLASS_NAMES: tuple[str, ...] = ("rural", "suburban", "urban-canyon")
+
+#: Site-placement policies of the procedural generator.
+SITE_POLICY_NAMES: tuple[str, ...] = ("hex-grid", "road-following", "hotspot-infill")
 
 
 @dataclass(frozen=True)
@@ -65,12 +79,29 @@ class RadioSection:
 
 @dataclass(frozen=True)
 class TopologySection:
-    """Where the servers sit and how the campus grid is built."""
+    """Where the servers sit and how the deployment map is built.
+
+    ``generator`` selects the world producer: ``paper-campus`` rebuilds the
+    hand-crafted 0.5 x 0.92 km replica (the extent/site knobs below are
+    ignored — the replica is fixed by construction), while ``grid`` runs
+    the seeded procedural generator in :mod:`repro.topology`, where every
+    knob below participates.  All knobs feed ``scenario_digest()``, so the
+    runner cache and sweep machinery key on them automatically.
+    """
 
     server_distance_km: float = 30.0
     wired_hops: int = 4
     extra_gnb_sites: int = 0
     lte_anchor_max_gain_dbi: float = 15.0
+    generator: str = "paper-campus"
+    width_m: float = 500.0
+    height_m: float = 920.0
+    road_pitch_m: float = 110.0
+    road_jitter_ratio: float = 0.0
+    density_class: str = "suburban"
+    site_policy: str = "hex-grid"
+    gnb_site_count: int = 6
+    enb_site_count: int = 13
 
     def __post_init__(self) -> None:
         if self.server_distance_km <= 0:
@@ -79,17 +110,60 @@ class TopologySection:
             raise ValueError(f"wired_hops must be >= 1, got {self.wired_hops}")
         if self.extra_gnb_sites < 0:
             raise ValueError(f"extra_gnb_sites must be >= 0, got {self.extra_gnb_sites}")
+        if self.generator not in TOPOLOGY_GENERATOR_NAMES:
+            raise ValueError(
+                f"unknown topology generator {self.generator!r};"
+                f" expected one of {TOPOLOGY_GENERATOR_NAMES}"
+            )
+        if self.width_m < 100.0 or self.height_m < 100.0:
+            raise ValueError(
+                f"extent must be >= 100 m per side, got {self.width_m} x {self.height_m}"
+            )
+        if self.road_pitch_m < 40.0:
+            raise ValueError(f"road_pitch_m must be >= 40 m, got {self.road_pitch_m}")
+        if not 0.0 <= self.road_jitter_ratio <= 0.4:
+            raise ValueError(
+                f"road_jitter_ratio out of [0, 0.4]: {self.road_jitter_ratio}"
+            )
+        if self.density_class not in DENSITY_CLASS_NAMES:
+            raise ValueError(
+                f"unknown density class {self.density_class!r};"
+                f" expected one of {DENSITY_CLASS_NAMES}"
+            )
+        if self.site_policy not in SITE_POLICY_NAMES:
+            raise ValueError(
+                f"unknown site policy {self.site_policy!r};"
+                f" expected one of {SITE_POLICY_NAMES}"
+            )
+        if self.gnb_site_count < 1:
+            raise ValueError(f"gnb_site_count must be >= 1, got {self.gnb_site_count}")
+        if self.enb_site_count < 1:
+            raise ValueError(f"enb_site_count must be >= 1, got {self.enb_site_count}")
 
 
 @dataclass(frozen=True)
 class WorkloadSection:
-    """Default knobs for the simulated measurement campaigns."""
+    """Default knobs for the simulated measurement campaigns.
+
+    The ``user_count`` / ``offered_load_ratio`` / ``*_mix_ratio`` knobs
+    parameterise the workload synthesizer (:mod:`repro.topology.workload`):
+    how many users populate the world, how hard they push relative to the
+    paper's campaign, and the web/video/file application mix they draw
+    their per-user traffic profiles from.  The mix ratios are relative
+    weights — the synthesizer normalises them — so overrides can adjust
+    one at a time without passing through an invalid intermediate state.
+    """
 
     sim_scale: float = 0.05
     video_sim_scale: float = 0.25
     ho_duration_s: float = 1200.0
     walk_speed_kmh: float = 6.0
     measurement_noise_db: float = 2.5
+    user_count: int = 50
+    offered_load_ratio: float = 1.0
+    web_mix_ratio: float = 0.5
+    video_mix_ratio: float = 0.3
+    file_mix_ratio: float = 0.2
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sim_scale <= 1.0:
@@ -98,6 +172,17 @@ class WorkloadSection:
             raise ValueError(f"video_sim_scale out of (0, 1]: {self.video_sim_scale}")
         if self.ho_duration_s <= 0:
             raise ValueError(f"ho_duration_s must be > 0, got {self.ho_duration_s}")
+        if self.user_count < 1:
+            raise ValueError(f"user_count must be >= 1, got {self.user_count}")
+        if self.offered_load_ratio <= 0.0:
+            raise ValueError(
+                f"offered_load_ratio must be > 0, got {self.offered_load_ratio}"
+            )
+        mix = (self.web_mix_ratio, self.video_mix_ratio, self.file_mix_ratio)
+        if any(m < 0.0 for m in mix):
+            raise ValueError(f"app-mix ratios must be >= 0, got {mix}")
+        if sum(mix) <= 0.0:
+            raise ValueError(f"app-mix ratios must not all be zero, got {mix}")
 
 
 @dataclass(frozen=True)

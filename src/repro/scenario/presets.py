@@ -3,11 +3,13 @@
 ``paper-nsa`` is the deployment the paper measured; the other presets
 are the "alternative deployments" the core config always promised:
 standalone 5G, a densified gNB grid, an mmWave-flavoured carrier, an
-FDD NR allocation, and three remedied variants of the measured
-deployment (CoDel, CAKE-with-autorate, split-connection PEP) that fix
-the Sec. 4.2 TCP anomaly.  Presets are plain :class:`~repro.scenario.core.Scenario`
-values — every one of them can also be expressed as a TOML file plus
-``--set`` overrides.
+FDD NR allocation, three remedied variants of the measured deployment
+(CoDel, CAKE-with-autorate, split-connection PEP) that fix the Sec. 4.2
+TCP anomaly, and three procedurally generated districts (``rural-sparse``,
+``urban-canyon``, ``stadium-flash-crowd``) built by the seeded topology
+generator of :mod:`repro.topology` (ROADMAP item 4).  Presets are plain
+:class:`~repro.scenario.core.Scenario` values — every one of them can
+also be expressed as a TOML file plus ``--set`` overrides.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from dataclasses import replace
 from functools import lru_cache
 
 from repro.qdisc.config import RemedySection
-from repro.scenario.core import Scenario
+from repro.scenario.core import Scenario, TopologySection
 
 __all__ = [
     "PRESET_NAMES",
@@ -90,6 +92,93 @@ def _paper_nsa_pep() -> Scenario:
     return replace(Scenario(), name="paper-nsa-pep", remedy=RemedySection(pep=True))
 
 
+def _generated(base: Scenario, topology: TopologySection) -> TopologySection:
+    """A grid-generated topology keeping the base's server-path knobs."""
+    return replace(
+        topology,
+        server_distance_km=base.topology.server_distance_km,
+        wired_hops=base.topology.wired_hops,
+        lte_anchor_max_gain_dbi=base.topology.lte_anchor_max_gain_dbi,
+    )
+
+
+def _rural_sparse() -> Scenario:
+    """A 4 km^2 countryside town: long blocks, few sites, light load."""
+    base = Scenario()
+    topology = _generated(
+        base,
+        TopologySection(
+            generator="grid",
+            width_m=2000.0,
+            height_m=2000.0,
+            road_pitch_m=500.0,
+            road_jitter_ratio=0.2,
+            density_class="rural",
+            site_policy="hex-grid",
+            gnb_site_count=3,
+            enb_site_count=5,
+        ),
+    )
+    workload = replace(base.workload, user_count=8, offered_load_ratio=0.5)
+    return replace(base, name="rural-sparse", topology=topology, workload=workload)
+
+
+def _urban_canyon() -> Scenario:
+    """A 2.25 km^2 high-rise district: tight blocks, street-level sites.
+
+    The extent (>= 2 km^2) and site count size the district-scale survey
+    of the acceptance criteria; concrete/glass canyons make indoor
+    penetration the dominant coverage defect.
+    """
+    base = Scenario()
+    topology = _generated(
+        base,
+        TopologySection(
+            generator="grid",
+            width_m=1500.0,
+            height_m=1500.0,
+            road_pitch_m=125.0,
+            road_jitter_ratio=0.15,
+            density_class="urban-canyon",
+            site_policy="road-following",
+            gnb_site_count=16,
+            enb_site_count=20,
+        ),
+    )
+    workload = replace(base.workload, user_count=120, offered_load_ratio=1.5)
+    return replace(base, name="urban-canyon", topology=topology, workload=workload)
+
+
+def _stadium_flash_crowd() -> Scenario:
+    """A stadium event: hotspot-clustered sites, a dense video-heavy crowd."""
+    base = Scenario()
+    topology = _generated(
+        base,
+        TopologySection(
+            generator="grid",
+            width_m=900.0,
+            height_m=900.0,
+            road_pitch_m=150.0,
+            road_jitter_ratio=0.1,
+            density_class="suburban",
+            site_policy="hotspot-infill",
+            gnb_site_count=9,
+            enb_site_count=12,
+        ),
+    )
+    workload = replace(
+        base.workload,
+        user_count=400,
+        offered_load_ratio=2.5,
+        web_mix_ratio=0.2,
+        video_mix_ratio=0.7,
+        file_mix_ratio=0.1,
+    )
+    return replace(
+        base, name="stadium-flash-crowd", topology=topology, workload=workload
+    )
+
+
 _FACTORIES = {
     "paper-nsa": _paper_nsa,
     "sa-mode": _sa_mode,
@@ -99,6 +188,9 @@ _FACTORIES = {
     "paper-nsa-codel": _paper_nsa_codel,
     "paper-nsa-cake-autorate": _paper_nsa_cake_autorate,
     "paper-nsa-pep": _paper_nsa_pep,
+    "rural-sparse": _rural_sparse,
+    "urban-canyon": _urban_canyon,
+    "stadium-flash-crowd": _stadium_flash_crowd,
 }
 
 #: Preset names in documentation order.

@@ -1,0 +1,50 @@
+"""Seeded procedural topologies and generative workloads (ROADMAP item 4).
+
+``generate_world(seed, scenario.topology)`` is the package's front door:
+it turns a topology section into a :class:`~repro.geometry.world.WorldModel`
+— either the hand-crafted ``paper-campus`` replica or a procedural
+district (roads by :mod:`~repro.topology.roads`, building stock by
+:mod:`~repro.topology.stock`, radio sites by :mod:`~repro.topology.sites`).
+:func:`~repro.topology.workload.synthesize_workload` populates a world
+with per-user traffic/mobility mixes.
+
+Determinism contract: :mod:`~repro.topology.generate` is the only module
+here that may mint RNGs (from the campaign seed, via ``core.rng``); every
+other generator draws from an injected ``numpy`` generator.  replint
+REP013 enforces both halves.
+"""
+
+from repro.topology.generate import generate_world
+from repro.topology.roads import grid_road_plan, interior_line_positions
+from repro.topology.sites import (
+    hex_grid_positions,
+    hotspot_infill_positions,
+    place_enb_sites,
+    place_gnb_sites,
+    road_following_positions,
+)
+from repro.topology.stock import DENSITY_CLASSES, DensityClass, building_stock
+from repro.topology.workload import (
+    SynthesizedWorkload,
+    UserWorkload,
+    synthesize_workload,
+    walker_for_user,
+)
+
+__all__ = [
+    "DENSITY_CLASSES",
+    "DensityClass",
+    "SynthesizedWorkload",
+    "UserWorkload",
+    "building_stock",
+    "generate_world",
+    "grid_road_plan",
+    "hex_grid_positions",
+    "hotspot_infill_positions",
+    "interior_line_positions",
+    "place_enb_sites",
+    "place_gnb_sites",
+    "road_following_positions",
+    "synthesize_workload",
+    "walker_for_user",
+]

@@ -1,0 +1,92 @@
+"""`(seed, TopologySection) -> WorldModel`: the one RNG seam of the package.
+
+This module is the only place in :mod:`repro.topology` allowed to mint
+randomness (replint REP013): it derives one named stream from the campaign
+seed and hands independent child generators — via :func:`repro.core.rng.derive`
+— to the road, stock and site generators in a fixed order.  Everything
+downstream draws exclusively from its injected generator, so the same
+``(seed, section)`` pair reproduces the world byte-identically in any
+process (golden-file enforced by ``tests/test_topology.py``).
+
+``generator="paper-campus"`` bypasses the procedural path entirely and
+returns the hand-crafted replica from :func:`repro.geometry.campus.build_campus`
+— seed-independent, byte-identical to the pre-refactor map.
+"""
+
+from __future__ import annotations
+
+from repro.core.rng import RngFactory, derive
+from repro.geometry.campus import build_campus
+from repro.geometry.points import Point
+from repro.geometry.world import WorldModel
+from repro.scenario.core import TopologySection
+from repro.topology.roads import grid_road_plan, interior_line_positions
+from repro.topology.sites import place_enb_sites, place_gnb_sites
+from repro.topology.stock import building_stock
+
+__all__ = ["generate_world"]
+
+
+def generate_world(seed: int, topology: TopologySection) -> WorldModel:
+    """Build the world a scenario's topology section describes.
+
+    Args:
+        seed: Campaign seed; ignored by the ``paper-campus`` generator
+            (the replica is fixed) and the sole entropy source otherwise.
+        topology: The scenario's topology section.
+
+    Returns:
+        A :class:`~repro.geometry.world.WorldModel` ready for the testbed.
+    """
+    if topology.generator == "paper-campus":
+        return build_campus(extra_gnb_sites=topology.extra_gnb_sites)
+    if topology.extra_gnb_sites:
+        raise ValueError(
+            "extra_gnb_sites densifies the hand-crafted campus only; "
+            f"size the {topology.generator!r} generator with gnb_site_count instead"
+        )
+    root = RngFactory(seed).stream(f"topology.{topology.generator}")
+    roads_rng = derive(root)
+    stock_rng = derive(root)
+    gnb_rng = derive(root)
+    enb_rng = derive(root)
+
+    xs_m = interior_line_positions(
+        topology.width_m, topology.road_pitch_m, topology.road_jitter_ratio, roads_rng
+    )
+    ys_m = interior_line_positions(
+        topology.height_m, topology.road_pitch_m, topology.road_jitter_ratio, roads_rng
+    )
+    roads = grid_road_plan(topology.width_m, topology.height_m, xs_m, ys_m)
+    buildings = building_stock(
+        topology.width_m, topology.height_m, xs_m, ys_m, topology.density_class, stock_rng
+    )
+    gnb_sites = place_gnb_sites(
+        topology.site_policy,
+        topology.width_m,
+        topology.height_m,
+        roads,
+        topology.gnb_site_count,
+        gnb_rng,
+    )
+    enb_sites = place_enb_sites(
+        gnb_sites,
+        topology.enb_site_count,
+        roads,
+        topology.width_m,
+        topology.height_m,
+        enb_rng,
+    )
+    center = Point(topology.width_m / 2.0, topology.height_m / 2.0)
+    landmarks = {"center": center}
+    if topology.site_policy == "hotspot-infill":
+        landmarks["hotspot"] = center
+    return WorldModel(
+        width_m=topology.width_m,
+        height_m=topology.height_m,
+        roads=roads,
+        buildings=buildings,
+        gnb_sites=gnb_sites,
+        enb_sites=enb_sites,
+        landmarks=landmarks,
+    )

@@ -1,0 +1,72 @@
+"""Seeded road-network generation: grid and jittered-grid block plans.
+
+Generated networks differ from the hand-crafted campus in one structural
+way: segments are *split at every intersection*, so crossing roads share
+endpoint nodes exactly.  That makes the
+:class:`~repro.geometry.world.RoadGraph` junction adjacency dense (walkers
+can turn at every crossing) and the connectivity property trivially
+checkable.  The paper campus keeps its historical full-span avenues for
+byte-compatibility.
+
+All randomness comes from the injected generator; these functions never
+construct RNGs themselves (replint REP013).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import Point, Segment
+
+__all__ = ["interior_line_positions", "grid_road_plan"]
+
+
+def interior_line_positions(
+    extent_m: float,
+    pitch_m: float,
+    jitter_ratio: float,
+    rng: np.random.Generator,
+) -> tuple[float, ...]:
+    """Positions of interior road lines across one axis of the extent.
+
+    Lines sit at an even step approximating ``pitch_m``, each displaced by
+    a uniform jitter of up to ``jitter_ratio / 2`` of the step, so the
+    monotonic ordering (and a >= half-step clearance between neighbours)
+    is preserved for any ``jitter_ratio <= 0.4``.
+    """
+    if extent_m <= 0.0:
+        raise ValueError(f"extent must be positive, got {extent_m}")
+    if pitch_m <= 0.0:
+        raise ValueError(f"pitch must be positive, got {pitch_m}")
+    count = max(1, round(extent_m / pitch_m) - 1)
+    step_m = extent_m / (count + 1)
+    positions: list[float] = []
+    for i in range(count):
+        base_m = (i + 1) * step_m
+        offset_m = float(rng.uniform(-0.5, 0.5)) * jitter_ratio * step_m
+        positions.append(base_m + offset_m)
+    return tuple(positions)
+
+
+def grid_road_plan(
+    width_m: float,
+    height_m: float,
+    xs_m: tuple[float, ...],
+    ys_m: tuple[float, ...],
+) -> tuple[Segment, ...]:
+    """Split-segment grid over the given interior line positions.
+
+    Vertical roads run border to border at each ``xs_m`` position, split
+    at every ``ys_m`` crossing (and vice versa), so each intersection is a
+    shared endpoint node.  Purely deterministic given the line positions.
+    """
+    roads: list[Segment] = []
+    y_nodes = (0.0, *ys_m, height_m)
+    x_nodes = (0.0, *xs_m, width_m)
+    for x in xs_m:
+        for y0, y1 in zip(y_nodes, y_nodes[1:]):
+            roads.append(Segment(Point(x, y0), Point(x, y1)))
+    for y in ys_m:
+        for x0, x1 in zip(x_nodes, x_nodes[1:]):
+            roads.append(Segment(Point(x0, y), Point(x1, y)))
+    return tuple(roads)

@@ -1,0 +1,226 @@
+"""Seeded site-placement policies for generated worlds.
+
+Three gNB policies (matching ``TopologySection.site_policy``):
+
+* ``hex-grid`` — the classic cellular-planning layout: a hexagonal
+  lattice sized to the site count, with a small placement jitter
+  (rooftop sites need not fall on roads).
+* ``road-following`` — street-level deployments: sites sampled along the
+  road network, length-weighted, with a minimum-separation rejection
+  pass (the paper's campus looks like this).
+* ``hotspot-infill`` — capacity-driven densification: sites cluster
+  around the central hotspot landmark with a Gaussian radial profile
+  (stadium / flash-crowd deployments).
+
+The 4G layer mirrors the measured campus: the first eNBs are co-sited
+NSA anchors on the gNB masts, the remainder street-level micro infill.
+
+All randomness comes from the injected generator (replint REP013).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.points import Point, Segment
+from repro.geometry.world import SectorSpec, SiteSpec
+
+__all__ = [
+    "hex_grid_positions",
+    "road_following_positions",
+    "hotspot_infill_positions",
+    "place_gnb_sites",
+    "place_enb_sites",
+]
+
+#: Keep generated sites this far inside the extent, meters.
+_EDGE_MARGIN_M = 10.0
+
+#: First NR PCI of generated gNB layers (clear of the LTE range at 200).
+_NR_PCI_BASE = 60
+
+#: First LTE PCI of generated eNB layers.
+_LTE_PCI_BASE = 200
+
+#: Rejection attempts per road-following site before taking the best draw.
+_PLACEMENT_ATTEMPTS = 8
+
+
+def _clamp(value_m: float, extent_m: float) -> float:
+    return min(max(value_m, _EDGE_MARGIN_M), extent_m - _EDGE_MARGIN_M)
+
+
+def hex_grid_positions(
+    width_m: float,
+    height_m: float,
+    site_count: int,
+    rng: np.random.Generator,
+) -> tuple[Point, ...]:
+    """A hexagonal lattice of ``site_count`` positions with small jitter."""
+    cols = max(1, math.ceil(math.sqrt(site_count * width_m / height_m)))
+    rows = max(1, math.ceil(site_count / cols))
+    dx_m = width_m / cols
+    dy_m = height_m / rows
+    jitter_m = 0.05 * min(dx_m, dy_m)
+    positions: list[Point] = []
+    for r in range(rows):
+        shift = 0.25 if r % 2 else -0.25
+        for c in range(cols):
+            if len(positions) >= site_count:
+                break
+            x_m = (c + 0.5 + shift) * dx_m + float(rng.uniform(-jitter_m, jitter_m))
+            y_m = (r + 0.5) * dy_m + float(rng.uniform(-jitter_m, jitter_m))
+            positions.append(Point(_clamp(x_m, width_m), _clamp(y_m, height_m)))
+    return tuple(positions)
+
+
+def _point_along_roads(
+    roads: tuple[Segment, ...],
+    cumulative_m: np.ndarray,
+    rng: np.random.Generator,
+) -> Point:
+    total_m = float(cumulative_m[-1])
+    offset_m = float(rng.random()) * total_m
+    index = int(np.searchsorted(cumulative_m, offset_m, side="right"))
+    index = min(index, len(roads) - 1)
+    segment = roads[index]
+    fraction = float(rng.random())
+    return segment.interpolate(fraction)
+
+
+def road_following_positions(
+    roads: tuple[Segment, ...],
+    site_count: int,
+    min_separation_m: float,
+    rng: np.random.Generator,
+) -> tuple[Point, ...]:
+    """Length-weighted positions along the roads, separation-rejected.
+
+    Each site draws up to a fixed number of candidates and accepts the
+    first one at least ``min_separation_m`` from every placed site; when
+    all candidates fail, the most isolated candidate wins (the generator
+    must terminate for any count).
+    """
+    if not roads:
+        raise ValueError("road-following placement needs a non-empty road network")
+    lengths_m = np.array([seg.length for seg in roads])
+    cumulative_m = np.cumsum(lengths_m)
+    positions: list[Point] = []
+    for _ in range(site_count):
+        best: Point | None = None
+        best_clearance_m = -1.0
+        for _attempt in range(_PLACEMENT_ATTEMPTS):
+            candidate = _point_along_roads(roads, cumulative_m, rng)
+            clearance_m = min(
+                (candidate.distance_to(p) for p in positions), default=math.inf
+            )
+            if clearance_m >= min_separation_m:
+                best = candidate
+                break
+            if clearance_m > best_clearance_m:
+                best = candidate
+                best_clearance_m = clearance_m
+        assert best is not None
+        positions.append(best)
+    return tuple(positions)
+
+
+def hotspot_infill_positions(
+    width_m: float,
+    height_m: float,
+    site_count: int,
+    rng: np.random.Generator,
+) -> tuple[Point, ...]:
+    """Sites clustered around the central hotspot, densest at the core."""
+    center = Point(width_m / 2.0, height_m / 2.0)
+    sigma_m = min(width_m, height_m) / 6.0
+    positions: list[Point] = [center]
+    while len(positions) < site_count:
+        radius_m = abs(float(rng.normal(0.0, sigma_m))) + 0.15 * sigma_m
+        angle = float(rng.uniform(0.0, 2.0 * math.pi))
+        x_m = center.x + radius_m * math.sin(angle)
+        y_m = center.y + radius_m * math.cos(angle)
+        positions.append(Point(_clamp(x_m, width_m), _clamp(y_m, height_m)))
+    return tuple(positions[:site_count])
+
+
+def place_gnb_sites(
+    site_policy: str,
+    width_m: float,
+    height_m: float,
+    roads: tuple[Segment, ...],
+    site_count: int,
+    rng: np.random.Generator,
+) -> tuple[SiteSpec, ...]:
+    """Generate the 5G layer: macro sites with three sectors each.
+
+    Sector boresights are 120 degrees apart with a per-site random
+    rotation; NR PCIs run sequentially from the measured campus's range.
+    """
+    if site_policy == "hex-grid":
+        positions = hex_grid_positions(width_m, height_m, site_count, rng)
+    elif site_policy == "road-following":
+        separation_m = 0.5 * math.sqrt(width_m * height_m / site_count)
+        positions = road_following_positions(roads, site_count, separation_m, rng)
+    elif site_policy == "hotspot-infill":
+        positions = hotspot_infill_positions(width_m, height_m, site_count, rng)
+    else:
+        raise ValueError(f"unknown site policy {site_policy!r}")
+    sites: list[SiteSpec] = []
+    pci = _NR_PCI_BASE
+    for i, position in enumerate(positions):
+        rotation_deg = float(rng.uniform(0.0, 120.0))
+        sectors = tuple(
+            SectorSpec(pci + k, (rotation_deg + 120.0 * k) % 360.0) for k in range(3)
+        )
+        pci += 3
+        sites.append(SiteSpec(f"gnb-{i + 1}", position, sectors))
+    return tuple(sites)
+
+
+def place_enb_sites(
+    gnb_sites: tuple[SiteSpec, ...],
+    site_count: int,
+    roads: tuple[Segment, ...],
+    width_m: float,
+    height_m: float,
+    rng: np.random.Generator,
+) -> tuple[SiteSpec, ...]:
+    """Generate the 4G layer: co-sited NSA anchors plus micro infill.
+
+    The first ``min(site_count, len(gnb_sites))`` eNBs share the gNB
+    masts (three macro sectors — the anchors every NSA attach rides on);
+    any remainder are street-level two-sector micros placed along the
+    roads like the campus's seven 4G-only infill sites.
+    """
+    sites: list[SiteSpec] = []
+    pci = _LTE_PCI_BASE
+    anchor_count = min(site_count, len(gnb_sites))
+    for i in range(anchor_count):
+        rotation_deg = float(rng.uniform(0.0, 120.0))
+        sectors = tuple(
+            SectorSpec(pci + k, (rotation_deg + 120.0 * k) % 360.0) for k in range(3)
+        )
+        pci += 3
+        sites.append(SiteSpec(f"enb-{i + 1}", gnb_sites[i].position, sectors))
+    infill_count = site_count - anchor_count
+    if infill_count > 0:
+        separation_m = 0.4 * math.sqrt(width_m * height_m / max(infill_count, 1))
+        positions = road_following_positions(roads, infill_count, separation_m, rng)
+        for j, position in enumerate(positions):
+            rotation_deg = float(rng.uniform(0.0, 180.0))
+            sectors = tuple(
+                SectorSpec(pci + k, (rotation_deg + 180.0 * k) % 360.0) for k in range(2)
+            )
+            pci += 2
+            sites.append(
+                SiteSpec(
+                    f"enb-{anchor_count + j + 1}",
+                    position,
+                    sectors,
+                    power_class="micro",
+                )
+            )
+    return tuple(sites)

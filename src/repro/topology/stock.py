@@ -1,0 +1,150 @@
+"""Seeded building-stock generation by density class.
+
+Each city block (the rectangle between adjacent road lines) is filled
+independently: a density class sets the fill probability, the chance of a
+twin-building courtyard split, sidewalk margins, the roof-height range and
+the wall construction mix.  Footprints are inset within distinct blocks,
+so the no-overlap property holds by construction; the margin keeps road
+samples outdoors exactly like the hand-crafted campus does.
+
+All randomness comes from the injected generator (replint REP013).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.buildings import Building, BuildingMap
+
+__all__ = ["DensityClass", "DENSITY_CLASSES", "building_stock"]
+
+#: Smallest inner footprint side worth building, meters.
+_MIN_FOOTPRINT_M = 18.0
+
+#: Smallest inner block height for a courtyard twin split, meters.
+_MIN_TWIN_SPAN_M = 60.0
+
+
+@dataclass(frozen=True)
+class DensityClass:
+    """Block-filling parameters of one settlement density.
+
+    Attributes:
+        name: Class name as used by ``TopologySection.density_class``.
+        fill_ratio: Probability a block holds any building at all.
+        twin_ratio: Probability a tall-enough block splits into two
+            buildings around a courtyard.
+        margin_m: Sidewalk margin between road line and footprint.
+        min_height_m, max_height_m: Roof-height range.
+        wall_classes: Construction classes drawn uniformly per building.
+    """
+
+    name: str
+    fill_ratio: float
+    twin_ratio: float
+    margin_m: float
+    min_height_m: float
+    max_height_m: float
+    wall_classes: tuple[str, ...]
+
+
+#: The three density classes of ROADMAP item 4, rural -> urban canyon.
+DENSITY_CLASSES: dict[str, DensityClass] = {
+    "rural": DensityClass(
+        name="rural",
+        fill_ratio=0.35,
+        twin_ratio=0.0,
+        margin_m=14.0,
+        min_height_m=4.0,
+        max_height_m=9.0,
+        wall_classes=("timber", "brick"),
+    ),
+    "suburban": DensityClass(
+        name="suburban",
+        fill_ratio=0.8,
+        twin_ratio=0.35,
+        margin_m=10.0,
+        min_height_m=6.0,
+        max_height_m=15.0,
+        wall_classes=("brick", "concrete"),
+    ),
+    "urban-canyon": DensityClass(
+        name="urban-canyon",
+        fill_ratio=1.0,
+        twin_ratio=0.6,
+        margin_m=8.0,
+        min_height_m=18.0,
+        max_height_m=60.0,
+        wall_classes=("concrete", "glass"),
+    ),
+}
+
+
+def building_stock(
+    width_m: float,
+    height_m: float,
+    xs_m: tuple[float, ...],
+    ys_m: tuple[float, ...],
+    density_class: str,
+    rng: np.random.Generator,
+) -> BuildingMap:
+    """Fill the blocks of a road plan with buildings.
+
+    Blocks are visited west-to-east, south-to-north, and every decision
+    (fill, twin split, height, wall class) draws from ``rng`` in that
+    fixed order, so a ``(seed, section)`` pair reproduces the stock
+    byte-identically.
+    """
+    try:
+        density = DENSITY_CLASSES[density_class]
+    except KeyError:
+        raise ValueError(
+            f"unknown density class {density_class!r};"
+            f" expected one of {tuple(DENSITY_CLASSES)}"
+        ) from None
+    x_nodes = (0.0, *xs_m, width_m)
+    y_nodes = (0.0, *ys_m, height_m)
+    buildings: list[Building] = []
+    for xi, (x0, x1) in enumerate(zip(x_nodes, x_nodes[1:])):
+        for yi, (y0, y1) in enumerate(zip(y_nodes, y_nodes[1:])):
+            inner_x0 = x0 + density.margin_m
+            inner_x1 = x1 - density.margin_m
+            inner_y0 = y0 + density.margin_m
+            inner_y1 = y1 - density.margin_m
+            if (
+                inner_x1 - inner_x0 < _MIN_FOOTPRINT_M
+                or inner_y1 - inner_y0 < _MIN_FOOTPRINT_M
+            ):
+                continue
+            if float(rng.random()) >= density.fill_ratio:
+                continue
+            label = f"G{xi}-{yi}"
+            twin = (
+                inner_y1 - inner_y0 >= _MIN_TWIN_SPAN_M
+                and float(rng.random()) < density.twin_ratio
+            )
+            if twin:
+                mid = (inner_y0 + inner_y1) / 2.0
+                spans = (
+                    (f"{label}a", inner_y0, mid - density.margin_m / 2.0),
+                    (f"{label}b", mid + density.margin_m / 2.0, inner_y1),
+                )
+            else:
+                spans = ((label, inner_y0, inner_y1),)
+            for name, span_y0, span_y1 in spans:
+                buildings.append(
+                    Building(
+                        inner_x0,
+                        span_y0,
+                        inner_x1,
+                        span_y1,
+                        name=name,
+                        height_m=float(rng.uniform(density.min_height_m, density.max_height_m)),
+                        wall_loss_class=density.wall_classes[
+                            int(rng.integers(len(density.wall_classes)))
+                        ],
+                    )
+                )
+    return BuildingMap(buildings)

@@ -1,0 +1,150 @@
+"""Seeded per-user workload synthesis over a generated world.
+
+The paper measured one walking user; city-scale campaigns need a
+population.  :func:`synthesize_workload` draws, per user: a home road
+(length-weighted over the world's road graph, so busy avenues attract
+users), a walking speed inside the campaign's 3-10 km/h envelope, an
+application mix (a Dirichlet draw concentrated on the scenario's
+web/video/file ratios) and an offered load scaled by the scenario's
+``offered_load_ratio``.  :func:`walker_for_user` turns a user into a
+:class:`~repro.mobility.walker.RouteWalker` over the same world.
+
+All randomness comes from the injected generator (replint REP013);
+callers derive it from the campaign seed via :func:`repro.core.rng.derive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.world import WorldModel
+from repro.mobility.walker import MAX_SPEED_KMH, MIN_SPEED_KMH, RouteWalker
+from repro.scenario.core import WorkloadSection
+
+__all__ = [
+    "UserWorkload",
+    "SynthesizedWorkload",
+    "synthesize_workload",
+    "walker_for_user",
+]
+
+#: Nominal offered load per application class at mix weight 1.0, Mbit/s
+#: (web browsing, adaptive video, bulk file transfer — Sec. 5's workloads).
+WEB_OFFERED_MBPS = 2.0
+VIDEO_OFFERED_MBPS = 8.0
+FILE_OFFERED_MBPS = 25.0
+
+#: Dirichlet concentration around the scenario's app-mix ratios; higher
+#: values keep per-user mixes closer to the population mix.
+_MIX_CONCENTRATION = 24.0
+
+#: Floor keeping Dirichlet parameters strictly positive when a ratio is 0.
+_MIX_ALPHA_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class UserWorkload:
+    """One synthesized user: where they walk and what they pull.
+
+    Attributes:
+        user_id: Stable index within the synthesized population.
+        home_road_index: Index into ``world.roads`` of the user's home
+            segment (length-weighted draw).
+        walk_speed_kmh: Walking speed, inside the campaign envelope.
+        web_ratio, video_ratio, file_ratio: Per-user application mix
+            (sums to 1).
+        offered_load_mbps: Mean downlink demand when active.
+    """
+
+    user_id: int
+    home_road_index: int
+    walk_speed_kmh: float
+    web_ratio: float
+    video_ratio: float
+    file_ratio: float
+    offered_load_mbps: float
+
+
+@dataclass(frozen=True)
+class SynthesizedWorkload:
+    """The full synthesized population of one scenario."""
+
+    users: tuple[UserWorkload, ...]
+
+    @property
+    def total_offered_load_mbps(self) -> float:
+        """Aggregate downlink demand of the population."""
+        return sum(user.offered_load_mbps for user in self.users)
+
+    @property
+    def mean_walk_speed_kmh(self) -> float:
+        """Population mean walking speed."""
+        return sum(user.walk_speed_kmh for user in self.users) / len(self.users)
+
+    def app_mix(self) -> dict[str, float]:
+        """Population-level application mix (averaged over users)."""
+        n = len(self.users)
+        return {
+            "web": sum(u.web_ratio for u in self.users) / n,
+            "video": sum(u.video_ratio for u in self.users) / n,
+            "file": sum(u.file_ratio for u in self.users) / n,
+        }
+
+
+def synthesize_workload(
+    world: WorldModel,
+    workload: WorkloadSection,
+    rng: np.random.Generator,
+) -> SynthesizedWorkload:
+    """Draw ``workload.user_count`` users over ``world``.
+
+    Every user consumes a fixed number of draws in a fixed order, so the
+    population is byte-reproducible from the injected generator's state.
+    """
+    if not world.roads:
+        raise ValueError("cannot synthesize a workload over a world with no roads")
+    lengths_m = np.array([seg.length for seg in world.roads])
+    weights = lengths_m / lengths_m.sum()
+    mix_weights = np.array(
+        [workload.web_mix_ratio, workload.video_mix_ratio, workload.file_mix_ratio]
+    )
+    alpha = mix_weights / mix_weights.sum() * _MIX_CONCENTRATION + _MIX_ALPHA_FLOOR
+    nominal_mbps = np.array([WEB_OFFERED_MBPS, VIDEO_OFFERED_MBPS, FILE_OFFERED_MBPS])
+    users: list[UserWorkload] = []
+    for user_id in range(workload.user_count):
+        home_road_index = int(rng.choice(len(world.roads), p=weights))
+        speed_kmh = float(
+            np.clip(
+                workload.walk_speed_kmh * float(rng.uniform(0.8, 1.2)),
+                MIN_SPEED_KMH,
+                MAX_SPEED_KMH,
+            )
+        )
+        mix = rng.dirichlet(alpha)
+        demand_scale = float(rng.uniform(0.7, 1.3))
+        offered_mbps = (
+            workload.offered_load_ratio * demand_scale * float(mix @ nominal_mbps)
+        )
+        users.append(
+            UserWorkload(
+                user_id=user_id,
+                home_road_index=home_road_index,
+                walk_speed_kmh=speed_kmh,
+                web_ratio=float(mix[0]),
+                video_ratio=float(mix[1]),
+                file_ratio=float(mix[2]),
+                offered_load_mbps=offered_mbps,
+            )
+        )
+    return SynthesizedWorkload(users=tuple(users))
+
+
+def walker_for_user(
+    world: WorldModel,
+    user: UserWorkload,
+    rng: np.random.Generator,
+) -> RouteWalker:
+    """A route walker moving at the user's synthesized speed."""
+    return RouteWalker(world, rng, speed_kmh=user.walk_speed_kmh)

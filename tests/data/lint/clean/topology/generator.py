@@ -1,0 +1,19 @@
+"""Clean twin: suffixed generator knobs, randomness from the injected rng."""
+
+import numpy as np
+
+
+def road_positions(
+    extent_m: float, pitch_m: float, jitter_ratio: float, rng: np.random.Generator
+) -> list:
+    count = max(1, round(extent_m / pitch_m) - 1)
+    return [float(rng.uniform(0.0, jitter_ratio)) for _ in range(count)]
+
+
+def place_sites(
+    width_m: float, height_m: float, site_count: int, rng: np.random.Generator
+) -> list:
+    return [
+        (float(rng.uniform(0.0, width_m)), float(rng.uniform(0.0, height_m)))
+        for _ in range(site_count)
+    ]

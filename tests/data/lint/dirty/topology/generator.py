@@ -1,0 +1,18 @@
+"""Dirty fixture for REP013: bare generator knobs, self-minted RNG."""
+
+from repro.core import rng as core_rng
+from repro.core.rng import RngFactory
+
+
+def road_positions(extent_m: float, pitch: float, jitter: float) -> list:
+    rng = RngFactory(7).stream("topology.roads")
+    count = max(1, round(extent_m / pitch) - 1)
+    return [float(rng.uniform(0.0, jitter)) for _ in range(count)]
+
+
+def place_sites(width_m: float, height_m: float, site_count: int) -> list:
+    rng = core_rng.default_rng(3)
+    return [
+        (float(rng.uniform(0.0, width_m)), float(rng.uniform(0.0, height_m)))
+        for _ in range(site_count)
+    ]

@@ -64,17 +64,21 @@ EXPECTED_DIRTY = [
     ("REP012", "audit_probes.py", 12),  # dash and uppercase in event name
     ("REP012", "audit_probes.py", 13),  # event name without unit suffix
     ("REP012", "audit_probes.py", 16),  # _audit_* probe helper mutating state
+    ("REP013", "generator.py", 7),  # bare 'pitch' generator parameter
+    ("REP013", "generator.py", 7),  # bare 'jitter' generator parameter
+    ("REP013", "generator.py", 8),  # RngFactory(7) minted inside a generator
+    ("REP013", "generator.py", 14),  # core_rng.default_rng(3) inside a generator
 ]
 
 #: Number of python files in each fixture package.
-FIXTURE_FILES = 9
+FIXTURE_FILES = 10
 
 
 class TestRegistry:
-    def test_all_ten_file_rule_families_registered(self):
+    def test_all_eleven_file_rule_families_registered(self):
         assert [r.id for r in all_rules()] == [
             "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
-            "REP008", "REP011", "REP012",
+            "REP008", "REP011", "REP012", "REP013",
         ]
 
     def test_both_project_rules_registered(self):
@@ -87,7 +91,7 @@ class TestRegistry:
             by_id[i] == "error"
             for i in (
                 "REP001", "REP002", "REP003", "REP005", "REP006", "REP007",
-                "REP008", "REP009", "REP010", "REP011", "REP012",
+                "REP008", "REP009", "REP010", "REP011", "REP012", "REP013",
             )
         )
 
@@ -104,7 +108,7 @@ class TestFixtures:
         assert result.counts == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
             "REP006": 6, "REP007": 4, "REP008": 3, "REP009": 4, "REP010": 3,
-            "REP011": 4, "REP012": 4,
+            "REP011": 4, "REP012": 4, "REP013": 4,
         }
 
     def test_file_pass_only_skips_project_rules(self):
@@ -302,7 +306,7 @@ class TestCli:
         monkeypatch.chdir(REPO_ROOT)
         assert main(["lint", str(DIRTY), "--no-baseline"]) == 1
         out = capsys.readouterr().out
-        assert "replint: 40 new violation(s)" in out
+        assert "replint: 44 new violation(s)" in out
 
     def test_clean_fixture_passes(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -319,7 +323,7 @@ class TestCli:
         assert payload["counts"] == {
             "REP001": 3, "REP002": 2, "REP003": 3, "REP004": 2, "REP005": 2,
             "REP006": 6, "REP007": 4, "REP008": 3, "REP009": 4, "REP010": 3,
-            "REP011": 4, "REP012": 4,
+            "REP011": 4, "REP012": 4, "REP013": 4,
         }
         assert payload["baselined_count"] == 0
         assert payload["exit_code"] == 1
@@ -339,11 +343,11 @@ class TestCli:
         assert main(
             ["lint", str(DIRTY), "--write-baseline", "--baseline", str(baseline_path)]
         ) == 0
-        assert "wrote 40 grandfathered violation(s)" in capsys.readouterr().out
+        assert "wrote 44 grandfathered violation(s)" in capsys.readouterr().out
         written = json.loads(baseline_path.read_text())
         assert written["schema_version"] == BASELINE_SCHEMA_VERSION
         assert main(["lint", str(DIRTY), "--baseline", str(baseline_path)]) == 0
-        assert "40 baselined" in capsys.readouterr().out
+        assert "44 baselined" in capsys.readouterr().out
 
     def test_missing_path_exits_2(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

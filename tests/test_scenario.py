@@ -74,7 +74,7 @@ class TestPresets:
     def test_preset_names_and_default(self):
         assert DEFAULT_SCENARIO_NAME == "paper-nsa"
         assert DEFAULT_SCENARIO_NAME in PRESET_NAMES
-        assert len(PRESET_NAMES) == 8
+        assert len(PRESET_NAMES) == 11
 
     def test_presets_have_distinct_digests(self):
         digests = {name: scenario_digest(preset(name)) for name in PRESET_NAMES}

@@ -1,0 +1,279 @@
+"""Tests for the procedural world model: generators, presets, workload.
+
+The load-bearing check is paper-campus byte-identity: the hand-crafted
+campus is now just one generator preset, and the committed golden world
+file proves the refactor changed no geometry.  The property tests then
+pin the invariants every generated district must satisfy — disjoint
+building footprints, in-extent sites, a connected road graph — and the
+cross-process test pins byte-identical regeneration from
+``(seed, TopologySection)``.  The preset golden file freezes the
+world-survey KPIs of the three committed districts at seed 7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import _to_jsonable
+from repro.core.rng import RngFactory
+from repro.experiments import world_survey
+from repro.geometry import build_campus, world_to_dict
+from repro.mobility.walker import MAX_SPEED_KMH, MIN_SPEED_KMH
+from repro.scenario import apply_overrides, default_scenario, preset, scenario_digest
+from repro.scenario.core import TopologySection
+from repro.topology import generate_world, synthesize_workload, walker_for_user
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GOLDEN_WORLD = REPO_ROOT / "tests" / "data" / "golden" / "paper_campus_world.json"
+GOLDEN_PRESETS = REPO_ROOT / "tests" / "data" / "golden" / "generated_presets_seed7.json"
+
+#: The committed generated-district presets (see repro.scenario.presets).
+GENERATED_PRESETS = ("rural-sparse", "urban-canyon", "stadium-flash-crowd")
+
+#: One grid configuration per density class / site policy pairing.
+_GRID_SECTIONS = {
+    "rural-hex": TopologySection(
+        generator="grid", width_m=1200.0, height_m=900.0, road_pitch_m=300.0,
+        road_jitter_ratio=0.2, density_class="rural", site_policy="hex-grid",
+        gnb_site_count=3, enb_site_count=4,
+    ),
+    "suburban-roads": TopologySection(
+        generator="grid", width_m=1000.0, height_m=1000.0, road_pitch_m=160.0,
+        road_jitter_ratio=0.1, density_class="suburban",
+        site_policy="road-following", gnb_site_count=6, enb_site_count=8,
+    ),
+    "canyon-hotspot": TopologySection(
+        generator="grid", width_m=800.0, height_m=1400.0, road_pitch_m=120.0,
+        road_jitter_ratio=0.3, density_class="urban-canyon",
+        site_policy="hotspot-infill", gnb_site_count=8, enb_site_count=10,
+    ),
+}
+
+
+def _render_world(world) -> str:
+    return json.dumps(world_to_dict(world), indent=2, sort_keys=True) + "\n"
+
+
+@lru_cache(maxsize=None)
+def _grid_world(config: str):
+    return generate_world(7, _GRID_SECTIONS[config])
+
+
+class TestPaperCampusGolden:
+    def test_build_campus_matches_golden_file(self):
+        """The hand-crafted map is frozen byte-for-byte."""
+        assert _render_world(build_campus()).encode() == GOLDEN_WORLD.read_bytes()
+
+    def test_generator_reproduces_handcrafted_campus(self):
+        """`paper-campus` is now a generator preset — and an exact one."""
+        generated = generate_world(7, TopologySection())
+        assert generated == build_campus()
+        assert _render_world(generated).encode() == GOLDEN_WORLD.read_bytes()
+
+    def test_paper_campus_ignores_seed(self):
+        assert generate_world(1, TopologySection()) == generate_world(7, TopologySection())
+
+    def test_extra_gnb_sites_thread_through_generator(self):
+        densified = generate_world(
+            7, dataclasses.replace(TopologySection(), extra_gnb_sites=3)
+        )
+        assert len(densified.gnb_sites) == len(build_campus().gnb_sites) + 3
+
+    def test_extra_sites_rejected_for_grid_generator(self):
+        section = dataclasses.replace(
+            _GRID_SECTIONS["rural-hex"], extra_gnb_sites=2
+        )
+        with pytest.raises(ValueError, match="extra_gnb_sites"):
+            generate_world(7, section)
+
+
+class TestGeneratedWorldProperties:
+    @pytest.mark.parametrize("config", sorted(_GRID_SECTIONS))
+    def test_building_footprints_are_disjoint(self, config):
+        buildings = list(_grid_world(config).buildings)
+        for i, a in enumerate(buildings):
+            for b in buildings[i + 1:]:
+                assert not a.overlaps(b), f"{a.name} overlaps {b.name}"
+
+    @pytest.mark.parametrize("config", sorted(_GRID_SECTIONS))
+    def test_all_sites_inside_extent(self, config):
+        world = _grid_world(config)
+        for site in (*world.gnb_sites, *world.enb_sites):
+            assert world.contains(site.position), site.name
+
+    @pytest.mark.parametrize("config", sorted(_GRID_SECTIONS))
+    def test_road_graph_is_connected(self, config):
+        world = _grid_world(config)
+        assert world.roads
+        assert world.road_graph.is_connected()
+
+    @pytest.mark.parametrize("config", sorted(_GRID_SECTIONS))
+    def test_site_counts_and_co_siting(self, config):
+        section = _GRID_SECTIONS[config]
+        world = _grid_world(config)
+        assert len(world.gnb_sites) == section.gnb_site_count
+        assert len(world.enb_sites) == section.enb_site_count
+        anchors = world.co_sited_enbs()
+        assert len(anchors) == min(section.gnb_site_count, section.enb_site_count)
+
+    def test_same_seed_same_world_in_process(self):
+        section = _GRID_SECTIONS["suburban-roads"]
+        assert _render_world(generate_world(7, section)) == _render_world(
+            generate_world(7, section)
+        )
+
+    def test_different_seed_different_world(self):
+        section = _GRID_SECTIONS["suburban-roads"]
+        assert _render_world(generate_world(7, section)) != _render_world(
+            generate_world(8, section)
+        )
+
+    def test_generation_is_byte_identical_across_processes(self):
+        """The reproducibility contract: (seed, knobs) -> same bytes anywhere."""
+        script = (
+            "import hashlib, json;"
+            "from repro.scenario.core import TopologySection;"
+            "from repro.topology import generate_world;"
+            "from repro.geometry import world_to_dict;"
+            "section = TopologySection(generator='grid', width_m=1000.0,"
+            " height_m=1000.0, road_pitch_m=160.0, road_jitter_ratio=0.1,"
+            " density_class='suburban', site_policy='road-following',"
+            " gnb_site_count=6, enb_site_count=8);"
+            "rendered = json.dumps(world_to_dict(generate_world(7, section)),"
+            " indent=2, sort_keys=True) + '\\n';"
+            "print(hashlib.sha256(rendered.encode()).hexdigest())"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        ).stdout.strip()
+        local = hashlib.sha256(
+            _render_world(generate_world(7, _GRID_SECTIONS["suburban-roads"])).encode()
+        ).hexdigest()
+        assert remote == local
+
+    def test_hotspot_policy_records_landmark(self):
+        world = _grid_world("canyon-hotspot")
+        assert "hotspot" in world.landmarks
+        assert world.contains(world.landmarks["hotspot"])
+
+
+class TestDigestKnobs:
+    """Every generator/workload knob keys the runner cache."""
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"topology.generator": "grid"},
+            {"topology.width_m": 640.0},
+            {"topology.height_m": 1000.0},
+            {"topology.road_pitch_m": 90.0},
+            {"topology.road_jitter_ratio": 0.2},
+            {"topology.density_class": "urban-canyon"},
+            {"topology.site_policy": "road-following"},
+            {"topology.gnb_site_count": 9},
+            {"topology.enb_site_count": 7},
+            {"workload.user_count": 99},
+            {"workload.offered_load_ratio": 2.0},
+            {"workload.web_mix_ratio": 0.9},
+            {"workload.video_mix_ratio": 0.9},
+            {"workload.file_mix_ratio": 0.9},
+        ],
+        ids=lambda o: next(iter(o)),
+    )
+    def test_digest_changes_when_knob_changes(self, override):
+        base = default_scenario()
+        tweaked = apply_overrides(base, override)
+        assert scenario_digest(tweaked) != scenario_digest(base)
+
+
+class TestPresetGoldenKpis:
+    def test_generated_preset_kpis_match_golden_file(self):
+        """World-survey KPIs of the three districts are frozen at seed 7."""
+        payload = {
+            name: _to_jsonable(world_survey.run(seed=7, scenario=name))
+            for name in GENERATED_PRESETS
+        }
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        assert rendered.encode() == GOLDEN_PRESETS.read_bytes()
+
+    def test_presets_have_distinct_worlds(self):
+        digests = {
+            name: hashlib.sha256(
+                _render_world(generate_world(7, preset(name).topology)).encode()
+            ).hexdigest()
+            for name in GENERATED_PRESETS
+        }
+        assert len(set(digests.values())) == len(GENERATED_PRESETS)
+
+
+class TestWorkloadSynthesis:
+    def _population(self, scenario_name="urban-canyon", stream="test.workload"):
+        scenario = preset(scenario_name)
+        world = generate_world(7, scenario.topology)
+        rng = RngFactory(7).stream(stream)
+        return world, scenario, synthesize_workload(world, scenario.workload, rng)
+
+    def test_population_size_and_mixes(self):
+        _, scenario, population = self._population()
+        assert len(population.users) == scenario.workload.user_count
+        for user in population.users:
+            assert user.web_ratio + user.video_ratio + user.file_ratio == pytest.approx(1.0)
+            assert MIN_SPEED_KMH <= user.walk_speed_kmh <= MAX_SPEED_KMH
+            assert user.offered_load_mbps > 0.0
+
+    def test_home_roads_are_valid_indices(self):
+        world, _, population = self._population()
+        for user in population.users:
+            assert 0 <= user.home_road_index < len(world.roads)
+
+    def test_population_reproducible_from_stream(self):
+        _, _, first = self._population()
+        _, _, second = self._population()
+        assert first == second
+
+    def test_offered_load_scales_with_ratio(self):
+        scenario = preset("rural-sparse")
+        world = generate_world(7, scenario.topology)
+        base = synthesize_workload(
+            world, scenario.workload, RngFactory(7).stream("test.load")
+        )
+        doubled = synthesize_workload(
+            world,
+            dataclasses.replace(scenario.workload, offered_load_ratio=2 * scenario.workload.offered_load_ratio),
+            RngFactory(7).stream("test.load"),
+        )
+        assert doubled.total_offered_load_mbps == pytest.approx(
+            2.0 * base.total_offered_load_mbps
+        )
+
+    def test_app_mix_tracks_scenario_weights(self):
+        _, scenario, population = self._population("stadium-flash-crowd")
+        mix = population.app_mix()
+        # stadium-flash-crowd is video-heavy (0.2/0.7/0.1 weights).
+        assert mix["video"] > mix["web"] > mix["file"]
+
+    def test_walker_for_user_moves_on_the_road_network(self):
+        world, _, population = self._population()
+        user = population.users[0]
+        walker = walker_for_user(world, user, RngFactory(7).stream("test.walk"))
+        points = list(walker.trajectory(30.0, dt_s=0.5))
+        assert len(points) == 61
+        start = points[0].location
+        assert any(
+            np.hypot(p.location.x - start.x, p.location.y - start.y) > 1.0
+            for p in points
+        )
